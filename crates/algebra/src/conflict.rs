@@ -1,0 +1,470 @@
+//! SES / TES computation and conflict detection (Sec. 5.5 and Appendix A of the paper).
+//!
+//! For every operator of the initial operator tree we compute
+//!
+//! * its **syntactic eligibility set** `SES(◦)`: the relations that must be in the operator's
+//!   arguments before its predicate can be evaluated (the relations referenced by the predicate
+//!   plus, for dependent operators and table functions, the laterally referenced relations), and
+//! * its **total eligibility set** `TES(◦)`: `SES(◦)` enlarged by the TES of every conflicting
+//!   descendant operator. `TES` is computed bottom-up by [`calc_tes`]; conflicts are detected
+//!   with the operator-conflict predicate `OC` ([`qo_plan::JoinOp::operator_conflict`]) combined
+//!   with the syntactic tests `LC`/`RC` built on `RightTables`/`LeftTables`.
+//!
+//! ### A note on conservatism
+//!
+//! The paper defines `RightTables(◦1, ◦2)` over the path from the descendant `◦2` *exclusive* of
+//! the ancestor `◦1`. Read literally, that leaves star-shaped queries (every predicate
+//! references the hub, which sits at the far left) entirely conflict-free, so the TESs of the
+//! antijoin workload of Fig. 8a would never grow and the search-space reduction the paper
+//! measures could not materialize. The paper's own experimental narrative ("the outer joins
+//! cannot be reordered with inner joins", "the antijoins are more restrictive than inner joins")
+//! shows that its implementation is more conservative than Theorem 1. We therefore include the
+//! ancestor's own right (respectively left) operand in `RightTables` (`LeftTables`), which makes
+//! the syntactic test succeed whenever the ancestor's predicate touches that side — i.e.
+//! conflicts are effectively governed by `OC`. This is safe (it can only *forbid* reorderings,
+//! never allow an invalid one) and reproduces the restrictiveness visible in the paper's
+//! experiments. See DESIGN.md for the full discussion.
+
+use crate::optree::{OpTree, Predicate};
+use qo_bitset::NodeSet;
+use qo_plan::JoinOp;
+
+/// Per-operator result of the conflict analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OperatorInfo {
+    /// The operator.
+    pub op: JoinOp,
+    /// Its predicate.
+    pub predicate: Predicate,
+    /// Relations of the left operand subtree, `T(left(◦))`.
+    pub left_tables: NodeSet,
+    /// Relations of the right operand subtree, `T(right(◦))`.
+    pub right_tables: NodeSet,
+    /// Syntactic eligibility set.
+    pub ses: NodeSet,
+    /// Total eligibility set (equals `ses` until [`calc_tes`] has processed the operator).
+    pub tes: NodeSet,
+    /// Index of the operator at the root of the left operand, if the left operand is not a leaf.
+    pub left_child: Option<usize>,
+    /// Index of the operator at the root of the right operand, if the right operand is not a
+    /// leaf.
+    pub right_child: Option<usize>,
+}
+
+impl OperatorInfo {
+    /// All relations below this operator.
+    pub fn tables(&self) -> NodeSet {
+        self.left_tables | self.right_tables
+    }
+}
+
+/// The full conflict analysis of an operator tree: every operator in post-order (children before
+/// parents) with its SES and TES.
+#[derive(Clone, Debug)]
+pub struct ConflictAnalysis {
+    /// Operators in post-order; the root is the last entry.
+    pub operators: Vec<OperatorInfo>,
+    /// All relations of the query.
+    pub tables: NodeSet,
+}
+
+impl ConflictAnalysis {
+    /// The root operator, if the tree has at least one operator.
+    pub fn root(&self) -> Option<&OperatorInfo> {
+        self.operators.last()
+    }
+}
+
+/// Syntactic eligibility set of one operator: the referenced relations (predicate references
+/// plus lateral references of relations in the subtree), restricted to the operator's own
+/// subtree.
+pub fn ses(predicate: &Predicate, subtree_tables: NodeSet, lateral_refs_in_subtree: NodeSet) -> NodeSet {
+    (predicate.references | lateral_refs_in_subtree) & subtree_tables
+}
+
+/// Runs the full bottom-up TES computation (`CalcTES`) over the operator tree.
+///
+/// The returned analysis lists the operators in post-order; `operators[i].tes` is final.
+pub fn calc_tes(tree: &OpTree) -> ConflictAnalysis {
+    let mut analysis = analyze(tree);
+    let n = analysis.operators.len();
+    // Bottom-up: post-order guarantees descendants come first.
+    for i in 0..n {
+        // Left subtree: LeftConflict(◦2, ◦1) = LC ∧ OC(◦2, ◦1).
+        let mut absorb = NodeSet::EMPTY;
+        let p1_refs = analysis.operators[i].predicate.references;
+        let op1 = analysis.operators[i].op;
+        if let Some(lc) = analysis.operators[i].left_child {
+            // Accumulator starts with the ancestor's own right operand (conservative inclusive
+            // reading, see module docs).
+            let start_acc = analysis.operators[i].right_tables;
+            visit_side(
+                &analysis.operators,
+                lc,
+                start_acc,
+                Side::Left,
+                &mut |j, right_tables| {
+                    let desc = &analysis.operators[j];
+                    let lc_holds = p1_refs.intersects(right_tables);
+                    if lc_holds && JoinOp::operator_conflict(desc.op, op1) {
+                        absorb |= desc.tes;
+                    }
+                },
+            );
+        }
+        // Right subtree: RightConflict(◦1, ◦2) = RC ∧ OC(◦1, ◦2).
+        if let Some(rc) = analysis.operators[i].right_child {
+            let start_acc = analysis.operators[i].left_tables;
+            visit_side(
+                &analysis.operators,
+                rc,
+                start_acc,
+                Side::Right,
+                &mut |j, left_tables| {
+                    let desc = &analysis.operators[j];
+                    let rc_holds = p1_refs.intersects(left_tables);
+                    if rc_holds && JoinOp::operator_conflict(op1, desc.op) {
+                        absorb |= desc.tes;
+                    }
+                },
+            );
+        }
+        analysis.operators[i].tes |= absorb;
+    }
+    analysis
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Side {
+    Left,
+    Right,
+}
+
+/// Walks the operator subtree rooted at `idx`, calling `f(j, accumulated)` for every operator
+/// `j`, where `accumulated` is `RightTables(◦1, ◦j)` (for [`Side::Left`]) respectively
+/// `LeftTables(◦1, ◦j)` (for [`Side::Right`]) including the conservative extension described in
+/// the module docs.
+fn visit_side(
+    operators: &[OperatorInfo],
+    idx: usize,
+    acc: NodeSet,
+    side: Side,
+    f: &mut impl FnMut(usize, NodeSet),
+) {
+    let info = &operators[idx];
+    let own_contribution = match side {
+        Side::Left => info.right_tables,
+        Side::Right => info.left_tables,
+    };
+    let acc_through_here = acc | own_contribution;
+    // "If ◦2 is commutative, we add T(left(◦2)) [T(right(◦2))] ..."
+    let commutative_extra = if info.op.is_commutative() {
+        match side {
+            Side::Left => info.left_tables,
+            Side::Right => info.right_tables,
+        }
+    } else {
+        NodeSet::EMPTY
+    };
+    f(idx, acc_through_here | commutative_extra);
+    if let Some(l) = info.left_child {
+        visit_side(operators, l, acc_through_here, side, f);
+    }
+    if let Some(r) = info.right_child {
+        visit_side(operators, r, acc_through_here, side, f);
+    }
+}
+
+/// Structural pass: collects the operators in post-order with tables, SES and child links.
+fn analyze(tree: &OpTree) -> ConflictAnalysis {
+    let mut operators = Vec::with_capacity(tree.operator_count());
+    // Returns (tables of subtree, lateral refs of relations in the subtree, operator index of
+    // the subtree root if it is an operator).
+    fn rec(
+        t: &OpTree,
+        operators: &mut Vec<OperatorInfo>,
+    ) -> (NodeSet, NodeSet, Option<usize>) {
+        match t {
+            OpTree::Relation {
+                id, lateral_refs, ..
+            } => (NodeSet::single(*id), *lateral_refs, None),
+            OpTree::Op {
+                op,
+                predicate,
+                left,
+                right,
+            } => {
+                let (lt, ll, lchild) = rec(left, operators);
+                let (rt, rl, rchild) = rec(right, operators);
+                let tables = lt | rt;
+                let lateral = ll | rl;
+                let ses = ses(predicate, tables, lateral);
+                let idx = operators.len();
+                operators.push(OperatorInfo {
+                    op: *op,
+                    predicate: *predicate,
+                    left_tables: lt,
+                    right_tables: rt,
+                    ses,
+                    tes: ses,
+                    left_child: lchild,
+                    right_child: rchild,
+                });
+                let _ = idx;
+                (tables, lateral, Some(operators.len() - 1))
+            }
+        }
+    }
+    let (tables, _, _) = rec(tree, &mut operators);
+    ConflictAnalysis { operators, tables }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optree::{OpTree, Predicate};
+
+    fn ns(v: &[usize]) -> NodeSet {
+        v.iter().copied().collect()
+    }
+
+    /// Left-deep tree over n relations where step i applies `ops[i-1]` with a predicate between
+    /// the hub R0 and R_i (a star query).
+    fn left_deep_star(ops: &[JoinOp]) -> OpTree {
+        let mut tree = OpTree::relation(0, 1000.0);
+        for (i, op) in ops.iter().enumerate() {
+            let rel = i + 1;
+            tree = OpTree::op(
+                *op,
+                Predicate::between(0, rel, 0.01),
+                tree,
+                OpTree::relation(rel, 1000.0),
+            );
+        }
+        tree
+    }
+
+    /// Left-deep tree over n relations where step i applies `ops[i-1]` with a predicate between
+    /// R_{i-1} and R_i (a chain query).
+    fn left_deep_chain(ops: &[JoinOp]) -> OpTree {
+        let mut tree = OpTree::relation(0, 1000.0);
+        for (i, op) in ops.iter().enumerate() {
+            let rel = i + 1;
+            tree = OpTree::op(
+                *op,
+                Predicate::between(rel - 1, rel, 0.01),
+                tree,
+                OpTree::relation(rel, 1000.0),
+            );
+        }
+        tree
+    }
+
+    #[test]
+    fn ses_is_predicate_refs_within_subtree() {
+        let p = Predicate::new(ns(&[0, 2, 9]), 0.5);
+        assert_eq!(ses(&p, ns(&[0, 1, 2]), NodeSet::EMPTY), ns(&[0, 2]));
+        // Lateral refs inside the subtree are added.
+        assert_eq!(ses(&p, ns(&[0, 1, 2]), ns(&[1])), ns(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn analysis_is_postorder_with_child_links() {
+        let tree = left_deep_chain(&[JoinOp::Inner, JoinOp::Inner, JoinOp::Inner]);
+        let a = calc_tes(&tree);
+        assert_eq!(a.operators.len(), 3);
+        assert_eq!(a.tables, ns(&[0, 1, 2, 3]));
+        // Post-order for a left-deep tree: innermost first.
+        assert_eq!(a.operators[0].right_tables, ns(&[1]));
+        assert_eq!(a.operators[2].right_tables, ns(&[3]));
+        assert_eq!(a.operators[2].left_child, Some(1));
+        assert_eq!(a.operators[2].right_child, None);
+        assert_eq!(a.root().unwrap().tables(), ns(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn pure_inner_joins_have_tes_equal_ses() {
+        for tree in [
+            left_deep_chain(&[JoinOp::Inner; 5]),
+            left_deep_star(&[JoinOp::Inner; 5]),
+        ] {
+            let a = calc_tes(&tree);
+            for op in &a.operators {
+                assert_eq!(op.tes, op.ses, "inner joins must not pick up conflicts");
+                assert_eq!(op.ses, op.predicate.references);
+            }
+        }
+    }
+
+    #[test]
+    fn antijoins_conflict_with_each_other_but_not_with_inner_joins() {
+        // R0 ⋈ R1 ▷ R2 ▷ R3 (star predicates).
+        let tree = left_deep_star(&[JoinOp::Inner, JoinOp::LeftAnti, JoinOp::LeftAnti]);
+        let a = calc_tes(&tree);
+        // Operator 0: inner join — untouched.
+        assert_eq!(a.operators[0].tes, ns(&[0, 1]));
+        // Operator 1: first antijoin. Below it only the inner join; OC(B, I) = false, so no
+        // conflict and TES stays the SES.
+        assert_eq!(a.operators[1].op, JoinOp::LeftAnti);
+        assert_eq!(a.operators[1].tes, ns(&[0, 2]));
+        // Operator 2: second antijoin. OC(I, I) = true, so it absorbs the first antijoin's TES.
+        assert_eq!(a.operators[2].op, JoinOp::LeftAnti);
+        assert_eq!(a.operators[2].tes, ns(&[0, 2, 3]));
+    }
+
+    #[test]
+    fn antijoin_chain_tes_grows_monotonically() {
+        let tree = left_deep_star(&[JoinOp::LeftAnti; 4]);
+        let a = calc_tes(&tree);
+        for i in 1..a.operators.len() {
+            assert!(
+                a.operators[i].tes.is_superset_of(a.operators[i - 1].tes - ns(&[0])),
+                "antijoin {i} must require all previously antijoined satellites"
+            );
+        }
+        // The last antijoin requires the hub and every previously antijoined satellite.
+        assert_eq!(a.operators[3].tes, ns(&[0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn outer_joins_reorder_freely_among_themselves() {
+        // Chain of left outer joins: OC(P, P) = false ⇒ no conflicts.
+        let tree = left_deep_chain(&[JoinOp::LeftOuter; 4]);
+        let a = calc_tes(&tree);
+        for op in &a.operators {
+            assert_eq!(op.tes, op.ses);
+        }
+    }
+
+    #[test]
+    fn inner_join_above_outer_join_conflicts() {
+        // (R0 ⟕ R1) ⋈ R2 with the join predicate touching R1 (the outer join's null-producing
+        // side): the join must not be pushed below the outer join, so its TES absorbs the outer
+        // join's TES.
+        let tree = OpTree::op(
+            JoinOp::Inner,
+            Predicate::between(1, 2, 0.1),
+            OpTree::op(
+                JoinOp::LeftOuter,
+                Predicate::between(0, 1, 0.1),
+                OpTree::relation(0, 100.0),
+                OpTree::relation(1, 100.0),
+            ),
+            OpTree::relation(2, 100.0),
+        );
+        let a = calc_tes(&tree);
+        assert_eq!(a.operators[0].op, JoinOp::LeftOuter);
+        assert_eq!(a.operators[0].tes, ns(&[0, 1]));
+        assert_eq!(a.operators[1].op, JoinOp::Inner);
+        assert_eq!(a.operators[1].tes, ns(&[0, 1, 2]), "join absorbs the outer join's TES");
+    }
+
+    #[test]
+    fn outer_join_above_inner_join_does_not_conflict() {
+        // (R0 ⋈ R1) ⟕ R2: the inner join below an outer join reorders freely (eq. (3) of
+        // Theorem 1), OC(B, P) = false.
+        let tree = OpTree::op(
+            JoinOp::LeftOuter,
+            Predicate::between(1, 2, 0.1),
+            OpTree::op(
+                JoinOp::Inner,
+                Predicate::between(0, 1, 0.1),
+                OpTree::relation(0, 100.0),
+                OpTree::relation(1, 100.0),
+            ),
+            OpTree::relation(2, 100.0),
+        );
+        let a = calc_tes(&tree);
+        assert_eq!(a.operators[1].op, JoinOp::LeftOuter);
+        assert_eq!(a.operators[1].tes, a.operators[1].ses);
+    }
+
+    #[test]
+    fn full_outer_join_below_inner_join_conflicts() {
+        // (R0 ⟗ R1) ⋈ R2: OC(M, B) is true — the full outer join is not reorderable with the
+        // join above it.
+        let tree = OpTree::op(
+            JoinOp::Inner,
+            Predicate::between(1, 2, 0.1),
+            OpTree::op(
+                JoinOp::FullOuter,
+                Predicate::between(0, 1, 0.1),
+                OpTree::relation(0, 100.0),
+                OpTree::relation(1, 100.0),
+            ),
+            OpTree::relation(2, 100.0),
+        );
+        let a = calc_tes(&tree);
+        assert_eq!(a.operators[1].tes, ns(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn lateral_reference_enters_the_ses() {
+        // R0 ⋈d f(R0) — the table function R1 references R0 laterally.
+        let tree = OpTree::op(
+            JoinOp::DepJoin,
+            Predicate::between(0, 1, 1.0),
+            OpTree::relation(0, 100.0),
+            OpTree::lateral_relation(1, 3.0, ns(&[0])),
+        );
+        let a = calc_tes(&tree);
+        assert_eq!(a.operators[0].ses, ns(&[0, 1]));
+        // A second, non-dependent join above still sees a plain SES.
+        let bigger = OpTree::op(
+            JoinOp::Inner,
+            Predicate::between(0, 2, 0.5),
+            tree,
+            OpTree::relation(2, 50.0),
+        );
+        let a = calc_tes(&bigger);
+        assert_eq!(a.operators[1].ses, ns(&[0, 2]));
+        // OC(dep-join, inner) treats the d-join as an inner join ⇒ no conflict.
+        assert_eq!(a.operators[1].tes, ns(&[0, 2]));
+    }
+
+    #[test]
+    fn nested_right_subtree_conflicts_are_detected() {
+        // R0 ▷ (R1 ⟗ R2): the full outer join sits in the *right* subtree of the antijoin.
+        // RC holds (the antijoin predicate references R1) and OC(I, M) is true.
+        let tree = OpTree::op(
+            JoinOp::LeftAnti,
+            Predicate::between(0, 1, 0.1),
+            OpTree::relation(0, 100.0),
+            OpTree::op(
+                JoinOp::FullOuter,
+                Predicate::between(1, 2, 0.1),
+                OpTree::relation(1, 100.0),
+                OpTree::relation(2, 100.0),
+            ),
+        );
+        let a = calc_tes(&tree);
+        let root = a.root().unwrap();
+        assert_eq!(root.op, JoinOp::LeftAnti);
+        assert_eq!(root.tes, ns(&[0, 1, 2]), "antijoin must absorb the full outer join's TES");
+    }
+
+    #[test]
+    fn commutative_descendant_contributes_both_sides() {
+        // ((R0 ⋈ R1) ⟗ R2) ▷ R3 with the antijoin predicate referencing R0: the full outer
+        // join below conflicts (OC(M, I) = true) and its TES is absorbed.
+        let tree = OpTree::op(
+            JoinOp::LeftAnti,
+            Predicate::between(0, 3, 0.1),
+            OpTree::op(
+                JoinOp::FullOuter,
+                Predicate::between(1, 2, 0.1),
+                OpTree::op(
+                    JoinOp::Inner,
+                    Predicate::between(0, 1, 0.1),
+                    OpTree::relation(0, 10.0),
+                    OpTree::relation(1, 10.0),
+                ),
+                OpTree::relation(2, 10.0),
+            ),
+            OpTree::relation(3, 10.0),
+        );
+        let a = calc_tes(&tree);
+        let root = a.root().unwrap();
+        assert!(root.tes.is_superset_of(ns(&[0, 1, 2, 3])));
+    }
+}

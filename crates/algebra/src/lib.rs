@@ -1,0 +1,30 @@
+//! Operator trees, SES/TES conflict analysis and query-hypergraph derivation (Sec. 5 of the
+//! DPhyp paper).
+//!
+//! A query hypergraph alone does not capture the semantics of a query with non-inner joins;
+//! what is needed is an *initial operator tree* equivalent to the query (Sec. 5.3). This crate
+//! provides that representation ([`OpTree`]) together with the conflict analysis the paper
+//! builds on top of it:
+//!
+//! * the *syntactic eligibility set* SES of every operator — the relations that must be present
+//!   before its predicate can be evaluated (Sec. 5.5),
+//! * the *total eligibility set* TES, computed bottom-up by [`calc_tes`], which additionally
+//!   absorbs the TES of every conflicting descendant operator (`CalcTES` with the `LeftConflict`
+//!   / `RightConflict` / `OC` rules of Sec. 5.5 and Appendix A),
+//! * the translation of TESs into hyperedges (Sec. 5.7) — or, for the generate-and-test
+//!   comparison of Sec. 5.8, into plain predicate edges plus TES annotations that are checked in
+//!   `EmitCsgCmp`.
+//!
+//! The end product is a [`HypergraphQuery`]: a hypergraph plus a catalog whose edge annotations
+//! carry the operators, selectivities and TESs — exactly the input DPhyp needs.
+
+mod conflict;
+mod derive;
+mod optree;
+
+pub use conflict::{calc_tes, ses, ConflictAnalysis, OperatorInfo};
+pub use derive::{derive_query, ConflictEncoding, HypergraphQuery};
+pub use optree::{OpTree, OpTreeError, Predicate};
+
+pub use qo_bitset::{NodeId, NodeSet};
+pub use qo_plan::JoinOp;

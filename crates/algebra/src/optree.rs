@@ -1,0 +1,444 @@
+//! The initial operator tree of a query.
+
+use qo_bitset::{NodeId, NodeSet};
+use qo_plan::JoinOp;
+use std::fmt;
+
+/// A join predicate of the initial operator tree.
+///
+/// `references` is `FT(p)` — the set of relations whose attributes occur freely in the
+/// predicate; `selectivity` is its estimated selectivity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Predicate {
+    /// Relations referenced by the predicate (`FT(p)`).
+    pub references: NodeSet,
+    /// Selectivity in `(0, 1]`.
+    pub selectivity: f64,
+}
+
+impl Predicate {
+    /// Creates a predicate.
+    pub fn new(references: NodeSet, selectivity: f64) -> Self {
+        Predicate {
+            references,
+            selectivity,
+        }
+    }
+
+    /// A simple binary equi-join predicate between two relations.
+    pub fn between(a: NodeId, b: NodeId, selectivity: f64) -> Self {
+        Predicate::new(NodeSet::from_iter([a, b]), selectivity)
+    }
+}
+
+/// Errors detected by [`OpTree::validate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpTreeError {
+    /// A relation id appears more than once.
+    DuplicateRelation(NodeId),
+    /// The leaves are not ordered left-to-right by relation id, which is the convention the
+    /// paper adopts for non-commutative operator handling (Sec. 5.4).
+    LeavesNotOrdered,
+    /// A predicate references a relation that does not occur in the tree.
+    PredicateReferencesUnknownRelation(NodeId),
+    /// A predicate does not reference any relation of one of its operand subtrees; such
+    /// degenerate predicates are treated by splitting query blocks (Sec. 5.2) and are rejected
+    /// here.
+    PredicateDoesNotSpanOperands,
+    /// A lateral reference points to a relation that is not to the left of the referencing
+    /// relation.
+    InvalidLateralReference(NodeId),
+    /// An invalid selectivity (must be in `(0, 1]`).
+    InvalidSelectivity(f64),
+}
+
+impl fmt::Display for OpTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpTreeError::DuplicateRelation(r) => write!(f, "relation R{r} occurs more than once"),
+            OpTreeError::LeavesNotOrdered => {
+                write!(f, "leaves must be ordered left-to-right by relation id")
+            }
+            OpTreeError::PredicateReferencesUnknownRelation(r) => {
+                write!(f, "a predicate references R{r}, which is not part of the tree")
+            }
+            OpTreeError::PredicateDoesNotSpanOperands => {
+                write!(f, "a predicate does not reference both operands of its operator")
+            }
+            OpTreeError::InvalidLateralReference(r) => {
+                write!(f, "relation R{r} has a lateral reference to a non-preceding relation")
+            }
+            OpTreeError::InvalidSelectivity(s) => write!(f, "invalid selectivity {s}"),
+        }
+    }
+}
+
+impl std::error::Error for OpTreeError {}
+
+/// The initial operator tree equivalent to the query (Sec. 5.3).
+///
+/// Leaves are base relations (or table-valued functions, in which case `lateral_refs` lists the
+/// relations they reference); inner nodes are binary operators with a predicate. The tree is
+/// assumed to be *simplified* in the sense of Galindo-Legaria/Rosenthal and Bhargava et al., and
+/// its leaves are ordered left-to-right by relation id (the paper's convention, Sec. 5.4).
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpTree {
+    /// A base relation or table-valued function.
+    Relation {
+        /// The relation id (its position in the node order).
+        id: NodeId,
+        /// Estimated cardinality.
+        cardinality: f64,
+        /// Relations referenced laterally (empty for plain base relations).
+        lateral_refs: NodeSet,
+    },
+    /// A binary operator.
+    Op {
+        /// The operator.
+        op: JoinOp,
+        /// Its join predicate.
+        predicate: Predicate,
+        /// Left operand.
+        left: Box<OpTree>,
+        /// Right operand.
+        right: Box<OpTree>,
+    },
+}
+
+impl OpTree {
+    /// Creates a base-relation leaf.
+    pub fn relation(id: NodeId, cardinality: f64) -> OpTree {
+        OpTree::Relation {
+            id,
+            cardinality,
+            lateral_refs: NodeSet::EMPTY,
+        }
+    }
+
+    /// Creates a table-function leaf with lateral references.
+    pub fn lateral_relation(id: NodeId, cardinality: f64, refs: NodeSet) -> OpTree {
+        OpTree::Relation {
+            id,
+            cardinality,
+            lateral_refs: refs,
+        }
+    }
+
+    /// Creates an operator node.
+    pub fn op(op: JoinOp, predicate: Predicate, left: OpTree, right: OpTree) -> OpTree {
+        OpTree::Op {
+            op,
+            predicate,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Shorthand for an inner join.
+    pub fn join(predicate: Predicate, left: OpTree, right: OpTree) -> OpTree {
+        OpTree::op(JoinOp::Inner, predicate, left, right)
+    }
+
+    /// The set of relations in the tree (`T(◦)` for the root).
+    pub fn tables(&self) -> NodeSet {
+        match self {
+            OpTree::Relation { id, .. } => NodeSet::single(*id),
+            OpTree::Op { left, right, .. } => left.tables() | right.tables(),
+        }
+    }
+
+    /// Number of relations (leaves).
+    pub fn relation_count(&self) -> usize {
+        match self {
+            OpTree::Relation { .. } => 1,
+            OpTree::Op { left, right, .. } => left.relation_count() + right.relation_count(),
+        }
+    }
+
+    /// Number of operators (inner nodes).
+    pub fn operator_count(&self) -> usize {
+        match self {
+            OpTree::Relation { .. } => 0,
+            OpTree::Op { left, right, .. } => 1 + left.operator_count() + right.operator_count(),
+        }
+    }
+
+    /// The leaves in left-to-right order.
+    pub fn leaves(&self) -> Vec<&OpTree> {
+        let mut out = Vec::new();
+        fn rec<'a>(t: &'a OpTree, out: &mut Vec<&'a OpTree>) {
+            match t {
+                OpTree::Relation { .. } => out.push(t),
+                OpTree::Op { left, right, .. } => {
+                    rec(left, out);
+                    rec(right, out);
+                }
+            }
+        }
+        rec(self, &mut out);
+        out
+    }
+
+    /// Per-relation cardinalities indexed by relation id.
+    pub fn cardinalities(&self) -> Vec<(NodeId, f64)> {
+        self.leaves()
+            .iter()
+            .map(|l| match l {
+                OpTree::Relation {
+                    id, cardinality, ..
+                } => (*id, *cardinality),
+                OpTree::Op { .. } => unreachable!("leaves() returns only relations"),
+            })
+            .collect()
+    }
+
+    /// Per-relation lateral references.
+    pub fn lateral_refs(&self) -> Vec<(NodeId, NodeSet)> {
+        self.leaves()
+            .iter()
+            .map(|l| match l {
+                OpTree::Relation {
+                    id, lateral_refs, ..
+                } => (*id, *lateral_refs),
+                OpTree::Op { .. } => unreachable!("leaves() returns only relations"),
+            })
+            .collect()
+    }
+
+    /// All operators of the tree in post-order (children before parents), each with the table
+    /// sets of its operands.
+    pub fn operators_postorder(&self) -> Vec<(JoinOp, Predicate, NodeSet, NodeSet)> {
+        let mut out = Vec::new();
+        fn rec(t: &OpTree, out: &mut Vec<(JoinOp, Predicate, NodeSet, NodeSet)>) -> NodeSet {
+            match t {
+                OpTree::Relation { id, .. } => NodeSet::single(*id),
+                OpTree::Op {
+                    op,
+                    predicate,
+                    left,
+                    right,
+                } => {
+                    let lt = rec(left, out);
+                    let rt = rec(right, out);
+                    out.push((*op, *predicate, lt, rt));
+                    lt | rt
+                }
+            }
+        }
+        rec(self, &mut out);
+        out
+    }
+
+    /// Validates the structural conventions the conflict analysis relies on.
+    pub fn validate(&self) -> Result<(), OpTreeError> {
+        // Leaves: distinct ids, ordered left-to-right.
+        let leaves = self.leaves();
+        let mut seen = NodeSet::EMPTY;
+        let mut previous: Option<NodeId> = None;
+        let mut seen_so_far = NodeSet::EMPTY;
+        for leaf in &leaves {
+            let OpTree::Relation {
+                id, lateral_refs, ..
+            } = leaf
+            else {
+                unreachable!()
+            };
+            if seen.contains(*id) {
+                return Err(OpTreeError::DuplicateRelation(*id));
+            }
+            seen.insert(*id);
+            if let Some(prev) = previous {
+                if *id < prev {
+                    return Err(OpTreeError::LeavesNotOrdered);
+                }
+            }
+            // Lateral references must point to relations occurring earlier (to the left).
+            if !lateral_refs.is_subset_of(seen_so_far) {
+                let bad = (*lateral_refs - seen_so_far).min_node().unwrap();
+                return Err(OpTreeError::InvalidLateralReference(bad));
+            }
+            seen_so_far.insert(*id);
+            previous = Some(*id);
+        }
+        // Operators: predicates reference known relations and span both operands.
+        let tables = self.tables();
+        for (_, predicate, lt, rt) in self.operators_postorder() {
+            if !(predicate.selectivity.is_finite()
+                && predicate.selectivity > 0.0
+                && predicate.selectivity <= 1.0)
+            {
+                return Err(OpTreeError::InvalidSelectivity(predicate.selectivity));
+            }
+            if !predicate.references.is_subset_of(tables) {
+                let bad = (predicate.references - tables).min_node().unwrap();
+                return Err(OpTreeError::PredicateReferencesUnknownRelation(bad));
+            }
+            if !predicate.references.intersects(lt) || !predicate.references.intersects(rt) {
+                return Err(OpTreeError::PredicateDoesNotSpanOperands);
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the tree as a one-line algebra expression.
+    pub fn compact(&self) -> String {
+        match self {
+            OpTree::Relation { id, .. } => format!("R{id}"),
+            OpTree::Op {
+                op, left, right, ..
+            } => format!("({} {} {})", left.compact(), op.symbol(), right.compact()),
+        }
+    }
+}
+
+impl fmt::Display for OpTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.compact())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: &[usize]) -> NodeSet {
+        v.iter().copied().collect()
+    }
+
+    /// (R0 ⋈ R1) ⟕ R2
+    fn sample() -> OpTree {
+        OpTree::op(
+            JoinOp::LeftOuter,
+            Predicate::between(1, 2, 0.1),
+            OpTree::join(
+                Predicate::between(0, 1, 0.5),
+                OpTree::relation(0, 100.0),
+                OpTree::relation(1, 200.0),
+            ),
+            OpTree::relation(2, 300.0),
+        )
+    }
+
+    #[test]
+    fn structural_accessors() {
+        let t = sample();
+        assert_eq!(t.tables(), ns(&[0, 1, 2]));
+        assert_eq!(t.relation_count(), 3);
+        assert_eq!(t.operator_count(), 2);
+        assert_eq!(t.compact(), "((R0 ⋈ R1) ⟕ R2)");
+        assert_eq!(format!("{t}"), t.compact());
+        assert_eq!(
+            t.cardinalities(),
+            vec![(0, 100.0), (1, 200.0), (2, 300.0)]
+        );
+    }
+
+    #[test]
+    fn operators_postorder_has_children_first() {
+        let t = sample();
+        let ops = t.operators_postorder();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].0, JoinOp::Inner);
+        assert_eq!(ops[0].2, ns(&[0]));
+        assert_eq!(ops[0].3, ns(&[1]));
+        assert_eq!(ops[1].0, JoinOp::LeftOuter);
+        assert_eq!(ops[1].2, ns(&[0, 1]));
+        assert_eq!(ops[1].3, ns(&[2]));
+    }
+
+    #[test]
+    fn valid_tree_passes_validation() {
+        assert_eq!(sample().validate(), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_relation_is_rejected() {
+        let t = OpTree::join(
+            Predicate::between(0, 0, 0.5),
+            OpTree::relation(0, 10.0),
+            OpTree::relation(0, 10.0),
+        );
+        assert_eq!(t.validate(), Err(OpTreeError::DuplicateRelation(0)));
+    }
+
+    #[test]
+    fn unordered_leaves_are_rejected() {
+        let t = OpTree::join(
+            Predicate::between(0, 1, 0.5),
+            OpTree::relation(1, 10.0),
+            OpTree::relation(0, 10.0),
+        );
+        assert_eq!(t.validate(), Err(OpTreeError::LeavesNotOrdered));
+    }
+
+    #[test]
+    fn predicate_must_span_both_operands() {
+        let t = OpTree::join(
+            Predicate::new(ns(&[0]), 0.5),
+            OpTree::relation(0, 10.0),
+            OpTree::relation(1, 10.0),
+        );
+        assert_eq!(t.validate(), Err(OpTreeError::PredicateDoesNotSpanOperands));
+    }
+
+    #[test]
+    fn predicate_with_unknown_relation_is_rejected() {
+        let t = OpTree::join(
+            Predicate::new(ns(&[0, 1, 9]), 0.5),
+            OpTree::relation(0, 10.0),
+            OpTree::relation(1, 10.0),
+        );
+        assert_eq!(
+            t.validate(),
+            Err(OpTreeError::PredicateReferencesUnknownRelation(9))
+        );
+    }
+
+    #[test]
+    fn invalid_selectivity_is_rejected() {
+        let t = OpTree::join(
+            Predicate::between(0, 1, 0.0),
+            OpTree::relation(0, 10.0),
+            OpTree::relation(1, 10.0),
+        );
+        assert_eq!(t.validate(), Err(OpTreeError::InvalidSelectivity(0.0)));
+    }
+
+    #[test]
+    fn lateral_refs_must_point_left() {
+        // R1 references R2, but R2 occurs to its right.
+        let t = OpTree::join(
+            Predicate::between(1, 2, 0.5),
+            OpTree::join(
+                Predicate::between(0, 1, 0.5),
+                OpTree::relation(0, 10.0),
+                OpTree::lateral_relation(1, 5.0, ns(&[2])),
+            ),
+            OpTree::relation(2, 10.0),
+        );
+        assert_eq!(t.validate(), Err(OpTreeError::InvalidLateralReference(2)));
+
+        // Referencing R0 (to its left) is fine.
+        let ok = OpTree::join(
+            Predicate::between(0, 1, 0.5),
+            OpTree::relation(0, 10.0),
+            OpTree::lateral_relation(1, 5.0, ns(&[0])),
+        );
+        assert_eq!(ok.validate(), Ok(()));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let messages = [
+            OpTreeError::DuplicateRelation(3).to_string(),
+            OpTreeError::LeavesNotOrdered.to_string(),
+            OpTreeError::PredicateReferencesUnknownRelation(7).to_string(),
+            OpTreeError::PredicateDoesNotSpanOperands.to_string(),
+            OpTreeError::InvalidLateralReference(1).to_string(),
+            OpTreeError::InvalidSelectivity(2.0).to_string(),
+        ];
+        for m in messages {
+            assert!(!m.is_empty());
+        }
+    }
+}

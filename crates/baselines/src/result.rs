@@ -1,0 +1,47 @@
+//! Common result/error types for the baseline enumerators.
+
+use qo_plan::PlanNode;
+use std::fmt;
+
+/// Result of a baseline enumeration run.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// The best plan found.
+    pub plan: PlanNode,
+    /// Its cost under the shared cost model.
+    pub cost: f64,
+    /// Its estimated output cardinality.
+    pub cardinality: f64,
+    /// Number of candidate pairs for which the algorithm invoked the cost function (i.e. both
+    /// inputs existed and were connected).
+    pub cost_calls: usize,
+    /// Number of candidate pairs *inspected*, including the ones that failed the disjointness
+    /// or connectivity tests. The gap between `pairs_tested` and `cost_calls` is exactly the
+    /// wasted work the paper attributes to DPsize/DPsub.
+    pub pairs_tested: usize,
+    /// Number of DP-table entries (connected subgraphs memoized). Greedy algorithms report the
+    /// number of intermediate classes they materialize instead.
+    pub dp_entries: usize,
+}
+
+/// Errors shared by the baseline enumerators.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BaselineError {
+    /// The catalog does not match the hypergraph.
+    InvalidCatalog(String),
+    /// No cross-product-free plan covering every relation exists.
+    NoCompletePlan,
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InvalidCatalog(m) => write!(f, "invalid catalog: {m}"),
+            BaselineError::NoCompletePlan => {
+                write!(f, "no cross-product-free plan covers all relations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}

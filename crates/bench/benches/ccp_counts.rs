@@ -1,0 +1,41 @@
+//! Ablation A1: relates the runtime of the algorithms to the search-space size by measuring the
+//! pure csg-cmp-pair enumeration (counting handler, no plan construction) on the standard graph
+//! families. The count itself is the paper's lower bound on cost-function calls.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dphyp::count_ccps_dphyp;
+use qo_catalog::CcpHandler;
+use qo_workloads::{chain_query, clique_query, cycle_query, star_query};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_ccp_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ccp-enumeration");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    for n in [8usize, 12, 16] {
+        let workloads = [
+            chain_query(n, 7),
+            cycle_query(n, 7),
+            star_query(n - 1, 7),
+        ];
+        for w in workloads {
+            group.bench_with_input(BenchmarkId::new(w.name.clone(), n), &n, |b, _| {
+                b.iter(|| black_box(count_ccps_dphyp(&w.graph).ccp_count()))
+            });
+        }
+    }
+    // Cliques explode combinatorially; keep them small.
+    for n in [6usize, 8, 10] {
+        let w = clique_query(n, 7);
+        group.bench_with_input(BenchmarkId::new(w.name.clone(), n), &n, |b, _| {
+            b.iter(|| black_box(count_ccps_dphyp(&w.graph).ccp_count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ccp_counts);
+criterion_main!(benches);

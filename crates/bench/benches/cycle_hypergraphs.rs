@@ -1,0 +1,58 @@
+//! Reproduces the cycle-based hypergraph experiments:
+//! * the table of Sec. 4.2 (cycle with 4 relations, hyperedge splits 0..1),
+//! * Fig. 5 left (cycle with 8 relations, splits 0..3),
+//! * Fig. 5 right (cycle with 16 relations, splits 0..7).
+//!
+//! DPsize and DPsub are only run at the sizes where a Criterion loop finishes in reasonable
+//! time; the `reproduce` binary covers the remaining single-shot measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qo_bench::{run_algorithm, Algorithm};
+use qo_workloads::{cycle_with_hyperedge_splits, max_splits};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_cycle(c: &mut Criterion) {
+    // Sec. 4.2 table + Fig. 5 left: 4 and 8 relations, all three algorithms.
+    for n in [4usize, 8] {
+        let mut group = c.benchmark_group(format!("cycle-{n}-relations"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(500));
+        for splits in 0..=max_splits(n / 2) {
+            let w = cycle_with_hyperedge_splits(n, splits, 2008);
+            for algo in [Algorithm::DpHyp, Algorithm::DpSize, Algorithm::DpSub] {
+                group.bench_with_input(
+                    BenchmarkId::new(algo.name(), splits),
+                    &splits,
+                    |b, _| b.iter(|| black_box(run_algorithm(algo, &w.graph, &w.catalog))),
+                );
+            }
+        }
+        group.finish();
+    }
+
+    // Fig. 5 right: 16 relations. DPhyp at every split; DPsize only at the sparsest and densest
+    // point (it is orders of magnitude slower); DPsub is skipped here (see `reproduce --full`).
+    let mut group = c.benchmark_group("cycle-16-relations");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    for splits in 0..=max_splits(8) {
+        let w = cycle_with_hyperedge_splits(16, splits, 2008);
+        group.bench_with_input(BenchmarkId::new("DPhyp", splits), &splits, |b, _| {
+            b.iter(|| black_box(run_algorithm(Algorithm::DpHyp, &w.graph, &w.catalog)))
+        });
+        if splits == 0 || splits == max_splits(8) {
+            group.bench_with_input(BenchmarkId::new("DPsize", splits), &splits, |b, _| {
+                b.iter(|| black_box(run_algorithm(Algorithm::DpSize, &w.graph, &w.catalog)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle);
+criterion_main!(benches);

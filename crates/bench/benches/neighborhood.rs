@@ -1,0 +1,42 @@
+//! Ablation A2: cost of the neighborhood computation `N(S, X)` — the hot inner operation of
+//! DPhyp — on graphs with and without complex hyperedges.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qo_bitset::NodeSet;
+use qo_workloads::{cycle_with_hyperedge_splits, star_query};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_neighborhood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighborhood");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+
+    // Simple star: neighborhoods come entirely from the precomputed simple-neighbor masks.
+    let star = star_query(16, 3);
+    let s = NodeSet::from_iter([0, 1, 2, 3]);
+    let x = NodeSet::from_iter([0, 1, 2, 3, 4, 5]);
+    group.bench_function(BenchmarkId::new("simple-star-17", "S4"), |b| {
+        b.iter(|| black_box(star.graph.neighborhood(black_box(s), black_box(x))))
+    });
+
+    // Cycle with an unsplit hyperedge: the complex-edge path with subsumption elimination.
+    let hyper = cycle_with_hyperedge_splits(16, 0, 3);
+    let s = NodeSet::range(0, 8);
+    group.bench_function(BenchmarkId::new("hyperedge-cycle-16", "S8"), |b| {
+        b.iter(|| black_box(hyper.graph.neighborhood(black_box(s), black_box(s))))
+    });
+
+    // Partially split hyperedges: several complex edges to scan.
+    let partially = cycle_with_hyperedge_splits(16, 3, 3);
+    group.bench_function(BenchmarkId::new("split-cycle-16", "S8"), |b| {
+        b.iter(|| black_box(partially.graph.neighborhood(black_box(s), black_box(s))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_neighborhood);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Reproduces Fig. 7: star queries *without* hyperedges (regular graphs), increasing number of
+//! relations, logarithmic time scale. DPhyp behaves exactly like DPccp here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qo_bench::{run_algorithm, Algorithm};
+use qo_workloads::star_query;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_regular_star(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regular-star");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    // Relations = satellites + 1; the paper plots 3..16 relations.
+    for relations in [3usize, 5, 7, 9, 11] {
+        let w = star_query(relations - 1, 2008);
+        for algo in [Algorithm::DpHyp, Algorithm::DpSize, Algorithm::DpSub] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), relations),
+                &relations,
+                |b, _| b.iter(|| black_box(run_algorithm(algo, &w.graph, &w.catalog))),
+            );
+        }
+    }
+    // The large end of the x-axis: DPhyp only (the baselines need seconds to minutes per run).
+    for relations in [13usize, 15, 17] {
+        let w = star_query(relations - 1, 2008);
+        group.bench_with_input(
+            BenchmarkId::new("DPhyp", relations),
+            &relations,
+            |b, _| b.iter(|| black_box(run_algorithm(Algorithm::DpHyp, &w.graph, &w.catalog))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_regular_star);
+criterion_main!(benches);

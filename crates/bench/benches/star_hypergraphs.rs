@@ -1,0 +1,52 @@
+//! Reproduces the star-based hypergraph experiments:
+//! * the table of Sec. 4.3 (star with 4 satellites, splits 0..1),
+//! * Fig. 6 left (star with 8 satellites, splits 0..3),
+//! * Fig. 6 right (star with 16 satellites, splits 0..7).
+//!
+//! DPsize/DPsub are restricted to the sizes where a Criterion loop is feasible; the full-size
+//! single-shot comparison lives in `reproduce --full`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qo_bench::{run_algorithm, Algorithm};
+use qo_workloads::{max_splits, star_with_hyperedge_splits};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_star(c: &mut Criterion) {
+    for satellites in [4usize, 8] {
+        let mut group = c.benchmark_group(format!("star-{satellites}-satellites"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(500));
+        for splits in 0..=max_splits(satellites / 2) {
+            let w = star_with_hyperedge_splits(satellites, splits, 2008);
+            for algo in [Algorithm::DpHyp, Algorithm::DpSize, Algorithm::DpSub] {
+                group.bench_with_input(
+                    BenchmarkId::new(algo.name(), splits),
+                    &splits,
+                    |b, _| b.iter(|| black_box(run_algorithm(algo, &w.graph, &w.catalog))),
+                );
+            }
+        }
+        group.finish();
+    }
+
+    // Fig. 6 right: 16 satellites, DPhyp only (the baselines take minutes per run at this size;
+    // see EXPERIMENTS.md).
+    let mut group = c.benchmark_group("star-16-satellites");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    for splits in 0..=max_splits(8) {
+        let w = star_with_hyperedge_splits(16, splits, 2008);
+        group.bench_with_input(BenchmarkId::new("DPhyp", splits), &splits, |b, _| {
+            b.iter(|| black_box(run_algorithm(Algorithm::DpHyp, &w.graph, &w.catalog)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_star);
+criterion_main!(benches);

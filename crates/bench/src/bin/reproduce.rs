@@ -1,0 +1,218 @@
+//! Single-shot reproduction harness: prints, for every table and figure of the paper's
+//! evaluation, the same rows / series the paper reports (optimization time in milliseconds per
+//! algorithm and workload point).
+//!
+//! ```text
+//! reproduce [--full] [--experiment <id>]
+//! ```
+//!
+//! * `--full` also runs the baseline algorithms at the largest query sizes (DPsize/DPsub on the
+//!   16-relation stars take from seconds to minutes per point, exactly as in the paper).
+//! * `--experiment <id>` restricts the run to one experiment; ids: `e1`, `fig5a`, `fig5b`, `e4`,
+//!   `fig6a`, `fig6b`, `fig7`, `fig8a`, `fig8b`, `ccp`.
+//!
+//! Absolute numbers depend on the machine; the claims to check are the *relative* ones (who
+//! wins, by how much, and how the curves move with the workload parameter). See EXPERIMENTS.md.
+
+use dphyp::ConflictEncoding;
+use qo_algebra::derive_query;
+use qo_bench::{format_ms, run_algorithm, run_tree_pipeline, time_once, Algorithm};
+use qo_workloads::{
+    cycle_with_hyperedge_splits, cycle_with_outer_joins, max_splits, star_query,
+    star_with_antijoins, star_with_hyperedge_splits, Workload,
+};
+use std::env;
+
+const SEED: u64 = 2008;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--experiment")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let want = |id: &str| only.as_deref().map_or(true, |o| o == id);
+
+    println!("DPhyp reproduction harness (single-shot timings, milliseconds)");
+    println!("mode: {}", if full { "full" } else { "quick (use --full for the large baselines)" });
+    println!();
+
+    if want("e1") {
+        hyperedge_split_experiment("E1 / Sec 4.2 table: cycle, 4 relations", cycle(4), full, usize::MAX);
+    }
+    if want("fig5a") {
+        hyperedge_split_experiment("E2 / Fig 5 (left): cycle, 8 relations", cycle(8), full, usize::MAX);
+    }
+    if want("fig5b") {
+        hyperedge_split_experiment("E3 / Fig 5 (right): cycle, 16 relations", cycle(16), full, 3);
+    }
+    if want("e4") {
+        hyperedge_split_experiment("E4 / Sec 4.3 table: star, 4 satellites", star(4), full, usize::MAX);
+    }
+    if want("fig6a") {
+        hyperedge_split_experiment("E5 / Fig 6 (left): star, 8 satellites", star(8), full, usize::MAX);
+    }
+    if want("fig6b") {
+        hyperedge_split_experiment("E6 / Fig 6 (right): star, 16 satellites", star(16), full, 0);
+    }
+    if want("fig7") {
+        regular_graphs(full);
+    }
+    if want("fig8a") {
+        antijoin_star();
+    }
+    if want("fig8b") {
+        outer_join_cycle();
+    }
+    if want("ccp") {
+        ccp_counts();
+    }
+}
+
+fn cycle(n: usize) -> (Box<dyn Fn(usize) -> Workload>, usize) {
+    (
+        Box::new(move |splits| cycle_with_hyperedge_splits(n, splits, SEED)),
+        max_splits(n / 2),
+    )
+}
+
+fn star(satellites: usize) -> (Box<dyn Fn(usize) -> Workload>, usize) {
+    (
+        Box::new(move |splits| star_with_hyperedge_splits(satellites, splits, SEED)),
+        max_splits(satellites / 2),
+    )
+}
+
+/// Runs one hyperedge-splitting experiment (Sec. 4.2 / 4.3) and prints a paper-style table.
+///
+/// `baseline_limit` is the largest split index at which DPsize/DPsub are run in quick mode
+/// (`usize::MAX` = always, `0` = only at split 0); `--full` removes the limit.
+fn hyperedge_split_experiment(
+    title: &str,
+    (make, splits_max): (Box<dyn Fn(usize) -> Workload>, usize),
+    full: bool,
+    baseline_limit: usize,
+) {
+    println!("== {title} ==");
+    println!("{:>7} {:>12} {:>12} {:>12} {:>14}", "splits", "DPhyp", "DPsize", "DPsub", "#ccp (DPhyp)");
+    for splits in 0..=splits_max {
+        let w = make(splits);
+        let (t_hyp, stats) = time_once(|| run_algorithm(Algorithm::DpHyp, &w.graph, &w.catalog));
+        let run_baselines = full || splits <= baseline_limit;
+        let t_size = if run_baselines {
+            let (t, s) = time_once(|| run_algorithm(Algorithm::DpSize, &w.graph, &w.catalog));
+            assert!((s.cost - stats.cost).abs() <= 1e-6 * stats.cost.max(1.0), "cost mismatch");
+            format_ms(t)
+        } else {
+            "(skipped)".to_string()
+        };
+        let t_sub = if run_baselines {
+            let (t, s) = time_once(|| run_algorithm(Algorithm::DpSub, &w.graph, &w.catalog));
+            assert!((s.cost - stats.cost).abs() <= 1e-6 * stats.cost.max(1.0), "cost mismatch");
+            format_ms(t)
+        } else {
+            "(skipped)".to_string()
+        };
+        println!(
+            "{:>7} {:>12} {:>12} {:>12} {:>14}",
+            splits,
+            format_ms(t_hyp),
+            t_size,
+            t_sub,
+            stats.cost_calls
+        );
+    }
+    println!();
+}
+
+/// Fig. 7: star queries without hyperedges, growing number of relations (log scale in the
+/// paper).
+fn regular_graphs(full: bool) {
+    println!("== E7 / Fig 7: star queries without hyperedges (regular graphs) ==");
+    println!("{:>10} {:>12} {:>12} {:>12}", "relations", "DPhyp", "DPsize", "DPsub");
+    for relations in 3..=16usize {
+        let w = star_query(relations - 1, SEED);
+        let (t_hyp, _) = time_once(|| run_algorithm(Algorithm::DpHyp, &w.graph, &w.catalog));
+        // The baselines explode combinatorially on stars; cap them in quick mode like the paper
+        // capped DPsub ("so slow that we excluded it").
+        let baseline_cap = if full { 16 } else { 12 };
+        let (t_size, t_sub) = if relations <= baseline_cap {
+            let (ts, _) = time_once(|| run_algorithm(Algorithm::DpSize, &w.graph, &w.catalog));
+            let (tb, _) = time_once(|| run_algorithm(Algorithm::DpSub, &w.graph, &w.catalog));
+            (format_ms(ts), format_ms(tb))
+        } else {
+            ("(skipped)".to_string(), "(skipped)".to_string())
+        };
+        println!(
+            "{:>10} {:>12} {:>12} {:>12}",
+            relations,
+            format_ms(t_hyp),
+            t_size,
+            t_sub
+        );
+    }
+    println!();
+}
+
+/// Fig. 8a: star query with 16 relations, increasing number of antijoins; hypergraph encoding
+/// vs TES generate-and-test.
+fn antijoin_star() {
+    println!("== E8 / Fig 8a: star query, 16 relations, increasing antijoins ==");
+    println!(
+        "{:>10} {:>18} {:>14} {:>18} {:>14}",
+        "antijoins", "DPhyp hypernodes", "#ccp", "DPhyp TESs", "#ccp"
+    );
+    for antijoins in 0..=15usize {
+        let tree = star_with_antijoins(15, antijoins, SEED);
+        let (t_hyper, s_hyper) = time_once(|| run_tree_pipeline(&tree, ConflictEncoding::Hyperedges));
+        let (t_tes, s_tes) = time_once(|| run_tree_pipeline(&tree, ConflictEncoding::TesTest));
+        println!(
+            "{:>10} {:>18} {:>14} {:>18} {:>14}",
+            antijoins,
+            format_ms(t_hyper),
+            s_hyper.cost_calls,
+            format_ms(t_tes),
+            s_tes.cost_calls
+        );
+    }
+    println!();
+}
+
+/// Fig. 8b: cycle query with 16 relations, increasing number of outer joins; DPhyp vs DPsize.
+fn outer_join_cycle() {
+    println!("== E9 / Fig 8b: cycle query, 16 relations, increasing outer joins ==");
+    println!("{:>12} {:>12} {:>12}", "outer joins", "DPhyp", "DPsize");
+    for outer in 0..=15usize {
+        let tree = cycle_with_outer_joins(16, outer, SEED);
+        let query = derive_query(&tree, ConflictEncoding::Hyperedges).expect("valid workload");
+        let (t_hyp, _) = time_once(|| run_algorithm(Algorithm::DpHyp, &query.graph, &query.catalog));
+        let (t_size, _) = time_once(|| run_algorithm(Algorithm::DpSize, &query.graph, &query.catalog));
+        println!("{:>12} {:>12} {:>12}", outer, format_ms(t_hyp), format_ms(t_size));
+    }
+    println!();
+}
+
+/// Ablation: csg-cmp-pair counts per graph family (the lower bound on cost-function calls).
+fn ccp_counts() {
+    use dphyp::count_ccps_dphyp;
+    use qo_catalog::CcpHandler;
+    use qo_workloads::{chain_query, clique_query, cycle_query};
+    println!("== A1: csg-cmp-pair counts (lower bound on cost-function calls) ==");
+    println!("{:>10} {:>10} {:>10} {:>10} {:>12}", "relations", "chain", "cycle", "star", "clique");
+    for n in [4usize, 8, 12, 16] {
+        let chain = count_ccps_dphyp(&chain_query(n, SEED).graph).ccp_count();
+        let cycle = count_ccps_dphyp(&cycle_query(n, SEED).graph).ccp_count();
+        let star = count_ccps_dphyp(&star_query(n - 1, SEED).graph).ccp_count();
+        let clique = if n <= 12 {
+            count_ccps_dphyp(&clique_query(n, SEED).graph)
+                .ccp_count()
+                .to_string()
+        } else {
+            "(skipped)".to_string()
+        };
+        println!("{:>10} {:>10} {:>10} {:>10} {:>12}", n, chain, cycle, star, clique);
+    }
+    println!();
+}

@@ -1,0 +1,168 @@
+//! Shared runners for the benchmark harness.
+//!
+//! Every experiment of the paper boils down to "optimize this query with algorithm X and measure
+//! the optimization time". The functions here wrap the algorithms behind a uniform interface so
+//! that the Criterion benches (one per table/figure) and the `reproduce` binary (which prints
+//! paper-style tables from single-shot measurements) share the exact same code paths.
+
+use dphyp::{ConflictEncoding, OpTree, Optimizer, OptimizerOptions};
+use qo_baselines::{dpsize, dpsub, goo};
+use qo_catalog::{Catalog, CoutCost};
+use qo_hypergraph::Hypergraph;
+use std::time::{Duration, Instant};
+
+/// Which join-ordering algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// DPhyp — the paper's contribution.
+    DpHyp,
+    /// DPsize (Fig. 1), hypergraph-aware.
+    DpSize,
+    /// DPsub, hypergraph-aware.
+    DpSub,
+    /// Greedy operator ordering (sanity baseline, not in the paper).
+    Goo,
+}
+
+impl Algorithm {
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::DpHyp => "DPhyp",
+            Algorithm::DpSize => "DPsize",
+            Algorithm::DpSub => "DPsub",
+            Algorithm::Goo => "GOO",
+        }
+    }
+}
+
+/// Outcome of one optimization run.
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    /// Cost of the produced plan.
+    pub cost: f64,
+    /// Number of cost-function invocations (csg-cmp-pairs considered).
+    pub cost_calls: usize,
+    /// Number of DP-table entries.
+    pub dp_entries: usize,
+}
+
+/// Runs `algorithm` once over an annotated hypergraph and returns its plan statistics.
+///
+/// Panics if the query cannot be planned (all benchmark workloads are connected).
+pub fn run_algorithm(algorithm: Algorithm, graph: &Hypergraph, catalog: &Catalog) -> RunStats {
+    match algorithm {
+        Algorithm::DpHyp => {
+            let r = Optimizer::new(OptimizerOptions::default())
+                .optimize_hypergraph(graph, catalog)
+                .expect("benchmark query must be plannable");
+            RunStats {
+                cost: r.cost,
+                cost_calls: r.ccp_count,
+                dp_entries: r.dp_entries,
+            }
+        }
+        Algorithm::DpSize => {
+            let r = dpsize(graph, catalog, &CoutCost).expect("benchmark query must be plannable");
+            RunStats {
+                cost: r.cost,
+                cost_calls: r.cost_calls,
+                dp_entries: r.dp_entries,
+            }
+        }
+        Algorithm::DpSub => {
+            let r = dpsub(graph, catalog, &CoutCost).expect("benchmark query must be plannable");
+            RunStats {
+                cost: r.cost,
+                cost_calls: r.cost_calls,
+                dp_entries: r.dp_entries,
+            }
+        }
+        Algorithm::Goo => {
+            let r = goo(graph, catalog, &CoutCost).expect("benchmark query must be plannable");
+            RunStats {
+                cost: r.cost,
+                cost_calls: r.cost_calls,
+                dp_entries: r.dp_entries,
+            }
+        }
+    }
+}
+
+/// Runs the full non-inner-join pipeline (operator tree → conflict analysis → hypergraph →
+/// DPhyp) with the requested conflict encoding.
+pub fn run_tree_pipeline(tree: &OpTree, encoding: ConflictEncoding) -> RunStats {
+    let r = Optimizer::new(OptimizerOptions {
+        conflict_encoding: encoding,
+        ..Default::default()
+    })
+    .optimize_tree(tree)
+    .expect("benchmark query must be plannable");
+    RunStats {
+        cost: r.cost,
+        cost_calls: r.ccp_count,
+        dp_entries: r.dp_entries,
+    }
+}
+
+/// Measures the wall-clock time of one invocation of `f` (the paper reports single-run
+/// optimization times; the Criterion benches do proper statistics on top of the same closures).
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed(), out)
+}
+
+/// Formats a duration in milliseconds with three significant decimals, like the paper's tables.
+pub fn format_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qo_workloads::{cycle_with_hyperedge_splits, star_query, star_with_antijoins};
+
+    #[test]
+    fn all_algorithms_agree_on_optimal_cost() {
+        let w = cycle_with_hyperedge_splits(8, 1, 42);
+        let dphyp = run_algorithm(Algorithm::DpHyp, &w.graph, &w.catalog);
+        let dpsize = run_algorithm(Algorithm::DpSize, &w.graph, &w.catalog);
+        let dpsub = run_algorithm(Algorithm::DpSub, &w.graph, &w.catalog);
+        assert!((dphyp.cost - dpsize.cost).abs() < 1e-6 * dphyp.cost.max(1.0));
+        assert!((dphyp.cost - dpsub.cost).abs() < 1e-6 * dphyp.cost.max(1.0));
+        // All DP variants invoke the cost function once per csg-cmp-pair.
+        assert_eq!(dphyp.cost_calls, dpsize.cost_calls);
+        assert_eq!(dphyp.cost_calls, dpsub.cost_calls);
+        // Greedy is valid but not better than the optimum.
+        let greedy = run_algorithm(Algorithm::Goo, &w.graph, &w.catalog);
+        assert!(greedy.cost >= dphyp.cost - 1e-9);
+    }
+
+    #[test]
+    fn star_queries_show_the_expected_search_space() {
+        let w = star_query(6, 1);
+        let stats = run_algorithm(Algorithm::DpHyp, &w.graph, &w.catalog);
+        // Star with n = 7 relations: (n-1) * 2^(n-2) csg-cmp-pairs.
+        assert_eq!(stats.cost_calls, 6 * (1 << 5));
+    }
+
+    #[test]
+    fn tree_pipeline_generate_and_test_considers_at_least_as_many_pairs() {
+        let tree = star_with_antijoins(8, 4, 3);
+        let hyper = run_tree_pipeline(&tree, ConflictEncoding::Hyperedges);
+        let tes = run_tree_pipeline(&tree, ConflictEncoding::TesTest);
+        // Both encodings must produce complete plans; the generate-and-test variant cannot do
+        // less enumeration work than the hypergraph encoding (that gap is what Fig. 8a plots).
+        assert!(hyper.cost.is_finite() && tes.cost.is_finite());
+        assert!(tes.cost_calls >= hyper.cost_calls);
+        assert!(tes.dp_entries >= hyper.dp_entries);
+    }
+
+    #[test]
+    fn timing_helpers_work() {
+        let (d, v) = time_once(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(!format_ms(d).is_empty());
+    }
+}

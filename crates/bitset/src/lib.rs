@@ -1,0 +1,33 @@
+//! Relation node sets and fast subset enumeration.
+//!
+//! Join-order enumeration manipulates sets of relations at a very high rate. Following the
+//! DPhyp paper (Moerkotte & Neumann, SIGMOD 2008) and the subset-enumeration technique of
+//! Vance & Maier, this crate represents a set of relations as a single `u64` bit mask
+//! ([`NodeSet`]) and provides branch-free set algebra plus iterators over
+//!
+//! * the elements of a set ([`NodeSet::iter`], ascending and [`NodeSet::iter_descending`]),
+//! * all non-empty subsets of a set ([`SubsetIter`]),
+//! * all *proper*, non-empty subsets ([`NodeSet::proper_subsets`]).
+//!
+//! The maximum number of relations is [`MAX_NODES`] (64), which comfortably covers the query
+//! sizes evaluated in the paper (up to 17 relations) and typical real-world join queries.
+
+mod node_set;
+mod subset;
+
+pub use node_set::{NodeId, NodeSet, NodeSetIter, NodeSetRevIter, MAX_NODES};
+pub use subset::{ProperSubsetIter, SubsetIter};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_level_reexports_work() {
+        let s = NodeSet::from_iter([0, 2, 5]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2, 5]);
+        assert_eq!(SubsetIter::new(s).count(), 7);
+        assert_eq!(ProperSubsetIter::new(s).count(), 6);
+    }
+}

@@ -1,0 +1,567 @@
+//! The [`NodeSet`] bit-set representation of a set of relations.
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Sub, SubAssign};
+
+/// Index of a relation (a node of the query hypergraph).
+///
+/// Relations are identified by their position in the total node order `≺` of the hypergraph,
+/// i.e. `R_i ≺ R_j ⟺ i < j`, exactly as in the paper.
+pub type NodeId = usize;
+
+/// Maximum number of relations representable in a [`NodeSet`].
+pub const MAX_NODES: usize = 64;
+
+/// A set of relations, represented as a 64-bit mask.
+///
+/// Bit `i` is set iff relation `R_i` is a member. All operations are O(1) bit manipulation.
+///
+/// ```
+/// use qo_bitset::NodeSet;
+///
+/// let s = NodeSet::from_iter([1, 3, 4]);
+/// assert_eq!(s.len(), 3);
+/// assert!(s.contains(3));
+/// assert_eq!(s.min_node(), Some(1));
+/// let t = NodeSet::single(3);
+/// assert_eq!((s - t).iter().collect::<Vec<_>>(), vec![1, 4]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeSet(u64);
+
+impl NodeSet {
+    /// The empty set.
+    pub const EMPTY: NodeSet = NodeSet(0);
+
+    /// Creates a set from a raw bit mask.
+    #[inline]
+    pub const fn from_mask(mask: u64) -> Self {
+        NodeSet(mask)
+    }
+
+    /// Returns the raw bit mask.
+    #[inline]
+    pub const fn mask(self) -> u64 {
+        self.0
+    }
+
+    /// The singleton set `{node}`.
+    ///
+    /// # Panics
+    /// Panics if `node >= MAX_NODES`.
+    #[inline]
+    pub fn single(node: NodeId) -> Self {
+        assert!(node < MAX_NODES, "node id {node} out of range");
+        NodeSet(1u64 << node)
+    }
+
+    /// The set `{0, 1, .., n-1}` of the first `n` nodes.
+    ///
+    /// # Panics
+    /// Panics if `n > MAX_NODES`.
+    #[inline]
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= MAX_NODES, "{n} exceeds MAX_NODES");
+        if n == MAX_NODES {
+            NodeSet(u64::MAX)
+        } else {
+            NodeSet((1u64 << n) - 1)
+        }
+    }
+
+    /// The set of nodes in the half-open range `[lo, hi)`.
+    #[inline]
+    pub fn range(lo: NodeId, hi: NodeId) -> Self {
+        assert!(lo <= hi && hi <= MAX_NODES);
+        Self::first_n(hi) - Self::first_n(lo)
+    }
+
+    /// Returns `B_v = {w | w ≤ v}`, the set of nodes ordered before `v` plus `v` itself.
+    ///
+    /// This is the "forbidden" prefix used by the enumeration algorithms to avoid emitting
+    /// duplicate connected subgraphs.
+    #[inline]
+    pub fn prefix_through(v: NodeId) -> Self {
+        Self::first_n(v + 1)
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Is this a singleton set?
+    #[inline]
+    pub const fn is_singleton(self) -> bool {
+        self.0 != 0 && self.0 & (self.0 - 1) == 0
+    }
+
+    /// Does the set contain `node`?
+    #[inline]
+    pub const fn contains(self, node: NodeId) -> bool {
+        node < MAX_NODES && self.0 & (1u64 << node) != 0
+    }
+
+    /// Is `self` a subset of `other` (`self ⊆ other`)?
+    #[inline]
+    pub const fn is_subset_of(self, other: NodeSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Is `self` a proper subset of `other` (`self ⊂ other`)?
+    #[inline]
+    pub const fn is_proper_subset_of(self, other: NodeSet) -> bool {
+        self.0 != other.0 && self.0 & !other.0 == 0
+    }
+
+    /// Is `self` a superset of `other`?
+    #[inline]
+    pub const fn is_superset_of(self, other: NodeSet) -> bool {
+        other.0 & !self.0 == 0
+    }
+
+    /// Do the sets have no element in common?
+    #[inline]
+    pub const fn is_disjoint(self, other: NodeSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Do the sets share at least one element?
+    #[inline]
+    pub const fn intersects(self, other: NodeSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersection(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub const fn difference(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 & !other.0)
+    }
+
+    /// Adds a node, returning the new set.
+    #[inline]
+    pub fn with(self, node: NodeId) -> NodeSet {
+        self.union(NodeSet::single(node))
+    }
+
+    /// Removes a node, returning the new set.
+    #[inline]
+    pub fn without(self, node: NodeId) -> NodeSet {
+        self.difference(NodeSet::single(node))
+    }
+
+    /// Inserts a node in place.
+    #[inline]
+    pub fn insert(&mut self, node: NodeId) {
+        *self = self.with(node);
+    }
+
+    /// Removes a node in place.
+    #[inline]
+    pub fn remove(&mut self, node: NodeId) {
+        *self = self.without(node);
+    }
+
+    /// The smallest element, i.e. `min(S)` of the paper, if the set is non-empty.
+    #[inline]
+    pub const fn min_node(self) -> Option<NodeId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as NodeId)
+        }
+    }
+
+    /// The largest element, if the set is non-empty.
+    #[inline]
+    pub const fn max_node(self) -> Option<NodeId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(63 - self.0.leading_zeros() as NodeId)
+        }
+    }
+
+    /// The singleton `min(S)` as a set (empty if `S` is empty), as defined in Sec. 2.3.
+    #[inline]
+    pub const fn min_singleton(self) -> NodeSet {
+        NodeSet(self.0 & self.0.wrapping_neg())
+    }
+
+    /// `S \ min(S)` — the non-representative rest of a hypernode (written `min̄(S)` in the paper).
+    #[inline]
+    pub const fn without_min(self) -> NodeSet {
+        NodeSet(self.0 & (self.0.wrapping_sub(1)))
+    }
+
+    /// Iterates over elements in ascending node order.
+    #[inline]
+    pub fn iter(self) -> NodeSetIter {
+        NodeSetIter { remaining: self.0 }
+    }
+
+    /// Iterates over elements in descending node order, as required by `Solve` and `EmitCsg`.
+    #[inline]
+    pub fn iter_descending(self) -> NodeSetRevIter {
+        NodeSetRevIter { remaining: self.0 }
+    }
+
+    /// Iterates over all non-empty subsets of this set in ascending mask order.
+    ///
+    /// This ordering guarantees that any proper subset of a subset `X` is enumerated before `X`
+    /// whenever both share the same containing set, which is what bottom-up dynamic programming
+    /// over subsets (DPsub) requires.
+    #[inline]
+    pub fn subsets(self) -> crate::SubsetIter {
+        crate::SubsetIter::new(self)
+    }
+
+    /// Iterates over all non-empty *proper* subsets of this set in ascending mask order.
+    #[inline]
+    pub fn proper_subsets(self) -> crate::ProperSubsetIter {
+        crate::ProperSubsetIter::new(self)
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let mut s = NodeSet::EMPTY;
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+}
+
+impl IntoIterator for NodeSet {
+    type Item = NodeId;
+    type IntoIter = NodeSetIter;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl BitOr for NodeSet {
+    type Output = NodeSet;
+    #[inline]
+    fn bitor(self, rhs: NodeSet) -> NodeSet {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for NodeSet {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: NodeSet) {
+        *self = self.union(rhs);
+    }
+}
+
+impl BitAnd for NodeSet {
+    type Output = NodeSet;
+    #[inline]
+    fn bitand(self, rhs: NodeSet) -> NodeSet {
+        self.intersection(rhs)
+    }
+}
+
+impl BitAndAssign for NodeSet {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: NodeSet) {
+        *self = self.intersection(rhs);
+    }
+}
+
+impl BitXor for NodeSet {
+    type Output = NodeSet;
+    #[inline]
+    fn bitxor(self, rhs: NodeSet) -> NodeSet {
+        NodeSet(self.0 ^ rhs.0)
+    }
+}
+
+impl BitXorAssign for NodeSet {
+    #[inline]
+    fn bitxor_assign(&mut self, rhs: NodeSet) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for NodeSet {
+    type Output = NodeSet;
+    #[inline]
+    fn sub(self, rhs: NodeSet) -> NodeSet {
+        self.difference(rhs)
+    }
+}
+
+impl SubAssign for NodeSet {
+    #[inline]
+    fn sub_assign(&mut self, rhs: NodeSet) {
+        *self = self.difference(rhs);
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for n in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "R{n}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Ascending iterator over the elements of a [`NodeSet`].
+#[derive(Clone, Debug)]
+pub struct NodeSetIter {
+    remaining: u64,
+}
+
+impl Iterator for NodeSetIter {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let node = self.remaining.trailing_zeros() as NodeId;
+        self.remaining &= self.remaining - 1;
+        Some(node)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for NodeSetIter {}
+
+/// Descending iterator over the elements of a [`NodeSet`].
+#[derive(Clone, Debug)]
+pub struct NodeSetRevIter {
+    remaining: u64,
+}
+
+impl Iterator for NodeSetRevIter {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let node = 63 - self.remaining.leading_zeros() as NodeId;
+        self.remaining &= !(1u64 << node);
+        Some(node)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for NodeSetRevIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn empty_set_basics() {
+        let e = NodeSet::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.min_node(), None);
+        assert_eq!(e.max_node(), None);
+        assert!(e.min_singleton().is_empty());
+        assert_eq!(e.iter().count(), 0);
+        assert!(!e.is_singleton());
+    }
+
+    #[test]
+    fn singleton_basics() {
+        let s = NodeSet::single(7);
+        assert!(s.is_singleton());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.min_node(), Some(7));
+        assert_eq!(s.max_node(), Some(7));
+        assert_eq!(s.min_singleton(), s);
+        assert!(s.without_min().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn singleton_out_of_range_panics() {
+        let _ = NodeSet::single(64);
+    }
+
+    #[test]
+    fn first_n_and_range() {
+        assert_eq!(NodeSet::first_n(0), NodeSet::EMPTY);
+        assert_eq!(NodeSet::first_n(3).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(NodeSet::first_n(64).len(), 64);
+        assert_eq!(NodeSet::range(2, 5).iter().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(NodeSet::range(3, 3), NodeSet::EMPTY);
+    }
+
+    #[test]
+    fn prefix_through_matches_paper_definition() {
+        // B_v = {w | w ≤ v}
+        assert_eq!(NodeSet::prefix_through(0), NodeSet::single(0));
+        assert_eq!(
+            NodeSet::prefix_through(3).iter().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn membership_and_subset_relations() {
+        let s = NodeSet::from_iter([1, 3, 4]);
+        let t = NodeSet::from_iter([1, 3]);
+        assert!(s.contains(3));
+        assert!(!s.contains(2));
+        assert!(!s.contains(100));
+        assert!(t.is_subset_of(s));
+        assert!(t.is_proper_subset_of(s));
+        assert!(s.is_subset_of(s));
+        assert!(!s.is_proper_subset_of(s));
+        assert!(s.is_superset_of(t));
+        assert!(s.intersects(t));
+        assert!(s.is_disjoint(NodeSet::from_iter([0, 2])));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = NodeSet::from_iter([0, 1, 2]);
+        let b = NodeSet::from_iter([2, 3]);
+        assert_eq!((a | b).iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!((a & b).iter().collect::<Vec<_>>(), vec![2]);
+        assert_eq!((a - b).iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!((a ^ b).iter().collect::<Vec<_>>(), vec![0, 1, 3]);
+
+        let mut c = a;
+        c |= b;
+        assert_eq!(c, a | b);
+        c &= b;
+        assert_eq!(c, b);
+        c -= NodeSet::single(3);
+        assert_eq!(c, NodeSet::single(2));
+        c ^= NodeSet::single(2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn insert_and_remove() {
+        let mut s = NodeSet::EMPTY;
+        s.insert(5);
+        s.insert(9);
+        assert_eq!(s.len(), 2);
+        s.remove(5);
+        assert_eq!(s, NodeSet::single(9));
+        // removing a non-member is a no-op
+        s.remove(17);
+        assert_eq!(s, NodeSet::single(9));
+    }
+
+    #[test]
+    fn min_singleton_and_rest() {
+        // Paper example: S = {R4, R5, R6}, min(S) = {R4}, min̄(S) = {R5, R6}.
+        let s = NodeSet::from_iter([4, 5, 6]);
+        assert_eq!(s.min_singleton(), NodeSet::single(4));
+        assert_eq!(s.without_min(), NodeSet::from_iter([5, 6]));
+    }
+
+    #[test]
+    fn descending_iteration() {
+        let s = NodeSet::from_iter([0, 3, 7, 63]);
+        assert_eq!(s.iter_descending().collect::<Vec<_>>(), vec![63, 7, 3, 0]);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = NodeSet::from_iter([0, 2]);
+        assert_eq!(format!("{s:?}"), "{R0, R2}");
+        assert_eq!(format!("{}", NodeSet::EMPTY), "{}");
+    }
+
+    #[test]
+    fn ordering_is_mask_order() {
+        // Lexicographic ordering on sets used by the non-commutative operator handling
+        // (Sec. 5.4) is implemented as mask order; {R0} < {R1} < {R0,R1} etc.
+        assert!(NodeSet::single(0) < NodeSet::single(1));
+        assert!(NodeSet::single(1) < NodeSet::from_iter([0, 1]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_via_btreeset(nodes in proptest::collection::btree_set(0usize..64, 0..20)) {
+            let s: NodeSet = nodes.iter().copied().collect();
+            let back: BTreeSet<usize> = s.iter().collect();
+            prop_assert_eq!(back, nodes.clone());
+            prop_assert_eq!(s.len(), nodes.len());
+            prop_assert_eq!(s.min_node(), nodes.iter().next().copied());
+            prop_assert_eq!(s.max_node(), nodes.iter().next_back().copied());
+        }
+
+        #[test]
+        fn prop_set_algebra_matches_btreeset(
+            a in proptest::collection::btree_set(0usize..64, 0..20),
+            b in proptest::collection::btree_set(0usize..64, 0..20),
+        ) {
+            let sa: NodeSet = a.iter().copied().collect();
+            let sb: NodeSet = b.iter().copied().collect();
+            let union: BTreeSet<_> = a.union(&b).copied().collect();
+            let inter: BTreeSet<_> = a.intersection(&b).copied().collect();
+            let diff: BTreeSet<_> = a.difference(&b).copied().collect();
+            prop_assert_eq!((sa | sb).iter().collect::<BTreeSet<_>>(), union);
+            prop_assert_eq!((sa & sb).iter().collect::<BTreeSet<_>>(), inter);
+            prop_assert_eq!((sa - sb).iter().collect::<BTreeSet<_>>(), diff);
+            prop_assert_eq!(sa.is_subset_of(sb), a.is_subset(&b));
+            prop_assert_eq!(sa.is_disjoint(sb), a.is_disjoint(&b));
+        }
+
+        #[test]
+        fn prop_descending_is_reverse_of_ascending(mask in any::<u64>()) {
+            let s = NodeSet::from_mask(mask);
+            let mut asc: Vec<_> = s.iter().collect();
+            asc.reverse();
+            prop_assert_eq!(asc, s.iter_descending().collect::<Vec<_>>());
+        }
+    }
+}

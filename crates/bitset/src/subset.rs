@@ -1,0 +1,221 @@
+//! Fast enumeration of the subsets of a [`NodeSet`].
+//!
+//! The enumeration uses the classic Vance–Maier trick (`next = (cur − M) & M`), which walks all
+//! subsets of a mask `M` in ascending numeric (mask) order without touching the bits outside of
+//! `M`. Ascending mask order has the useful property that a set is always enumerated *after* all
+//! of its subsets that are themselves subsets of `M`, which is exactly the order bottom-up
+//! dynamic programming needs.
+
+use crate::NodeSet;
+
+/// Iterator over all non-empty subsets of a set, in ascending mask order.
+///
+/// ```
+/// use qo_bitset::{NodeSet, SubsetIter};
+///
+/// let n = NodeSet::from_iter([1, 3]);
+/// let subs: Vec<NodeSet> = SubsetIter::new(n).collect();
+/// assert_eq!(subs, vec![
+///     NodeSet::single(1),
+///     NodeSet::single(3),
+///     NodeSet::from_iter([1, 3]),
+/// ]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SubsetIter {
+    universe: u64,
+    current: u64,
+    done: bool,
+}
+
+impl SubsetIter {
+    /// Creates an iterator over all non-empty subsets of `universe`.
+    #[inline]
+    pub fn new(universe: NodeSet) -> Self {
+        SubsetIter {
+            universe: universe.mask(),
+            current: 0,
+            done: universe.is_empty(),
+        }
+    }
+}
+
+impl Iterator for SubsetIter {
+    type Item = NodeSet;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeSet> {
+        if self.done {
+            return None;
+        }
+        // Vance–Maier: next subset in ascending order.
+        self.current = self.current.wrapping_sub(self.universe) & self.universe;
+        if self.current == 0 {
+            self.done = true;
+            return None;
+        }
+        if self.current == self.universe {
+            // The full set is the last subset; mark done so that the next call terminates
+            // without recomputing.
+            self.done = true;
+        }
+        Some(NodeSet::from_mask(self.current))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            return (0, Some(0));
+        }
+        let total = (1u128 << self.universe.count_ones()) - 1;
+        // We cannot cheaply tell how many subsets are left, only bound it.
+        (0, usize::try_from(total).ok())
+    }
+}
+
+/// Iterator over all non-empty *proper* subsets of a set, in ascending mask order.
+///
+/// `EnumerateCsgRec` and `EnumerateCmpRec` of the paper iterate over "each non-empty subset" of
+/// the neighborhood, including the full neighborhood, so they use [`SubsetIter`]; DPsub on the
+/// other hand needs proper subsets `S1 ⊂ S` to split a set into two non-empty halves.
+#[derive(Clone, Debug)]
+pub struct ProperSubsetIter {
+    inner: SubsetIter,
+    universe: u64,
+}
+
+impl ProperSubsetIter {
+    /// Creates an iterator over all non-empty proper subsets of `universe`.
+    #[inline]
+    pub fn new(universe: NodeSet) -> Self {
+        ProperSubsetIter {
+            inner: SubsetIter::new(universe),
+            universe: universe.mask(),
+        }
+    }
+}
+
+impl Iterator for ProperSubsetIter {
+    type Item = NodeSet;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeSet> {
+        let next = self.inner.next()?;
+        if next.mask() == self.universe {
+            return None;
+        }
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn brute_force_subsets(universe: NodeSet) -> Vec<NodeSet> {
+        let members: Vec<_> = universe.iter().collect();
+        let mut out = Vec::new();
+        for mask in 1u64..(1u64 << members.len()) {
+            let mut s = NodeSet::EMPTY;
+            for (i, &m) in members.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    s.insert(m);
+                }
+            }
+            out.push(s);
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn empty_universe_yields_nothing() {
+        assert_eq!(SubsetIter::new(NodeSet::EMPTY).count(), 0);
+        assert_eq!(ProperSubsetIter::new(NodeSet::EMPTY).count(), 0);
+    }
+
+    #[test]
+    fn singleton_universe() {
+        let u = NodeSet::single(5);
+        assert_eq!(SubsetIter::new(u).collect::<Vec<_>>(), vec![u]);
+        assert_eq!(ProperSubsetIter::new(u).count(), 0);
+    }
+
+    #[test]
+    fn subsets_of_three_elements() {
+        let u = NodeSet::from_iter([0, 2, 4]);
+        let subs: Vec<_> = SubsetIter::new(u).collect();
+        assert_eq!(subs.len(), 7);
+        // Ascending mask order.
+        for w in subs.windows(2) {
+            assert!(w[0].mask() < w[1].mask());
+        }
+        // Last subset is the full set.
+        assert_eq!(*subs.last().unwrap(), u);
+        // Proper subsets exclude the full set.
+        let proper: Vec<_> = ProperSubsetIter::new(u).collect();
+        assert_eq!(proper.len(), 6);
+        assert!(!proper.contains(&u));
+    }
+
+    #[test]
+    fn iterator_is_fused_after_exhaustion() {
+        let mut it = SubsetIter::new(NodeSet::from_iter([1, 2]));
+        assert_eq!(it.by_ref().count(), 3);
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next(), None);
+    }
+
+    #[test]
+    fn full_64_bit_universe_starts_correctly() {
+        // Just make sure nothing overflows with a full mask; don't enumerate 2^64 subsets.
+        let mut it = SubsetIter::new(NodeSet::from_mask(u64::MAX));
+        assert_eq!(it.next(), Some(NodeSet::single(0)));
+        assert_eq!(it.next(), Some(NodeSet::single(1)));
+        assert_eq!(it.next(), Some(NodeSet::from_iter([0, 1])));
+    }
+
+    #[test]
+    fn subsets_ordered_after_their_subsets() {
+        // Dynamic programming requirement: if A ⊂ B both appear, A appears before B.
+        let u = NodeSet::from_iter([0, 1, 3, 5]);
+        let subs: Vec<_> = SubsetIter::new(u).collect();
+        for (i, a) in subs.iter().enumerate() {
+            for b in &subs[i + 1..] {
+                assert!(!b.is_proper_subset_of(*a), "{b:?} after its superset {a:?}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_subset_enumeration_is_complete_and_duplicate_free(
+            nodes in proptest::collection::btree_set(0usize..64, 1..12)
+        ) {
+            let u: NodeSet = nodes.iter().copied().collect();
+            let enumerated: Vec<_> = SubsetIter::new(u).collect();
+            let expected = brute_force_subsets(u);
+            let as_set: BTreeSet<_> = enumerated.iter().copied().collect();
+            prop_assert_eq!(enumerated.len(), expected.len(), "duplicates emitted");
+            prop_assert_eq!(as_set, expected.into_iter().collect::<BTreeSet<_>>());
+            // every emitted set is a non-empty subset of u
+            for s in &enumerated {
+                prop_assert!(!s.is_empty());
+                prop_assert!(s.is_subset_of(u));
+            }
+        }
+
+        #[test]
+        fn prop_proper_subsets_are_subsets_minus_universe(
+            nodes in proptest::collection::btree_set(0usize..64, 1..12)
+        ) {
+            let u: NodeSet = nodes.iter().copied().collect();
+            let all: BTreeSet<_> = SubsetIter::new(u).collect();
+            let mut proper: BTreeSet<_> = ProperSubsetIter::new(u).collect();
+            prop_assert!(!proper.contains(&u));
+            proper.insert(u);
+            prop_assert_eq!(proper, all);
+        }
+    }
+}

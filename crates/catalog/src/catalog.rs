@@ -1,0 +1,319 @@
+//! The [`Catalog`]: statistics and operator annotations attached to a query hypergraph.
+
+use qo_bitset::{NodeId, NodeSet};
+use qo_hypergraph::{EdgeId, Hypergraph};
+use qo_plan::JoinOp;
+
+/// Per-hyperedge annotation: the join predicate's selectivity, the operator the edge was derived
+/// from (Sec. 5.4: "we associate with each hyperedge the operator from which it was derived"),
+/// and the operator's total eligibility set for the generate-and-test variant of Sec. 5.8.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeAnnotation {
+    /// Selectivity of the predicate, in `(0, 1]`.
+    pub selectivity: f64,
+    /// Operator the edge was derived from. Plain join predicates use [`JoinOp::Inner`].
+    pub op: JoinOp,
+    /// Relations that must be on the left side before the operator may be applied
+    /// (TES ∩ T(left)). Empty means "no constraint beyond the edge's own hypernode".
+    pub tes_left: NodeSet,
+    /// Relations that must be on the right side before the operator may be applied
+    /// (TES ∩ T(right)).
+    pub tes_right: NodeSet,
+}
+
+impl EdgeAnnotation {
+    /// Annotation for a plain inner-join predicate with the given selectivity.
+    pub fn inner(selectivity: f64) -> Self {
+        EdgeAnnotation {
+            selectivity,
+            op: JoinOp::Inner,
+            tes_left: NodeSet::EMPTY,
+            tes_right: NodeSet::EMPTY,
+        }
+    }
+
+    /// Annotation for a predicate attached to an arbitrary operator.
+    pub fn with_op(selectivity: f64, op: JoinOp) -> Self {
+        EdgeAnnotation {
+            selectivity,
+            op,
+            tes_left: NodeSet::EMPTY,
+            tes_right: NodeSet::EMPTY,
+        }
+    }
+
+    /// Attaches an explicit TES split (used by the generate-and-test comparison).
+    pub fn with_tes(mut self, tes_left: NodeSet, tes_right: NodeSet) -> Self {
+        self.tes_left = tes_left;
+        self.tes_right = tes_right;
+        self
+    }
+
+    /// The full TES of the operator (left and right requirement combined).
+    pub fn tes(&self) -> NodeSet {
+        self.tes_left | self.tes_right
+    }
+}
+
+impl Default for EdgeAnnotation {
+    fn default() -> Self {
+        EdgeAnnotation::inner(1.0)
+    }
+}
+
+/// Statistics and annotations for one query: base-relation cardinalities, lateral references of
+/// table functions / dependent subqueries, and per-edge annotations.
+///
+/// A `Catalog` is always interpreted relative to a [`Hypergraph`] with the same number of nodes
+/// and edges; [`Catalog::validate_for`] checks the correspondence.
+#[derive(Clone, Debug)]
+pub struct Catalog {
+    cardinalities: Vec<f64>,
+    lateral_refs: Vec<NodeSet>,
+    edge_annotations: Vec<EdgeAnnotation>,
+}
+
+impl Catalog {
+    /// Starts building a catalog for `node_count` relations.
+    pub fn builder(node_count: usize) -> CatalogBuilder {
+        CatalogBuilder::new(node_count)
+    }
+
+    /// Convenience constructor: every relation has the given cardinality, every edge (up to
+    /// `edge_count`) is an inner join with the given selectivity.
+    pub fn uniform(node_count: usize, cardinality: f64, edge_count: usize, selectivity: f64) -> Self {
+        let mut b = CatalogBuilder::new(node_count);
+        for i in 0..node_count {
+            b.set_cardinality(i, cardinality);
+        }
+        for e in 0..edge_count {
+            b.annotate_edge(e, EdgeAnnotation::inner(selectivity));
+        }
+        b.build()
+    }
+
+    /// Number of relations covered by the catalog.
+    pub fn relation_count(&self) -> usize {
+        self.cardinalities.len()
+    }
+
+    /// Cardinality of a base relation.
+    pub fn cardinality(&self, relation: NodeId) -> f64 {
+        self.cardinalities[relation]
+    }
+
+    /// Relations referenced laterally (freely) by the given relation — non-empty only for
+    /// table-valued functions and dependent subqueries (Sec. 5.6).
+    pub fn lateral_refs(&self, relation: NodeId) -> NodeSet {
+        self.lateral_refs[relation]
+    }
+
+    /// Union of the lateral references of all relations in `set` that are not satisfied within
+    /// `set` itself: `FT(set) \ set`.
+    pub fn free_tables(&self, set: NodeSet) -> NodeSet {
+        let mut ft = NodeSet::EMPTY;
+        for r in set {
+            ft |= self.lateral_refs[r];
+        }
+        ft - set
+    }
+
+    /// Annotation of a hyperedge. Edges beyond the annotated range get the default annotation
+    /// (inner join, selectivity 1).
+    pub fn edge_annotation(&self, edge: EdgeId) -> EdgeAnnotation {
+        self.edge_annotations
+            .get(edge)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Product of the selectivities of the given edges.
+    pub fn selectivity_product(&self, edges: &[EdgeId]) -> f64 {
+        edges
+            .iter()
+            .map(|&e| self.edge_annotation(e).selectivity)
+            .product()
+    }
+
+    /// Checks that the catalog matches the graph: same relation count and no annotated edge
+    /// beyond the graph's edge count. Returns an error message otherwise.
+    pub fn validate_for(&self, graph: &Hypergraph) -> Result<(), String> {
+        if self.relation_count() != graph.node_count() {
+            return Err(format!(
+                "catalog covers {} relations but the graph has {}",
+                self.relation_count(),
+                graph.node_count()
+            ));
+        }
+        if self.edge_annotations.len() > graph.edge_count() {
+            return Err(format!(
+                "catalog annotates {} edges but the graph has only {}",
+                self.edge_annotations.len(),
+                graph.edge_count()
+            ));
+        }
+        for (i, &c) in self.cardinalities.iter().enumerate() {
+            if !(c.is_finite() && c >= 0.0) {
+                return Err(format!("relation R{i} has invalid cardinality {c}"));
+            }
+        }
+        for (i, a) in self.edge_annotations.iter().enumerate() {
+            if !(a.selectivity.is_finite() && a.selectivity > 0.0 && a.selectivity <= 1.0) {
+                return Err(format!("edge e{i} has invalid selectivity {}", a.selectivity));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Catalog`].
+#[derive(Clone, Debug)]
+pub struct CatalogBuilder {
+    cardinalities: Vec<f64>,
+    lateral_refs: Vec<NodeSet>,
+    edge_annotations: Vec<EdgeAnnotation>,
+}
+
+impl CatalogBuilder {
+    /// Creates a builder for `node_count` relations, all with a default cardinality of 1000.
+    pub fn new(node_count: usize) -> Self {
+        CatalogBuilder {
+            cardinalities: vec![1000.0; node_count],
+            lateral_refs: vec![NodeSet::EMPTY; node_count],
+            edge_annotations: Vec::new(),
+        }
+    }
+
+    /// Sets the cardinality of a relation.
+    pub fn set_cardinality(&mut self, relation: NodeId, cardinality: f64) -> &mut Self {
+        self.cardinalities[relation] = cardinality;
+        self
+    }
+
+    /// Sets the lateral references of a relation (for table functions / dependent subqueries).
+    pub fn set_lateral_refs(&mut self, relation: NodeId, refs: NodeSet) -> &mut Self {
+        self.lateral_refs[relation] = refs;
+        self
+    }
+
+    /// Annotates the edge with the given id; intermediate edge ids get default annotations.
+    pub fn annotate_edge(&mut self, edge: EdgeId, annotation: EdgeAnnotation) -> &mut Self {
+        if self.edge_annotations.len() <= edge {
+            self.edge_annotations.resize(edge + 1, EdgeAnnotation::default());
+        }
+        self.edge_annotations[edge] = annotation;
+        self
+    }
+
+    /// Shorthand for annotating an inner-join edge with a selectivity.
+    pub fn set_selectivity(&mut self, edge: EdgeId, selectivity: f64) -> &mut Self {
+        let mut a = if self.edge_annotations.len() > edge {
+            self.edge_annotations[edge]
+        } else {
+            EdgeAnnotation::default()
+        };
+        a.selectivity = selectivity;
+        self.annotate_edge(edge, a)
+    }
+
+    /// Finalizes the catalog.
+    pub fn build(&self) -> Catalog {
+        Catalog {
+            cardinalities: self.cardinalities.clone(),
+            lateral_refs: self.lateral_refs.clone(),
+            edge_annotations: self.edge_annotations.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qo_hypergraph::Hypergraph;
+
+    fn ns(v: &[usize]) -> NodeSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let mut b = Catalog::builder(3);
+        b.set_cardinality(0, 10.0).set_cardinality(2, 500.0);
+        let c = b.build();
+        assert_eq!(c.relation_count(), 3);
+        assert_eq!(c.cardinality(0), 10.0);
+        assert_eq!(c.cardinality(1), 1000.0);
+        assert_eq!(c.cardinality(2), 500.0);
+    }
+
+    #[test]
+    fn uniform_catalog() {
+        let c = Catalog::uniform(4, 100.0, 3, 0.5);
+        for i in 0..4 {
+            assert_eq!(c.cardinality(i), 100.0);
+        }
+        for e in 0..3 {
+            assert_eq!(c.edge_annotation(e).selectivity, 0.5);
+            assert_eq!(c.edge_annotation(e).op, JoinOp::Inner);
+        }
+        // Unannotated edges get the default.
+        assert_eq!(c.edge_annotation(17).selectivity, 1.0);
+    }
+
+    #[test]
+    fn selectivity_product() {
+        let mut b = Catalog::builder(3);
+        b.set_selectivity(0, 0.5).set_selectivity(1, 0.1);
+        let c = b.build();
+        assert!((c.selectivity_product(&[0, 1]) - 0.05).abs() < 1e-12);
+        assert_eq!(c.selectivity_product(&[]), 1.0);
+    }
+
+    #[test]
+    fn free_tables_excludes_self() {
+        let mut b = Catalog::builder(4);
+        // R2 is a table function referencing R0; R3 references R2.
+        b.set_lateral_refs(2, ns(&[0]));
+        b.set_lateral_refs(3, ns(&[2]));
+        let c = b.build();
+        assert_eq!(c.free_tables(ns(&[2])), ns(&[0]));
+        assert_eq!(c.free_tables(ns(&[2, 3])), ns(&[0]));
+        assert_eq!(c.free_tables(ns(&[0, 2, 3])), NodeSet::EMPTY);
+        assert_eq!(c.free_tables(ns(&[1])), NodeSet::EMPTY);
+    }
+
+    #[test]
+    fn edge_annotation_helpers() {
+        let a = EdgeAnnotation::with_op(0.2, JoinOp::LeftAnti).with_tes(ns(&[0, 1]), ns(&[2]));
+        assert_eq!(a.op, JoinOp::LeftAnti);
+        assert_eq!(a.tes(), ns(&[0, 1, 2]));
+        let d = EdgeAnnotation::default();
+        assert_eq!(d.op, JoinOp::Inner);
+        assert_eq!(d.selectivity, 1.0);
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        let mut b = Hypergraph::builder(3);
+        b.add_simple_edge(0, 1);
+        b.add_simple_edge(1, 2);
+        let g = b.build();
+
+        let good = Catalog::uniform(3, 100.0, 2, 0.5);
+        assert!(good.validate_for(&g).is_ok());
+
+        let wrong_nodes = Catalog::uniform(4, 100.0, 2, 0.5);
+        assert!(wrong_nodes.validate_for(&g).is_err());
+
+        let too_many_edges = Catalog::uniform(3, 100.0, 5, 0.5);
+        assert!(too_many_edges.validate_for(&g).is_err());
+
+        let mut bad_sel = Catalog::builder(3);
+        bad_sel.set_selectivity(0, 0.0);
+        assert!(bad_sel.build().validate_for(&g).is_err());
+
+        let mut bad_card = Catalog::builder(3);
+        bad_card.set_cardinality(1, f64::NAN);
+        assert!(bad_card.build().validate_for(&g).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Cost models.
+
+use qo_bitset::NodeSet;
+use qo_plan::JoinOp;
+
+/// Statistics of a sub-plan that a [`CostModel`] may inspect.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SubPlanStats {
+    /// Relations produced by the sub-plan.
+    pub set: NodeSet,
+    /// Estimated output cardinality.
+    pub cardinality: f64,
+    /// Accumulated cost of the sub-plan.
+    pub cost: f64,
+}
+
+impl SubPlanStats {
+    /// Stats of a base-relation scan: zero accumulated cost.
+    pub fn leaf(relation: usize, cardinality: f64) -> Self {
+        SubPlanStats {
+            set: NodeSet::single(relation),
+            cardinality,
+            cost: 0.0,
+        }
+    }
+}
+
+/// A cost model maps a candidate join (operator, inputs, estimated output cardinality) to the
+/// accumulated cost of the resulting plan.
+///
+/// All models must be *monotone* in the input costs (adding cost to an input never makes the
+/// output cheaper); this is what makes dynamic programming over plan classes optimal.
+pub trait CostModel {
+    /// Accumulated cost of joining `left` and `right` with `op`, producing `output_cardinality`
+    /// tuples.
+    fn join_cost(
+        &self,
+        op: JoinOp,
+        left: &SubPlanStats,
+        right: &SubPlanStats,
+        output_cardinality: f64,
+    ) -> f64;
+
+    /// Human-readable name of the model.
+    fn name(&self) -> &'static str;
+}
+
+/// The classic `C_out` cost function: the sum of the cardinalities of all intermediate results.
+///
+/// This is the cost function used throughout the join-ordering literature (and in the paper's
+/// predecessors) because it is symmetric, smooth and independent of physical operator choices —
+/// ideal for comparing enumeration algorithms.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoutCost;
+
+impl CostModel for CoutCost {
+    fn join_cost(
+        &self,
+        _op: JoinOp,
+        left: &SubPlanStats,
+        right: &SubPlanStats,
+        output_cardinality: f64,
+    ) -> f64 {
+        output_cardinality + left.cost + right.cost
+    }
+
+    fn name(&self) -> &'static str {
+        "C_out"
+    }
+}
+
+/// A simple physical cost model distinguishing hash-based joins from nested-loop evaluation.
+///
+/// * Regular (non-dependent) operators are costed as a hash join: build the smaller side, probe
+///   with the larger one, then produce the output.
+/// * Dependent operators must re-evaluate their right side per left tuple, i.e. behave like a
+///   nested-loop join.
+///
+/// The model is deliberately coarse; it exists to demonstrate that the enumeration algorithms
+/// are independent of the cost model and to exercise the asymmetric-cost code path
+/// (commutativity handling in `EmitCsgCmp`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MixedCost;
+
+impl CostModel for MixedCost {
+    fn join_cost(
+        &self,
+        op: JoinOp,
+        left: &SubPlanStats,
+        right: &SubPlanStats,
+        output_cardinality: f64,
+    ) -> f64 {
+        let local = if op.is_dependent() {
+            // Nested-loop / apply: the right side is evaluated once per left tuple.
+            left.cardinality * right.cardinality.max(1.0)
+        } else {
+            // Hash join: build on the right input, probe with the left.
+            2.0 * right.cardinality + left.cardinality
+        };
+        local + output_cardinality + left.cost + right.cost
+    }
+
+    fn name(&self) -> &'static str {
+        "mixed(hash/nl)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(set: &[usize], card: f64, cost: f64) -> SubPlanStats {
+        SubPlanStats {
+            set: set.iter().copied().collect(),
+            cardinality: card,
+            cost,
+        }
+    }
+
+    #[test]
+    fn leaf_stats_have_zero_cost() {
+        let s = SubPlanStats::leaf(3, 500.0);
+        assert_eq!(s.cost, 0.0);
+        assert_eq!(s.cardinality, 500.0);
+        assert_eq!(s.set, NodeSet::single(3));
+    }
+
+    #[test]
+    fn cout_is_sum_of_intermediate_cardinalities() {
+        let m = CoutCost;
+        let l = stats(&[0], 100.0, 0.0);
+        let r = stats(&[1], 200.0, 0.0);
+        assert_eq!(m.join_cost(JoinOp::Inner, &l, &r, 50.0), 50.0);
+        // Accumulation.
+        let lr = stats(&[0, 1], 50.0, 50.0);
+        let t = stats(&[2], 10.0, 0.0);
+        assert_eq!(m.join_cost(JoinOp::Inner, &lr, &t, 25.0), 75.0);
+        assert_eq!(m.name(), "C_out");
+    }
+
+    #[test]
+    fn cout_is_symmetric() {
+        let m = CoutCost;
+        let l = stats(&[0], 100.0, 5.0);
+        let r = stats(&[1], 200.0, 7.0);
+        assert_eq!(
+            m.join_cost(JoinOp::Inner, &l, &r, 50.0),
+            m.join_cost(JoinOp::Inner, &r, &l, 50.0)
+        );
+    }
+
+    #[test]
+    fn mixed_is_asymmetric_and_penalizes_dependent_ops() {
+        let m = MixedCost;
+        let l = stats(&[0], 1000.0, 0.0);
+        let r = stats(&[1], 10.0, 0.0);
+        let ab = m.join_cost(JoinOp::Inner, &l, &r, 100.0);
+        let ba = m.join_cost(JoinOp::Inner, &r, &l, 100.0);
+        assert_ne!(ab, ba, "hash-join cost should depend on the build side");
+        // Building on the small side (right = r) is cheaper.
+        assert!(ab < ba);
+        let dep = m.join_cost(JoinOp::DepJoin, &l, &r, 100.0);
+        assert!(dep > ab, "dependent evaluation must be costlier than a hash join here");
+        assert_eq!(m.name(), "mixed(hash/nl)");
+    }
+
+    #[test]
+    fn both_models_are_monotone_in_input_cost() {
+        let models: [&dyn CostModel; 2] = [&CoutCost, &MixedCost];
+        for m in models {
+            let l_cheap = stats(&[0], 100.0, 10.0);
+            let l_pricey = stats(&[0], 100.0, 1000.0);
+            let r = stats(&[1], 50.0, 0.0);
+            assert!(
+                m.join_cost(JoinOp::Inner, &l_cheap, &r, 42.0)
+                    < m.join_cost(JoinOp::Inner, &l_pricey, &r, 42.0),
+                "{} not monotone",
+                m.name()
+            );
+        }
+    }
+}

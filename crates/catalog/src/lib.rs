@@ -1,0 +1,30 @@
+//! Relation statistics, cardinality estimation, cost models and the shared dynamic-programming
+//! plan-construction machinery used by every join enumeration algorithm in this workspace.
+//!
+//! The DPhyp paper abstracts costing into a `cost` function attached to the hypergraph
+//! ("join predicates, selectivities, and cardinalities are attached to the hypergraph",
+//! Sec. 3.5). This crate is that attachment point:
+//!
+//! * [`Catalog`]: per-relation cardinalities and lateral references, per-hyperedge
+//!   annotations (selectivity, originating operator, TES),
+//! * [`CardinalityEstimator`]: output-cardinality formulas per operator,
+//! * [`CostModel`] with two implementations — [`CoutCost`] (the classic C_out used throughout
+//!   the join-ordering literature) and [`MixedCost`] (a simple physical model distinguishing
+//!   hash joins from nested-loop/dependent joins),
+//! * [`planner`]: the DP table ([`DpTable`]), the [`CcpHandler`] trait through which the
+//!   enumeration algorithms report csg-cmp-pairs, the cost-based handler that implements the
+//!   paper's `EmitCsgCmp`, and a counting handler used for search-space statistics.
+
+mod cardinality;
+mod catalog;
+mod cost;
+pub mod planner;
+
+pub use cardinality::CardinalityEstimator;
+pub use catalog::{Catalog, CatalogBuilder, EdgeAnnotation};
+pub use cost::{CostModel, CoutCost, MixedCost, SubPlanStats};
+pub use planner::{CcpHandler, CostBasedHandler, CountingHandler, DpTable, JoinCombiner, PlanClass};
+
+pub use qo_bitset::{NodeId, NodeSet};
+pub use qo_hypergraph::EdgeId;
+pub use qo_plan::JoinOp;

@@ -1,0 +1,786 @@
+//! Shared dynamic-programming machinery: the DP table, the csg-cmp-pair handler interface and
+//! the cost-based plan construction that implements the paper's `EmitCsgCmp`.
+//!
+//! Every enumeration algorithm in this workspace (DPhyp, DPccp, DPsize, DPsub, the TES
+//! generate-and-test variant) reports the csg-cmp-pairs it discovers through the [`CcpHandler`]
+//! trait. The [`CostBasedHandler`] reacts by building and costing the candidate plans and
+//! memoizing the best plan per relation set in a [`DpTable`]; the [`CountingHandler`] merely
+//! counts pairs, which is how the tests compare an algorithm's emissions against the brute-force
+//! oracle of `qo-hypergraph`.
+
+use crate::cardinality::CardinalityEstimator;
+use crate::catalog::Catalog;
+use crate::cost::{CostModel, SubPlanStats};
+use qo_bitset::{NodeId, NodeSet};
+use qo_hypergraph::{EdgeId, Hypergraph};
+use qo_plan::{JoinOp, PlanNode};
+use std::collections::{HashMap, HashSet};
+
+/// The best plan known for one set of relations (a "plan class").
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanClass {
+    /// The relations covered by this class.
+    pub set: NodeSet,
+    /// Estimated output cardinality of the class.
+    pub cardinality: f64,
+    /// Cost of the best plan found so far.
+    pub cost: f64,
+    /// How the best plan combines its inputs; `None` for base relations.
+    pub best_join: Option<BestJoin>,
+}
+
+/// The root join of the best plan of a [`PlanClass`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BestJoin {
+    /// Relations of the left input class.
+    pub left: NodeSet,
+    /// Relations of the right input class.
+    pub right: NodeSet,
+    /// Operator applied at the root (already turned into its dependent variant if required).
+    pub op: JoinOp,
+    /// Hyperedge ids whose predicates are evaluated at this join.
+    pub predicates: Vec<EdgeId>,
+}
+
+impl PlanClass {
+    fn stats(&self) -> SubPlanStats {
+        SubPlanStats {
+            set: self.set,
+            cardinality: self.cardinality,
+            cost: self.cost,
+        }
+    }
+}
+
+/// The dynamic programming table: best plan per connected set of relations.
+#[derive(Clone, Debug, Default)]
+pub struct DpTable {
+    classes: HashMap<NodeSet, PlanClass>,
+}
+
+impl DpTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        DpTable {
+            classes: HashMap::new(),
+        }
+    }
+
+    /// Number of memoized plan classes (connected sets discovered so far).
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Does the table contain a plan for `set`?
+    pub fn contains(&self, set: NodeSet) -> bool {
+        self.classes.contains_key(&set)
+    }
+
+    /// The plan class for `set`, if any.
+    pub fn get(&self, set: NodeSet) -> Option<&PlanClass> {
+        self.classes.get(&set)
+    }
+
+    /// Iterates over all memoized classes (no particular order).
+    pub fn classes(&self) -> impl Iterator<Item = &PlanClass> {
+        self.classes.values()
+    }
+
+    /// Inserts the access plan for a single relation.
+    pub fn insert_leaf(&mut self, relation: NodeId, cardinality: f64) {
+        let set = NodeSet::single(relation);
+        self.classes.insert(
+            set,
+            PlanClass {
+                set,
+                cardinality,
+                cost: 0.0,
+                best_join: None,
+            },
+        );
+    }
+
+    /// Offers a candidate plan class; it replaces the memoized one if it is cheaper (or if the
+    /// set was unknown). Returns `true` if the candidate was accepted.
+    pub fn offer(&mut self, candidate: PlanClass) -> bool {
+        match self.classes.get_mut(&candidate.set) {
+            Some(existing) => {
+                if candidate.cost < existing.cost {
+                    *existing = candidate;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                self.classes.insert(candidate.set, candidate);
+                true
+            }
+        }
+    }
+
+    /// Reconstructs the full plan tree for `set` from the memoized join decisions.
+    pub fn reconstruct(&self, set: NodeSet) -> Option<PlanNode> {
+        let class = self.classes.get(&set)?;
+        match &class.best_join {
+            None => {
+                let relation = set.min_node().expect("leaf class with empty set");
+                Some(PlanNode::scan(relation, class.cardinality))
+            }
+            Some(join) => {
+                let left = self.reconstruct(join.left)?;
+                let right = self.reconstruct(join.right)?;
+                Some(PlanNode::join(
+                    join.op,
+                    left,
+                    right,
+                    join.predicates.clone(),
+                    class.cardinality,
+                    class.cost,
+                ))
+            }
+        }
+    }
+}
+
+/// Interface through which enumeration algorithms report their progress.
+///
+/// The contract mirrors the paper's use of the DP table:
+/// * [`CcpHandler::init_leaf`] is called once per relation before enumeration starts,
+/// * [`CcpHandler::contains`] answers "does the DP table have an entry for this set", which the
+///   algorithms use as their connectivity test,
+/// * [`CcpHandler::emit_ccp`] is called exactly once per canonical csg-cmp-pair `(S1, S2)` and
+///   must register `S1 ∪ S2` so that later `contains` calls see it.
+pub trait CcpHandler {
+    /// Registers the access plan for a single relation.
+    fn init_leaf(&mut self, relation: NodeId);
+
+    /// Does a plan class for `set` exist yet?
+    fn contains(&self, set: NodeSet) -> bool;
+
+    /// Processes the csg-cmp-pair `(s1, s2)`.
+    fn emit_ccp(&mut self, s1: NodeSet, s2: NodeSet);
+
+    /// Number of csg-cmp-pairs processed so far.
+    fn ccp_count(&self) -> usize;
+}
+
+/// Combines two plan classes into a candidate class: finds the connecting predicates, recovers
+/// the operator from the hyperedge annotations, decides the operator orientation and the
+/// dependent-join question (Sec. 5.6), estimates cardinality and cost.
+pub struct JoinCombiner<'a> {
+    graph: &'a Hypergraph,
+    catalog: &'a Catalog,
+    cost_model: &'a dyn CostModel,
+    /// When set, every connecting edge's TES must be contained in `S1 ∪ S2` (with the left/right
+    /// split respected). This is the generate-and-test approach the paper compares against in
+    /// Fig. 8a; the hypergraph-based approach encodes the same constraints as hyperedges and
+    /// needs no test.
+    enforce_tes: bool,
+}
+
+impl<'a> JoinCombiner<'a> {
+    /// Creates a combiner.
+    pub fn new(graph: &'a Hypergraph, catalog: &'a Catalog, cost_model: &'a dyn CostModel) -> Self {
+        JoinCombiner {
+            graph,
+            catalog,
+            cost_model,
+            enforce_tes: false,
+        }
+    }
+
+    /// Enables the TES generate-and-test check (see [`JoinCombiner`] docs).
+    pub fn with_tes_enforcement(mut self, enforce: bool) -> Self {
+        self.enforce_tes = enforce;
+        self
+    }
+
+    /// The hypergraph joined over.
+    pub fn graph(&self) -> &'a Hypergraph {
+        self.graph
+    }
+
+    /// The catalog consulted for statistics.
+    pub fn catalog(&self) -> &'a Catalog {
+        self.catalog
+    }
+
+    /// Combines `a` and `b` into the best candidate plan class for `a.set ∪ b.set`, or `None`
+    /// if no valid join exists (no connecting edge, TES violated, unresolved lateral
+    /// references, …).
+    pub fn combine(&self, a: &PlanClass, b: &PlanClass) -> Option<PlanClass> {
+        debug_assert!(a.set.is_disjoint(b.set));
+        let edges = self.graph.connecting_edges(a.set, b.set);
+        if edges.is_empty() {
+            return None;
+        }
+        let union = a.set | b.set;
+        let selectivity = self.catalog.selectivity_product(&edges);
+
+        // Recover the operator: prefer the (unique) non-inner operator among the connecting
+        // edges; plain predicates keep the inner join.
+        let mut op = JoinOp::Inner;
+        let mut defining_edge: Option<EdgeId> = None;
+        for &e in &edges {
+            let ann = self.catalog.edge_annotation(e);
+            if !ann.op.is_inner() {
+                debug_assert!(
+                    op.is_inner() || op == ann.op,
+                    "conflicting non-inner operators on one csg-cmp-pair: {op:?} vs {:?}",
+                    ann.op
+                );
+                op = ann.op;
+                defining_edge = Some(e);
+            } else if defining_edge.is_none() {
+                defining_edge = Some(e);
+            }
+        }
+
+        if self.enforce_tes && !self.tes_satisfied(&edges, a.set, b.set) {
+            return None;
+        }
+
+        // Candidate orientations. Non-commutative operators are oriented by their defining
+        // hyperedge: the edge's left hypernode belongs to the operator's left input (Sec. 5.4).
+        let mut orientations: Vec<(&PlanClass, &PlanClass)> = Vec::with_capacity(2);
+        if op.is_commutative() {
+            orientations.push((a, b));
+            orientations.push((b, a));
+        } else {
+            let e = self.graph.edge(defining_edge.expect("non-empty edge list"));
+            if e.left().is_subset_of(a.set) && e.right().is_subset_of(b.set) {
+                orientations.push((a, b));
+            } else {
+                orientations.push((b, a));
+            }
+        }
+
+        let mut best: Option<PlanClass> = None;
+        for (outer, inner) in orientations {
+            if self.enforce_tes && !self.tes_orientation_ok(&edges, outer.set, inner.set) {
+                continue;
+            }
+            // Dependent-join decision (Sec. 5.6): FT(P2) ∩ S1 ≠ ∅ turns the operator into its
+            // dependent counterpart; the lateral references must be fully available on the
+            // outer side.
+            let ft_inner = self.catalog.free_tables(inner.set);
+            let ft_outer = self.catalog.free_tables(outer.set);
+            if ft_outer.intersects(inner.set) {
+                // The outer side would depend on the inner side — invalid for left-handed
+                // operators; the swapped orientation (if allowed) handles it.
+                continue;
+            }
+            let actual_op = if ft_inner.intersects(outer.set) {
+                if !ft_inner.is_subset_of(outer.set) {
+                    // Some lateral references are not yet available; this pair cannot be joined
+                    // here.
+                    continue;
+                }
+                op.dependent_counterpart()
+            } else {
+                op
+            };
+            let cardinality = CardinalityEstimator::join_with_selectivity(
+                actual_op,
+                outer.cardinality,
+                inner.cardinality,
+                selectivity,
+            );
+            let cost =
+                self.cost_model
+                    .join_cost(actual_op, &outer.stats(), &inner.stats(), cardinality);
+            let candidate = PlanClass {
+                set: union,
+                cardinality,
+                cost,
+                best_join: Some(BestJoin {
+                    left: outer.set,
+                    right: inner.set,
+                    op: actual_op,
+                    predicates: edges.clone(),
+                }),
+            };
+            match &best {
+                Some(b) if b.cost <= candidate.cost => {}
+                _ => best = Some(candidate),
+            }
+        }
+        best
+    }
+
+    fn tes_satisfied(&self, edges: &[EdgeId], s1: NodeSet, s2: NodeSet) -> bool {
+        let union = s1 | s2;
+        edges.iter().all(|&e| {
+            let tes = self.catalog.edge_annotation(e).tes();
+            tes.is_subset_of(union)
+        })
+    }
+
+    fn tes_orientation_ok(&self, edges: &[EdgeId], outer: NodeSet, inner: NodeSet) -> bool {
+        edges.iter().all(|&e| {
+            let ann = self.catalog.edge_annotation(e);
+            if ann.op.is_inner() || ann.op.is_commutative() {
+                return true;
+            }
+            (ann.tes_left.is_empty() || ann.tes_left.is_subset_of(outer))
+                && (ann.tes_right.is_empty() || ann.tes_right.is_subset_of(inner))
+        })
+    }
+}
+
+/// The standard cost-based handler: reacts to each csg-cmp-pair exactly like the paper's
+/// `EmitCsgCmp`, i.e. builds the candidate plan(s) for `S1 ∪ S2` and memoizes the cheapest.
+pub struct CostBasedHandler<'a> {
+    combiner: JoinCombiner<'a>,
+    table: DpTable,
+    ccps: usize,
+}
+
+impl<'a> CostBasedHandler<'a> {
+    /// Creates a handler over an empty DP table.
+    pub fn new(combiner: JoinCombiner<'a>) -> Self {
+        CostBasedHandler {
+            combiner,
+            table: DpTable::new(),
+            ccps: 0,
+        }
+    }
+
+    /// The underlying DP table.
+    pub fn table(&self) -> &DpTable {
+        &self.table
+    }
+
+    /// Consumes the handler and returns the DP table.
+    pub fn into_table(self) -> DpTable {
+        self.table
+    }
+
+    /// The combiner used by this handler.
+    pub fn combiner(&self) -> &JoinCombiner<'a> {
+        &self.combiner
+    }
+}
+
+impl CcpHandler for CostBasedHandler<'_> {
+    fn init_leaf(&mut self, relation: NodeId) {
+        let card = self.combiner.catalog().cardinality(relation);
+        self.table.insert_leaf(relation, card);
+    }
+
+    fn contains(&self, set: NodeSet) -> bool {
+        self.table.contains(set)
+    }
+
+    fn emit_ccp(&mut self, s1: NodeSet, s2: NodeSet) {
+        self.ccps += 1;
+        let (Some(a), Some(b)) = (self.table.get(s1), self.table.get(s2)) else {
+            debug_assert!(false, "emit_ccp called before both classes exist: {s1:?}, {s2:?}");
+            return;
+        };
+        if let Some(candidate) = self.combiner.combine(a, b) {
+            self.table.offer(candidate);
+        }
+    }
+
+    fn ccp_count(&self) -> usize {
+        self.ccps
+    }
+}
+
+/// A handler that only records which csg-cmp-pairs were emitted. Used to validate enumeration
+/// algorithms against the brute-force oracle and to measure search-space sizes without paying
+/// for plan construction.
+#[derive(Clone, Debug, Default)]
+pub struct CountingHandler {
+    connected: HashSet<NodeSet>,
+    pairs: Vec<(NodeSet, NodeSet)>,
+}
+
+impl CountingHandler {
+    /// Creates an empty counting handler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All emitted pairs in emission order.
+    pub fn pairs(&self) -> &[(NodeSet, NodeSet)] {
+        &self.pairs
+    }
+
+    /// The emitted pairs in canonical form (`min(S1) ≺ min(S2)`), sorted — directly comparable
+    /// with `qo_hypergraph::enumerate_ccps`.
+    pub fn canonical_pairs(&self) -> Vec<(NodeSet, NodeSet)> {
+        let mut v: Vec<_> = self
+            .pairs
+            .iter()
+            .map(|&(a, b)| {
+                if a.min_node() <= b.min_node() {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            })
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+impl CcpHandler for CountingHandler {
+    fn init_leaf(&mut self, relation: NodeId) {
+        self.connected.insert(NodeSet::single(relation));
+    }
+
+    fn contains(&self, set: NodeSet) -> bool {
+        self.connected.contains(&set)
+    }
+
+    fn emit_ccp(&mut self, s1: NodeSet, s2: NodeSet) {
+        self.connected.insert(s1 | s2);
+        self.pairs.push((s1, s2));
+    }
+
+    fn ccp_count(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::EdgeAnnotation;
+    use crate::cost::{CoutCost, MixedCost};
+    use qo_plan::PlanShape;
+
+    fn ns(v: &[usize]) -> NodeSet {
+        v.iter().copied().collect()
+    }
+
+    /// Chain R0 - R1 - R2 with distinctive cardinalities.
+    fn chain3() -> (Hypergraph, Catalog) {
+        let mut b = Hypergraph::builder(3);
+        b.add_simple_edge(0, 1);
+        b.add_simple_edge(1, 2);
+        let g = b.build();
+        let mut cb = Catalog::builder(3);
+        cb.set_cardinality(0, 10.0)
+            .set_cardinality(1, 1000.0)
+            .set_cardinality(2, 10.0)
+            .annotate_edge(0, EdgeAnnotation::inner(0.01))
+            .annotate_edge(1, EdgeAnnotation::inner(0.01));
+        (g, cb.build())
+    }
+
+    #[test]
+    fn dp_table_leaf_and_offer_semantics() {
+        let mut t = DpTable::new();
+        assert!(t.is_empty());
+        t.insert_leaf(0, 100.0);
+        t.insert_leaf(1, 50.0);
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(NodeSet::single(0)));
+        assert!(!t.contains(ns(&[0, 1])));
+
+        let expensive = PlanClass {
+            set: ns(&[0, 1]),
+            cardinality: 10.0,
+            cost: 100.0,
+            best_join: Some(BestJoin {
+                left: ns(&[0]),
+                right: ns(&[1]),
+                op: JoinOp::Inner,
+                predicates: vec![0],
+            }),
+        };
+        assert!(t.offer(expensive.clone()));
+        // A cheaper plan replaces it.
+        let cheap = PlanClass {
+            cost: 10.0,
+            ..expensive.clone()
+        };
+        assert!(t.offer(cheap));
+        assert_eq!(t.get(ns(&[0, 1])).unwrap().cost, 10.0);
+        // An equally expensive plan does not.
+        let equal = PlanClass {
+            cost: 10.0,
+            cardinality: 99.0,
+            ..expensive
+        };
+        assert!(!t.offer(equal));
+        assert_eq!(t.get(ns(&[0, 1])).unwrap().cardinality, 10.0);
+    }
+
+    #[test]
+    fn reconstruct_builds_the_recorded_tree() {
+        let (g, c) = chain3();
+        let model = CoutCost;
+        let combiner = JoinCombiner::new(&g, &c, &model);
+        let mut h = CostBasedHandler::new(combiner);
+        for r in 0..3 {
+            h.init_leaf(r);
+        }
+        h.emit_ccp(ns(&[0]), ns(&[1]));
+        h.emit_ccp(ns(&[1]), ns(&[2]));
+        h.emit_ccp(ns(&[0, 1]), ns(&[2]));
+        h.emit_ccp(ns(&[0]), ns(&[1, 2]));
+        assert_eq!(h.ccp_count(), 4);
+        let table = h.into_table();
+        let plan = table.reconstruct(ns(&[0, 1, 2])).expect("full plan");
+        assert_eq!(plan.relations(), ns(&[0, 1, 2]));
+        assert_eq!(plan.join_count(), 2);
+        assert_eq!(plan.applied_predicates(), vec![0, 1]);
+        // With C_out both bushy arrangements tie; the plan must at least be a valid tree shape.
+        assert!(matches!(
+            plan.shape(),
+            PlanShape::LeftDeep | PlanShape::RightDeep | PlanShape::ZigZag | PlanShape::Linear
+        ));
+        // Missing set → None.
+        assert!(table.reconstruct(ns(&[0, 2])).is_none());
+    }
+
+    #[test]
+    fn combiner_requires_a_connecting_edge() {
+        let (g, c) = chain3();
+        let model = CoutCost;
+        let combiner = JoinCombiner::new(&g, &c, &model);
+        let a = PlanClass {
+            set: ns(&[0]),
+            cardinality: 10.0,
+            cost: 0.0,
+            best_join: None,
+        };
+        let b = PlanClass {
+            set: ns(&[2]),
+            cardinality: 10.0,
+            cost: 0.0,
+            best_join: None,
+        };
+        assert!(combiner.combine(&a, &b).is_none(), "R0 and R2 are not adjacent");
+    }
+
+    #[test]
+    fn combiner_inner_join_cost_and_cardinality() {
+        let (g, c) = chain3();
+        let model = CoutCost;
+        let combiner = JoinCombiner::new(&g, &c, &model);
+        let a = PlanClass {
+            set: ns(&[0]),
+            cardinality: 10.0,
+            cost: 0.0,
+            best_join: None,
+        };
+        let b = PlanClass {
+            set: ns(&[1]),
+            cardinality: 1000.0,
+            cost: 0.0,
+            best_join: None,
+        };
+        let combined = combiner.combine(&a, &b).expect("adjacent");
+        // 10 * 1000 * 0.01 = 100
+        assert!((combined.cardinality - 100.0).abs() < 1e-9);
+        assert!((combined.cost - 100.0).abs() < 1e-9);
+        assert_eq!(combined.set, ns(&[0, 1]));
+        let join = combined.best_join.unwrap();
+        assert_eq!(join.op, JoinOp::Inner);
+        assert_eq!(join.predicates, vec![0]);
+    }
+
+    #[test]
+    fn combiner_orients_asymmetric_cost_models() {
+        // With MixedCost (build on the right input), joining big ⋈ small must place the small
+        // side on the right.
+        let (g, c) = chain3();
+        let model = MixedCost;
+        let combiner = JoinCombiner::new(&g, &c, &model);
+        let small = PlanClass {
+            set: ns(&[0]),
+            cardinality: 10.0,
+            cost: 0.0,
+            best_join: None,
+        };
+        let big = PlanClass {
+            set: ns(&[1]),
+            cardinality: 1000.0,
+            cost: 0.0,
+            best_join: None,
+        };
+        let combined = combiner.combine(&small, &big).unwrap();
+        let join = combined.best_join.unwrap();
+        assert_eq!(join.left, ns(&[1]), "large input should be the probe side");
+        assert_eq!(join.right, ns(&[0]));
+    }
+
+    #[test]
+    fn combiner_orients_non_commutative_ops_by_edge_sides() {
+        // R0 ⟕ R1: edge left = {0}, right = {1}. Even when the classes are passed in swapped
+        // order the plan must keep R0 on the left.
+        let mut gb = Hypergraph::builder(2);
+        gb.add_simple_edge(0, 1);
+        let g = gb.build();
+        let mut cb = Catalog::builder(2);
+        cb.set_cardinality(0, 10.0)
+            .set_cardinality(1, 100.0)
+            .annotate_edge(0, EdgeAnnotation::with_op(0.5, JoinOp::LeftOuter));
+        let c = cb.build();
+        let model = CoutCost;
+        let combiner = JoinCombiner::new(&g, &c, &model);
+        let r0 = PlanClass {
+            set: ns(&[0]),
+            cardinality: 10.0,
+            cost: 0.0,
+            best_join: None,
+        };
+        let r1 = PlanClass {
+            set: ns(&[1]),
+            cardinality: 100.0,
+            cost: 0.0,
+            best_join: None,
+        };
+        for (x, y) in [(&r0, &r1), (&r1, &r0)] {
+            let combined = combiner.combine(x, y).unwrap();
+            let join = combined.best_join.unwrap();
+            assert_eq!(join.op, JoinOp::LeftOuter);
+            assert_eq!(join.left, ns(&[0]));
+            assert_eq!(join.right, ns(&[1]));
+        }
+    }
+
+    #[test]
+    fn combiner_turns_lateral_references_into_dependent_joins() {
+        // R1 is a table function referencing R0 (e.g. R0 CROSS APPLY f(R0.x)).
+        let mut gb = Hypergraph::builder(2);
+        gb.add_simple_edge(0, 1);
+        let g = gb.build();
+        let mut cb = Catalog::builder(2);
+        cb.set_cardinality(0, 100.0)
+            .set_cardinality(1, 5.0)
+            .set_lateral_refs(1, ns(&[0]))
+            .annotate_edge(0, EdgeAnnotation::inner(1.0));
+        let c = cb.build();
+        let model = CoutCost;
+        let combiner = JoinCombiner::new(&g, &c, &model);
+        let r0 = PlanClass {
+            set: ns(&[0]),
+            cardinality: 100.0,
+            cost: 0.0,
+            best_join: None,
+        };
+        let r1 = PlanClass {
+            set: ns(&[1]),
+            cardinality: 5.0,
+            cost: 0.0,
+            best_join: None,
+        };
+        let combined = combiner.combine(&r0, &r1).unwrap();
+        let join = combined.best_join.unwrap();
+        assert_eq!(join.op, JoinOp::DepJoin, "lateral reference must force a d-join");
+        assert_eq!(join.left, ns(&[0]), "the referenced relation must be on the left");
+        // Same result regardless of argument order.
+        let combined2 = combiner.combine(&r1, &r0).unwrap();
+        assert_eq!(combined2.best_join.unwrap().op, JoinOp::DepJoin);
+    }
+
+    #[test]
+    fn lateral_refs_resolve_at_the_join_that_provides_the_referenced_relation() {
+        // R1 references R2. Joining R0 with R1 is still allowed (the reference floats up and is
+        // bound higher in the plan), but the join that finally brings R2 in must be a dependent
+        // join with R2 on the left.
+        let mut gb = Hypergraph::builder(3);
+        gb.add_simple_edge(0, 1);
+        gb.add_simple_edge(1, 2);
+        let g = gb.build();
+        let mut cb = Catalog::builder(3);
+        cb.set_cardinality(0, 10.0)
+            .set_cardinality(1, 10.0)
+            .set_cardinality(2, 10.0)
+            .set_lateral_refs(1, ns(&[2]));
+        let c = cb.build();
+        let model = CoutCost;
+        let combiner = JoinCombiner::new(&g, &c, &model);
+        let leaf = |r: usize| PlanClass {
+            set: NodeSet::single(r),
+            cardinality: 10.0,
+            cost: 0.0,
+            best_join: None,
+        };
+        // R0 ⋈ R1: reference to R2 is not touched by this join — stays a regular join.
+        let r01 = combiner.combine(&leaf(0), &leaf(1)).expect("adjacent");
+        assert_eq!(r01.best_join.as_ref().unwrap().op, JoinOp::Inner);
+        // ({R0,R1}) with R2: the only valid orientation places R2 (the referenced relation) on
+        // the left and turns the operator into a dependent join.
+        let combined = combiner.combine(&r01, &leaf(2)).expect("adjacent");
+        let join = combined.best_join.unwrap();
+        assert_eq!(join.op, JoinOp::DepJoin);
+        assert_eq!(join.left, ns(&[2]));
+        assert_eq!(join.right, ns(&[0, 1]));
+    }
+
+    #[test]
+    fn tes_enforcement_rejects_incomplete_pairs() {
+        // Edge (0,1) carries an antijoin whose TES additionally requires R2 on the left.
+        let mut gb = Hypergraph::builder(3);
+        gb.add_simple_edge(0, 1);
+        gb.add_simple_edge(0, 2);
+        let g = gb.build();
+        let mut cb = Catalog::builder(3);
+        cb.annotate_edge(
+            0,
+            EdgeAnnotation::with_op(0.5, JoinOp::LeftAnti).with_tes(ns(&[0, 2]), ns(&[1])),
+        );
+        cb.annotate_edge(1, EdgeAnnotation::inner(0.5));
+        let c = cb.build();
+        let model = CoutCost;
+        let leaf = |r: usize| PlanClass {
+            set: NodeSet::single(r),
+            cardinality: 100.0,
+            cost: 0.0,
+            best_join: None,
+        };
+
+        let tes_combiner = JoinCombiner::new(&g, &c, &model).with_tes_enforcement(true);
+        // {R0} vs {R1}: TES {0,2} not contained in the union → rejected.
+        assert!(tes_combiner.combine(&leaf(0), &leaf(1)).is_none());
+        // {R0,R2} vs {R1}: satisfied.
+        let r02 = PlanClass {
+            set: ns(&[0, 2]),
+            cardinality: 5000.0,
+            cost: 5000.0,
+            best_join: Some(BestJoin {
+                left: ns(&[0]),
+                right: ns(&[2]),
+                op: JoinOp::Inner,
+                predicates: vec![1],
+            }),
+        };
+        let combined = tes_combiner.combine(&r02, &leaf(1)).expect("TES satisfied");
+        assert_eq!(combined.best_join.unwrap().op, JoinOp::LeftAnti);
+
+        // Without enforcement the incomplete pair is accepted (this is exactly the extra work
+        // the generate-and-test variant wastes).
+        let plain = JoinCombiner::new(&g, &c, &model);
+        assert!(plain.combine(&leaf(0), &leaf(1)).is_some());
+    }
+
+    #[test]
+    fn counting_handler_tracks_connectivity_and_pairs() {
+        let mut h = CountingHandler::new();
+        h.init_leaf(0);
+        h.init_leaf(1);
+        h.init_leaf(2);
+        assert!(h.contains(ns(&[1])));
+        assert!(!h.contains(ns(&[0, 1])));
+        h.emit_ccp(ns(&[1]), ns(&[0]));
+        assert!(h.contains(ns(&[0, 1])));
+        h.emit_ccp(ns(&[0, 1]), ns(&[2]));
+        assert_eq!(h.ccp_count(), 2);
+        let canon = h.canonical_pairs();
+        assert_eq!(canon, vec![(ns(&[0]), ns(&[1])), (ns(&[0, 1]), ns(&[2]))]);
+    }
+}

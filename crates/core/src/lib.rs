@@ -1,0 +1,57 @@
+//! # DPhyp — dynamic-programming join enumeration over hypergraphs
+//!
+//! This crate is a from-scratch implementation of the DPhyp algorithm of
+//! *Dynamic Programming Strikes Back* (Moerkotte & Neumann, SIGMOD 2008), together with the
+//! paper's technique for handling non-inner joins (outer joins, semi-/antijoins, nestjoins and
+//! their dependent counterparts) by encoding reorderability conflicts as hyperedges.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dphyp::{Optimizer, OptimizerOptions};
+//! use qo_hypergraph::Hypergraph;
+//! use qo_catalog::Catalog;
+//!
+//! // A chain query R0 - R1 - R2.
+//! let mut b = Hypergraph::builder(3);
+//! b.add_simple_edge(0, 1);
+//! b.add_simple_edge(1, 2);
+//! let graph = b.build();
+//! let mut cat = Catalog::builder(3);
+//! cat.set_cardinality(0, 10.0)
+//!     .set_cardinality(1, 10_000.0)
+//!     .set_cardinality(2, 100.0)
+//!     .set_selectivity(0, 0.001)
+//!     .set_selectivity(1, 0.01);
+//! let catalog = cat.build();
+//!
+//! let optimizer = Optimizer::new(OptimizerOptions::default());
+//! let result = optimizer.optimize_hypergraph(&graph, &catalog).unwrap();
+//! assert_eq!(result.plan.relations(), graph.all_nodes());
+//! assert_eq!(result.ccp_count, 4); // chain of 3 relations has 4 csg-cmp-pairs
+//! ```
+//!
+//! ## Architecture
+//!
+//! * [`enumerate::DpHyp`] is the pure enumeration engine: it walks the hypergraph and reports
+//!   every csg-cmp-pair exactly once to a [`qo_catalog::CcpHandler`].
+//! * [`Optimizer`] is the user-facing facade: it wires the enumeration to the cost-based handler
+//!   of `qo-catalog`, reconstructs the final [`qo_plan::PlanNode`], and offers the full
+//!   non-inner-join pipeline (operator tree → TES conflict analysis → hypergraph → DPhyp) from
+//!   `qo-algebra`.
+//! * The TES generate-and-test variant the paper compares against in Fig. 8a is available via
+//!   [`OptimizerOptions::conflict_encoding`] = [`ConflictEncoding::TesTest`].
+
+pub mod enumerate;
+mod optimizer;
+
+pub use enumerate::{count_ccps_dphyp, DpHyp};
+pub use optimizer::{
+    optimize, CostModelKind, OptimizeError, Optimized, Optimizer, OptimizerOptions,
+};
+
+pub use qo_algebra::{ConflictEncoding, OpTree, Predicate};
+pub use qo_bitset::{NodeId, NodeSet};
+pub use qo_catalog::{Catalog, CostModel, CoutCost, MixedCost};
+pub use qo_hypergraph::{Hyperedge, Hypergraph};
+pub use qo_plan::{JoinOp, PlanNode};

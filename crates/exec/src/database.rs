@@ -1,0 +1,137 @@
+//! Synthetic data and the row representation.
+
+use qo_bitset::{NodeId, NodeSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The key domain used by the generator and the modular predicate semantics.
+pub(crate) const KEY_DOMAIN: i64 = 7;
+
+/// A row of an intermediate result: one optional key value per relation of the query.
+///
+/// `values[r] == None` means relation `r` is either not part of the row's plan subtree or was
+/// NULL-padded by an outer join.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Row {
+    pub(crate) values: Vec<Option<i64>>,
+    /// Nestjoin group counts appended by nest operators (kept so that different groupings do not
+    /// accidentally compare equal).
+    pub(crate) groups: Vec<(NodeId, i64)>,
+}
+
+impl Row {
+    /// A row covering `width` relations with only `relation` set.
+    pub fn single(width: usize, relation: NodeId, key: i64) -> Self {
+        let mut values = vec![None; width];
+        values[relation] = Some(key);
+        Row {
+            values,
+            groups: Vec::new(),
+        }
+    }
+
+    /// The key of `relation` in this row, if present and non-NULL.
+    pub fn key(&self, relation: NodeId) -> Option<i64> {
+        self.values.get(relation).copied().flatten()
+    }
+
+    /// Merges two rows with disjoint relation coverage.
+    pub fn merge(&self, other: &Row) -> Row {
+        let mut values = self.values.clone();
+        for (i, v) in other.values.iter().enumerate() {
+            if v.is_some() {
+                debug_assert!(values[i].is_none(), "rows overlap on relation {i}");
+                values[i] = *v;
+            }
+        }
+        let mut groups = self.groups.clone();
+        groups.extend_from_slice(&other.groups);
+        Row { values, groups }
+    }
+
+    /// NULL-pads the row so that the relations in `relations` are present (as NULL) — used by
+    /// outer joins.
+    pub fn pad(&self, _relations: NodeSet) -> Row {
+        // Slots already exist (fixed width); padding is a no-op kept for readability at call
+        // sites.
+        self.clone()
+    }
+}
+
+/// A tiny database: one single-column table per relation.
+#[derive(Clone, Debug)]
+pub struct Database {
+    tables: Vec<Vec<i64>>,
+}
+
+impl Database {
+    /// Creates a database from explicit tables.
+    pub fn new(tables: Vec<Vec<i64>>) -> Self {
+        Database { tables }
+    }
+
+    /// Generates random tables: relation `r` gets `sizes[r]` rows with keys drawn uniformly from
+    /// the key domain, so that joins have plenty of matches and misses.
+    pub fn generate(sizes: &[usize], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x853C_49E6_748F_EA9B);
+        let tables = sizes
+            .iter()
+            .map(|&s| (0..s).map(|_| rng.random_range(0..KEY_DOMAIN)).collect())
+            .collect();
+        Database { tables }
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The rows of one relation.
+    pub fn table(&self, relation: NodeId) -> &[i64] {
+        &self.tables[relation]
+    }
+
+    /// The scan of `relation` as rows of width `relation_count()`.
+    pub fn scan(&self, relation: NodeId) -> Vec<Row> {
+        let width = self.relation_count();
+        self.tables[relation]
+            .iter()
+            .map(|&k| Row::single(width, relation, k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic_and_sized() {
+        let a = Database::generate(&[3, 5, 2], 9);
+        let b = Database::generate(&[3, 5, 2], 9);
+        assert_eq!(a.table(1), b.table(1));
+        assert_eq!(a.relation_count(), 3);
+        assert_eq!(a.table(0).len(), 3);
+        assert_eq!(a.table(2).len(), 2);
+        assert!(a.table(1).iter().all(|k| (0..KEY_DOMAIN).contains(k)));
+    }
+
+    #[test]
+    fn scan_produces_single_relation_rows() {
+        let db = Database::new(vec![vec![1, 2], vec![5]]);
+        let rows = db.scan(1);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].key(1), Some(5));
+        assert_eq!(rows[0].key(0), None);
+    }
+
+    #[test]
+    fn merge_combines_disjoint_rows() {
+        let a = Row::single(3, 0, 4);
+        let b = Row::single(3, 2, 6);
+        let m = a.merge(&b);
+        assert_eq!(m.key(0), Some(4));
+        assert_eq!(m.key(1), None);
+        assert_eq!(m.key(2), Some(6));
+    }
+}

@@ -1,0 +1,322 @@
+//! Plan execution and result comparison.
+
+use crate::database::{Database, Row, KEY_DOMAIN};
+use qo_algebra::OpTree;
+use qo_bitset::NodeSet;
+use qo_hypergraph::{EdgeId, Hyperedge, Hypergraph};
+use qo_plan::{JoinOp, PlanNode};
+
+/// Evaluates the predicate of a hyperedge on a (merged) row.
+///
+/// The predicate of edge `(u, v, w)` holds iff the key sums of `u` and of `v ∪ w` are congruent
+/// modulo the key domain; for a simple edge this is plain key equality. Rows with a NULL key in
+/// any referenced relation fail the predicate (SQL three-valued logic collapsed to "false").
+fn eval_edge(edge: &Hyperedge, row: &Row) -> bool {
+    let side_sum = |s: NodeSet| -> Option<i64> {
+        let mut sum = 0;
+        for r in s {
+            sum += row.key(r)?;
+        }
+        Some(sum.rem_euclid(KEY_DOMAIN))
+    };
+    match (side_sum(edge.left()), side_sum(edge.right() | edge.flex())) {
+        (Some(a), Some(b)) => a == b,
+        _ => false,
+    }
+}
+
+fn eval_all(graph: &Hypergraph, predicates: &[EdgeId], row: &Row) -> bool {
+    predicates.iter().all(|&e| eval_edge(graph.edge(e), row))
+}
+
+/// Executes a plan over the database, returning the multiset of result rows.
+pub fn execute_plan(plan: &PlanNode, graph: &Hypergraph, db: &Database) -> Vec<Row> {
+    match plan {
+        PlanNode::Scan { relation, .. } => db.scan(*relation),
+        PlanNode::Join {
+            op,
+            left,
+            right,
+            predicates,
+            ..
+        } => {
+            let lrows = execute_plan(left, graph, db);
+            let rrows = execute_plan(right, graph, db);
+            join(graph, *op, &lrows, &rrows, predicates, right.relations())
+        }
+    }
+}
+
+fn join(
+    graph: &Hypergraph,
+    op: JoinOp,
+    lrows: &[Row],
+    rrows: &[Row],
+    predicates: &[EdgeId],
+    right_relations: NodeSet,
+) -> Vec<Row> {
+    let mut out = Vec::new();
+    match op.regular_counterpart() {
+        JoinOp::Inner => {
+            for l in lrows {
+                for r in rrows {
+                    let merged = l.merge(r);
+                    if eval_all(graph, predicates, &merged) {
+                        out.push(merged);
+                    }
+                }
+            }
+        }
+        JoinOp::LeftOuter | JoinOp::FullOuter => {
+            let mut right_matched = vec![false; rrows.len()];
+            for l in lrows {
+                let mut matched = false;
+                for (ri, r) in rrows.iter().enumerate() {
+                    let merged = l.merge(r);
+                    if eval_all(graph, predicates, &merged) {
+                        right_matched[ri] = true;
+                        matched = true;
+                        out.push(merged);
+                    }
+                }
+                if !matched {
+                    out.push(l.pad(right_relations));
+                }
+            }
+            if op.regular_counterpart() == JoinOp::FullOuter {
+                for (ri, r) in rrows.iter().enumerate() {
+                    if !right_matched[ri] {
+                        out.push(r.clone());
+                    }
+                }
+            }
+        }
+        JoinOp::LeftSemi | JoinOp::LeftAnti => {
+            let want_match = op.regular_counterpart() == JoinOp::LeftSemi;
+            for l in lrows {
+                let has_match = rrows
+                    .iter()
+                    .any(|r| eval_all(graph, predicates, &l.merge(r)));
+                if has_match == want_match {
+                    out.push(l.clone());
+                }
+            }
+        }
+        JoinOp::LeftNest => {
+            let group_id = right_relations.min_node().unwrap_or(0);
+            for l in lrows {
+                let count = rrows
+                    .iter()
+                    .filter(|r| eval_all(graph, predicates, &l.merge(r)))
+                    .count() as i64;
+                let mut row = l.clone();
+                row.groups.push((group_id, count));
+                out.push(row);
+            }
+        }
+        _ => unreachable!("regular_counterpart never returns a dependent operator"),
+    }
+    out
+}
+
+/// Executes the *initial operator tree* directly (predicate `i` of the `i`-th operator in
+/// post-order corresponds to hyperedge `i` of the graph derived by
+/// [`qo_algebra::derive_query`]).
+pub fn execute_optree(tree: &OpTree, graph: &Hypergraph, db: &Database) -> Vec<Row> {
+    fn convert(tree: &OpTree, next_edge: &mut EdgeId) -> PlanNode {
+        match tree {
+            OpTree::Relation {
+                id, cardinality, ..
+            } => PlanNode::scan(*id, *cardinality),
+            OpTree::Op {
+                op, left, right, ..
+            } => {
+                let l = convert(left, next_edge);
+                let r = convert(right, next_edge);
+                let edge = *next_edge;
+                *next_edge += 1;
+                PlanNode::join(*op, l, r, vec![edge], 0.0, 0.0)
+            }
+        }
+    }
+    let mut next = 0;
+    let plan = convert(tree, &mut next);
+    debug_assert_eq!(next, graph.edge_count().min(next.max(graph.edge_count())));
+    execute_plan(&plan, graph, db)
+}
+
+/// Compares two results as multisets (row order and nest-group order are irrelevant).
+pub fn results_equal(a: &[Row], b: &[Row]) -> bool {
+    fn normalize(rows: &[Row]) -> Vec<Row> {
+        let mut v: Vec<Row> = rows
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r.groups.sort_unstable();
+                r
+            })
+            .collect();
+        v.sort();
+        v
+    }
+    normalize(a) == normalize(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qo_algebra::Predicate;
+
+    /// Graph R0 -e0- R1 -e1- R2 and a small hand-built database.
+    fn setup() -> (Hypergraph, Database) {
+        let mut b = Hypergraph::builder(3);
+        b.add_simple_edge(0, 1);
+        b.add_simple_edge(1, 2);
+        (
+            b.build(),
+            Database::new(vec![vec![1, 2, 3], vec![1, 1, 4], vec![1, 5]]),
+        )
+    }
+
+    fn scan(r: usize) -> PlanNode {
+        PlanNode::scan(r, 0.0)
+    }
+
+    fn j(op: JoinOp, l: PlanNode, r: PlanNode, preds: &[usize]) -> PlanNode {
+        PlanNode::join(op, l, r, preds.to_vec(), 0.0, 0.0)
+    }
+
+    #[test]
+    fn inner_join_matches_keys() {
+        let (g, db) = setup();
+        let plan = j(JoinOp::Inner, scan(0), scan(1), &[0]);
+        let rows = execute_plan(&plan, &g, &db);
+        // R0 keys {1,2,3}, R1 keys {1,1,4}: matches are 1-1 (twice).
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.key(0) == Some(1) && r.key(1) == Some(1)));
+    }
+
+    #[test]
+    fn join_order_does_not_change_inner_results() {
+        let (g, db) = setup();
+        let left_deep = j(
+            JoinOp::Inner,
+            j(JoinOp::Inner, scan(0), scan(1), &[0]),
+            scan(2),
+            &[1],
+        );
+        let right_deep = j(
+            JoinOp::Inner,
+            scan(0),
+            j(JoinOp::Inner, scan(1), scan(2), &[1]),
+            &[0],
+        );
+        let a = execute_plan(&left_deep, &g, &db);
+        let b = execute_plan(&right_deep, &g, &db);
+        assert!(results_equal(&a, &b));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn left_outer_join_preserves_unmatched_left_rows() {
+        let (g, db) = setup();
+        let plan = j(JoinOp::LeftOuter, scan(0), scan(1), &[0]);
+        let rows = execute_plan(&plan, &g, &db);
+        // Two matches for key 1, plus NULL-padded rows for keys 2 and 3.
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.iter().filter(|r| r.key(1).is_none()).count(), 2);
+    }
+
+    #[test]
+    fn full_outer_join_preserves_both_sides() {
+        let (g, db) = setup();
+        let plan = j(JoinOp::FullOuter, scan(0), scan(1), &[0]);
+        let rows = execute_plan(&plan, &g, &db);
+        // 2 matches + 2 unmatched left (keys 2,3) + 1 unmatched right (key 4).
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.iter().filter(|r| r.key(0).is_none()).count(), 1);
+    }
+
+    #[test]
+    fn semi_and_anti_join_partition_the_left_side() {
+        let (g, db) = setup();
+        let semi = execute_plan(&j(JoinOp::LeftSemi, scan(0), scan(1), &[0]), &g, &db);
+        let anti = execute_plan(&j(JoinOp::LeftAnti, scan(0), scan(1), &[0]), &g, &db);
+        assert_eq!(semi.len() + anti.len(), db.table(0).len());
+        assert_eq!(semi.len(), 1); // only key 1 has a partner
+        assert!(anti.iter().all(|r| r.key(0) != Some(1)));
+    }
+
+    #[test]
+    fn nestjoin_counts_groups() {
+        let (g, db) = setup();
+        let rows = execute_plan(&j(JoinOp::LeftNest, scan(0), scan(1), &[0]), &g, &db);
+        assert_eq!(rows.len(), 3, "one output row per left tuple");
+        let counts: Vec<i64> = rows.iter().map(|r| r.groups[0].1).collect();
+        assert!(counts.contains(&2)); // key 1 matches both R1 rows with key 1
+        assert!(counts.contains(&0));
+    }
+
+    #[test]
+    fn dependent_ops_behave_like_their_regular_counterpart() {
+        let (g, db) = setup();
+        let a = execute_plan(&j(JoinOp::DepJoin, scan(0), scan(1), &[0]), &g, &db);
+        let b = execute_plan(&j(JoinOp::Inner, scan(0), scan(1), &[0]), &g, &db);
+        assert!(results_equal(&a, &b));
+    }
+
+    #[test]
+    fn hyperedge_predicates_use_modular_sums() {
+        let mut b = Hypergraph::builder(3);
+        b.add_simple_edge(0, 1);
+        b.add_hyperedge(NodeSet::from_iter([0, 1]), NodeSet::from_iter([2]));
+        let g = b.build();
+        let db = Database::new(vec![vec![2], vec![3], vec![5, 6]]);
+        // Predicate of edge 1: (k0 + k1) mod 7 == k2 mod 7 ⇒ 5 == 5 matches, 6 does not.
+        let plan = j(
+            JoinOp::Inner,
+            j(JoinOp::Inner, scan(0), scan(1), &[]),
+            scan(2),
+            &[1],
+        );
+        let rows = execute_plan(&plan, &g, &db);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].key(2), Some(5));
+    }
+
+    #[test]
+    fn execute_optree_matches_equivalent_plan() {
+        let (g, db) = setup();
+        let tree = OpTree::op(
+            JoinOp::LeftOuter,
+            Predicate::between(1, 2, 0.1),
+            OpTree::join(
+                Predicate::between(0, 1, 0.1),
+                OpTree::relation(0, 3.0),
+                OpTree::relation(1, 3.0),
+            ),
+            OpTree::relation(2, 2.0),
+        );
+        let via_tree = execute_optree(&tree, &g, &db);
+        let via_plan = execute_plan(
+            &j(
+                JoinOp::LeftOuter,
+                j(JoinOp::Inner, scan(0), scan(1), &[0]),
+                scan(2),
+                &[1],
+            ),
+            &g,
+            &db,
+        );
+        assert!(results_equal(&via_tree, &via_plan));
+    }
+
+    #[test]
+    fn results_equal_detects_differences() {
+        let (g, db) = setup();
+        let inner = execute_plan(&j(JoinOp::Inner, scan(0), scan(1), &[0]), &g, &db);
+        let outer = execute_plan(&j(JoinOp::LeftOuter, scan(0), scan(1), &[0]), &g, &db);
+        assert!(!results_equal(&inner, &outer));
+        assert!(results_equal(&inner, &inner));
+    }
+}

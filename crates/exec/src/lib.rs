@@ -1,0 +1,26 @@
+//! A small in-memory execution engine used to *validate* reordered join plans.
+//!
+//! The DPhyp paper measures optimization time only; correctness of the reorderings rests on the
+//! conflict rules of Sec. 5. This crate closes the loop for the reproduction: plans produced by
+//! the optimizers can be executed over synthetic data and their results compared with the result
+//! of the original operator tree. Inner-join-only queries must give identical results for every
+//! valid ordering; queries with non-inner operators must give the same result as the initial
+//! operator tree.
+//!
+//! The data model is deliberately tiny: every relation has a single integer join-key column, a
+//! row of an intermediate result is a vector of `Option<i64>` (one slot per relation, `None`
+//! meaning "NULL / not present"), and the predicate of hyperedge `(u, v)` holds iff the sum of
+//! the keys of `u` equals the sum of the keys of `v` modulo a small domain — which degenerates
+//! to plain key equality for simple edges. Dependent operators are executed like their regular
+//! counterparts (the data model has no correlated expressions), and the nestjoin outputs its
+//! left row together with the group count. These simplifications are documented substitutions;
+//! they preserve exactly the property the tests need: two plans are equivalent iff they compute
+//! the same multiset of rows.
+
+mod database;
+mod executor;
+
+pub use database::{Database, Row};
+pub use executor::{execute_optree, execute_plan, results_equal};
+
+pub use qo_bitset::{NodeId, NodeSet};

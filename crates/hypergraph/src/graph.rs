@@ -1,0 +1,326 @@
+//! The [`Hypergraph`] type and its builder.
+
+use crate::edge::{EdgeId, Hyperedge};
+use qo_bitset::{NodeId, NodeSet, MAX_NODES};
+use std::fmt;
+
+/// A query hypergraph: `n` relations (nodes `R0 .. R{n-1}`) plus a set of hyperedges.
+///
+/// Nodes are totally ordered by their index (`R_i ≺ R_j ⟺ i < j`), which is the ordering the
+/// enumeration algorithms rely on. Simple edges are additionally indexed into per-node neighbor
+/// masks so that the hot neighborhood computation does not have to scan them.
+///
+/// ```
+/// use qo_hypergraph::{Hypergraph, Hyperedge};
+/// use qo_bitset::NodeSet;
+///
+/// // The hypergraph of Fig. 2 of the paper (0-based relation indexes).
+/// let mut b = Hypergraph::builder(6);
+/// b.add_simple_edge(0, 1);
+/// b.add_simple_edge(1, 2);
+/// b.add_simple_edge(3, 4);
+/// b.add_simple_edge(4, 5);
+/// b.add_edge(Hyperedge::new(
+///     NodeSet::from_iter([0, 1, 2]),
+///     NodeSet::from_iter([3, 4, 5]),
+/// ));
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 6);
+/// assert_eq!(g.edge_count(), 5);
+/// // Neighborhood of S = {R0,R1,R2} with X = S: only the representative R3 of {R3,R4,R5}.
+/// let s = NodeSet::from_iter([0, 1, 2]);
+/// assert_eq!(g.neighborhood(s, s), NodeSet::single(3));
+/// ```
+#[derive(Clone)]
+pub struct Hypergraph {
+    node_count: usize,
+    edges: Vec<Hyperedge>,
+    /// For every node, the union of the opposite endpoints of all *simple* edges incident to it.
+    simple_neighbors: Vec<NodeSet>,
+    /// Ids of all non-simple (complex or generalized) edges.
+    complex_edges: Vec<EdgeId>,
+    /// Ids of all simple edges, per node (used when collecting connecting edges / predicates).
+    simple_edges_per_node: Vec<Vec<EdgeId>>,
+}
+
+impl Hypergraph {
+    /// Starts building a hypergraph over `node_count` relations.
+    pub fn builder(node_count: usize) -> HypergraphBuilder {
+        HypergraphBuilder::new(node_count)
+    }
+
+    /// Number of relations.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The set of all relations `V`.
+    #[inline]
+    pub fn all_nodes(&self) -> NodeSet {
+        NodeSet::first_n(self.node_count)
+    }
+
+    /// Number of hyperedges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All hyperedges with their ids.
+    #[inline]
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Hyperedge)> {
+        self.edges.iter().enumerate()
+    }
+
+    /// The hyperedge with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &Hyperedge {
+        &self.edges[id]
+    }
+
+    /// Ids of all non-simple edges.
+    #[inline]
+    pub fn complex_edge_ids(&self) -> &[EdgeId] {
+        &self.complex_edges
+    }
+
+    /// Does the graph contain any non-simple edge?
+    #[inline]
+    pub fn has_complex_edges(&self) -> bool {
+        !self.complex_edges.is_empty()
+    }
+
+    /// The union of simple-edge neighbors of a single node.
+    #[inline]
+    pub fn simple_neighbors(&self, node: NodeId) -> NodeSet {
+        self.simple_neighbors[node]
+    }
+
+    /// The union of simple-edge neighbors of all nodes in `s` (not yet filtered by any
+    /// exclusion set).
+    #[inline]
+    pub fn simple_neighbors_of_set(&self, s: NodeSet) -> NodeSet {
+        let mut n = NodeSet::EMPTY;
+        for node in s {
+            n |= self.simple_neighbors[node];
+        }
+        n - s
+    }
+
+    /// Is there at least one hyperedge connecting `s1` and `s2` (Def. 4 / Def. 7)?
+    pub fn has_connecting_edge(&self, s1: NodeSet, s2: NodeSet) -> bool {
+        // Fast path: any simple edge from s1 into s2.
+        if self.simple_neighbors_of_set(s1).intersects(s2) {
+            return true;
+        }
+        self.complex_edges
+            .iter()
+            .any(|&eid| self.edges[eid].connects(s1, s2))
+    }
+
+    /// All edge ids connecting `s1` and `s2`. These are the predicates that `EmitCsgCmp`
+    /// conjoins into the join predicate of the new plan.
+    pub fn connecting_edges(&self, s1: NodeSet, s2: NodeSet) -> Vec<EdgeId> {
+        let mut out = Vec::new();
+        // Simple edges incident to the smaller side.
+        let (probe, _other) = if s1.len() <= s2.len() { (s1, s2) } else { (s2, s1) };
+        for node in probe {
+            for &eid in &self.simple_edges_per_node[node] {
+                if self.edges[eid].connects(s1, s2) && !out.contains(&eid) {
+                    out.push(eid);
+                }
+            }
+        }
+        for &eid in &self.complex_edges {
+            if self.edges[eid].connects(s1, s2) {
+                out.push(eid);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// All edge ids whose referenced nodes are fully contained in `s` (used by cardinality
+    /// estimation: these are the predicates already applied within a plan class `s`).
+    pub fn edges_within(&self, s: NodeSet) -> Vec<EdgeId> {
+        self.edges()
+            .filter(|(_, e)| e.all_nodes().is_subset_of(s))
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+impl fmt::Debug for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Hypergraph over {} relations:", self.node_count)?;
+        for (id, e) in self.edges() {
+            writeln!(f, "  e{id}: {e:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Hypergraph`].
+pub struct HypergraphBuilder {
+    node_count: usize,
+    edges: Vec<Hyperedge>,
+}
+
+impl HypergraphBuilder {
+    /// Creates a builder for a graph over `node_count` relations.
+    ///
+    /// # Panics
+    /// Panics if `node_count` is zero or exceeds [`MAX_NODES`].
+    pub fn new(node_count: usize) -> Self {
+        assert!(node_count > 0, "a hypergraph needs at least one relation");
+        assert!(
+            node_count <= MAX_NODES,
+            "at most {MAX_NODES} relations are supported"
+        );
+        HypergraphBuilder {
+            node_count,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a hyperedge; returns its id.
+    ///
+    /// # Panics
+    /// Panics if the edge references nodes outside the graph.
+    pub fn add_edge(&mut self, edge: Hyperedge) -> EdgeId {
+        assert!(
+            edge.all_nodes().is_subset_of(NodeSet::first_n(self.node_count)),
+            "edge {edge:?} references nodes outside the graph"
+        );
+        let id = self.edges.len();
+        self.edges.push(edge);
+        id
+    }
+
+    /// Adds a simple edge `({a}, {b})`; returns its id.
+    pub fn add_simple_edge(&mut self, a: NodeId, b: NodeId) -> EdgeId {
+        self.add_edge(Hyperedge::simple(a, b))
+    }
+
+    /// Adds a hyperedge between two hypernodes; returns its id.
+    pub fn add_hyperedge(&mut self, left: NodeSet, right: NodeSet) -> EdgeId {
+        self.add_edge(Hyperedge::new(left, right))
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the graph, computing the per-node simple-edge indexes.
+    pub fn build(self) -> Hypergraph {
+        let mut simple_neighbors = vec![NodeSet::EMPTY; self.node_count];
+        let mut simple_edges_per_node = vec![Vec::new(); self.node_count];
+        let mut complex_edges = Vec::new();
+        for (id, e) in self.edges.iter().enumerate() {
+            if e.is_simple() {
+                let a = e.left().min_node().expect("non-empty");
+                let b = e.right().min_node().expect("non-empty");
+                simple_neighbors[a].insert(b);
+                simple_neighbors[b].insert(a);
+                simple_edges_per_node[a].push(id);
+                simple_edges_per_node[b].push(id);
+            } else {
+                complex_edges.push(id);
+            }
+        }
+        Hypergraph {
+            node_count: self.node_count,
+            edges: self.edges,
+            simple_neighbors,
+            complex_edges,
+            simple_edges_per_node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: &[usize]) -> NodeSet {
+        v.iter().copied().collect()
+    }
+
+    /// The example hypergraph of Fig. 2 (0-based).
+    pub(crate) fn fig2_graph() -> Hypergraph {
+        let mut b = Hypergraph::builder(6);
+        b.add_simple_edge(0, 1);
+        b.add_simple_edge(1, 2);
+        b.add_simple_edge(3, 4);
+        b.add_simple_edge(4, 5);
+        b.add_hyperedge(ns(&[0, 1, 2]), ns(&[3, 4, 5]));
+        b.build()
+    }
+
+    #[test]
+    fn builder_counts() {
+        let g = fig2_graph();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.complex_edge_ids(), &[4]);
+        assert!(g.has_complex_edges());
+        assert_eq!(g.all_nodes(), NodeSet::first_n(6));
+    }
+
+    #[test]
+    fn simple_neighbor_masks() {
+        let g = fig2_graph();
+        assert_eq!(g.simple_neighbors(0), ns(&[1]));
+        assert_eq!(g.simple_neighbors(1), ns(&[0, 2]));
+        assert_eq!(g.simple_neighbors(4), ns(&[3, 5]));
+        assert_eq!(g.simple_neighbors_of_set(ns(&[0, 1])), ns(&[2]));
+        assert_eq!(g.simple_neighbors_of_set(ns(&[3, 4, 5])), NodeSet::EMPTY);
+    }
+
+    #[test]
+    fn connecting_edge_tests() {
+        let g = fig2_graph();
+        assert!(g.has_connecting_edge(ns(&[0]), ns(&[1])));
+        assert!(!g.has_connecting_edge(ns(&[0]), ns(&[2])));
+        // Hyperedge connects the two halves only when both hypernodes are covered.
+        assert!(g.has_connecting_edge(ns(&[0, 1, 2]), ns(&[3, 4, 5])));
+        assert!(!g.has_connecting_edge(ns(&[0, 1]), ns(&[3, 4, 5])));
+        assert_eq!(g.connecting_edges(ns(&[0, 1, 2]), ns(&[3, 4, 5])), vec![4]);
+        assert_eq!(g.connecting_edges(ns(&[1]), ns(&[0, 2])), vec![0, 1]);
+    }
+
+    #[test]
+    fn edges_within_set() {
+        let g = fig2_graph();
+        assert_eq!(g.edges_within(ns(&[0, 1, 2])), vec![0, 1]);
+        assert_eq!(g.edges_within(g.all_nodes()).len(), 5);
+        assert!(g.edges_within(ns(&[0, 3])).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the graph")]
+    fn edge_outside_graph_panics() {
+        let mut b = Hypergraph::builder(2);
+        b.add_simple_edge(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one relation")]
+    fn zero_nodes_panics() {
+        let _ = Hypergraph::builder(0);
+    }
+
+    #[test]
+    fn debug_output_lists_edges() {
+        let g = fig2_graph();
+        let s = format!("{g:?}");
+        assert!(s.contains("6 relations"));
+        assert!(s.contains("e4"));
+    }
+}

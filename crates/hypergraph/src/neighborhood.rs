@@ -1,0 +1,193 @@
+//! Neighborhood computation `N(S, X)` (Sec. 2.3 of the paper).
+//!
+//! The neighborhood of a connected set `S` under an exclusion set `X` is the set of
+//! *representative* nodes through which `S` can be extended:
+//!
+//! 1. collect every hypernode `v` reachable over an edge `(u, v)` with `u ⊆ S` such that `v`
+//!    touches neither `S` nor `X` (the set `E↓'(S, X)`),
+//! 2. drop hypernodes that are subsumed by a smaller reachable hypernode (`E↓(S, X)`),
+//! 3. take `min(v)` of each remaining hypernode (Eq. 1).
+//!
+//! Simple edges contribute their (singleton) endpoints directly via the precomputed per-node
+//! neighbor masks; only the complex/generalized edges need to be scanned.
+
+use crate::graph::Hypergraph;
+use qo_bitset::NodeSet;
+
+impl Hypergraph {
+    /// Computes the neighborhood `N(S, X)` of `s` under the exclusion set `x`.
+    ///
+    /// The returned set contains only representative (minimum) nodes of reachable hypernodes;
+    /// hypernodes with more than one element must be completed by the caller when it expands the
+    /// set (the enumeration algorithms do this implicitly through the connectivity check against
+    /// the DP table, exactly as described in the paper).
+    pub fn neighborhood(&self, s: NodeSet, x: NodeSet) -> NodeSet {
+        let forbidden = s | x;
+        // Simple edges: all endpoints adjacent to S that are not forbidden.
+        let mut n = self.simple_neighbors_of_set(s) - forbidden;
+
+        if !self.has_complex_edges() {
+            return n;
+        }
+
+        // Complex and generalized edges: collect candidate hypernodes E↓'(S, X).
+        let mut candidates: Vec<NodeSet> = Vec::new();
+        for &eid in self.complex_edge_ids() {
+            let edge = self.edge(eid);
+            let Some(target) = edge.target_from(s) else {
+                continue;
+            };
+            if target.intersects(forbidden) {
+                continue;
+            }
+            if target.is_singleton() {
+                // A singleton hypernode behaves exactly like a simple-edge neighbor (and
+                // subsumes every larger candidate containing it).
+                n |= target;
+            } else {
+                candidates.push(target);
+            }
+        }
+
+        // Subsumption elimination: keep only minimal hypernodes (E↓(S, X)), then add their
+        // representatives min(v).
+        'outer: for (i, &v) in candidates.iter().enumerate() {
+            // Subsumed by a singleton neighbor already present?
+            if v.intersects(n) {
+                continue;
+            }
+            for (j, &u) in candidates.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if u.is_proper_subset_of(v) || (u == v && j < i) {
+                    continue 'outer;
+                }
+            }
+            n |= v.min_singleton();
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Hyperedge, Hypergraph};
+    use qo_bitset::NodeSet;
+
+    fn ns(v: &[usize]) -> NodeSet {
+        v.iter().copied().collect()
+    }
+
+    /// Fig. 2 of the paper, 0-based.
+    fn fig2() -> Hypergraph {
+        let mut b = Hypergraph::builder(6);
+        b.add_simple_edge(0, 1);
+        b.add_simple_edge(1, 2);
+        b.add_simple_edge(3, 4);
+        b.add_simple_edge(4, 5);
+        b.add_hyperedge(ns(&[0, 1, 2]), ns(&[3, 4, 5]));
+        b.build()
+    }
+
+    #[test]
+    fn paper_example_neighborhood() {
+        // "For our hypergraph in Fig. 2 and with X = S = {R1,R2,R3}, we have N(S,X) = {R4}"
+        // (1-based in the paper; {R0,R1,R2} → {R3} here).
+        let g = fig2();
+        let s = ns(&[0, 1, 2]);
+        assert_eq!(g.neighborhood(s, s), NodeSet::single(3));
+    }
+
+    #[test]
+    fn simple_neighbors_respect_exclusion() {
+        let g = fig2();
+        // N({R1}, {R0,R1}) = {R2}: R0 is excluded.
+        assert_eq!(g.neighborhood(ns(&[1]), ns(&[0, 1])), ns(&[2]));
+        // N({R1}, {R0,R1,R2}) = ∅.
+        assert_eq!(g.neighborhood(ns(&[1]), ns(&[0, 1, 2])), NodeSet::EMPTY);
+    }
+
+    #[test]
+    fn hyperedge_not_reachable_from_partial_hypernode() {
+        let g = fig2();
+        // From {R0,R1} the hyperedge cannot be traversed: its left hypernode {R0,R1,R2} is not
+        // fully contained, and R2 is reachable only via the simple edge.
+        assert_eq!(g.neighborhood(ns(&[0, 1]), ns(&[0, 1])), ns(&[2]));
+    }
+
+    #[test]
+    fn hyperedge_target_excluded_when_it_touches_x() {
+        let g = fig2();
+        let s = ns(&[0, 1, 2]);
+        // Excluding R4 (a non-representative member of the target hypernode) removes the whole
+        // hypernode from the neighborhood.
+        assert_eq!(g.neighborhood(s, s | NodeSet::single(4)), NodeSet::EMPTY);
+    }
+
+    #[test]
+    fn subsumed_hypernodes_are_dropped() {
+        // Two hyperedges from {0}: one to {2,3}, one to {2,3,4}. The latter is subsumed.
+        let mut b = Hypergraph::builder(5);
+        b.add_hyperedge(ns(&[0]), ns(&[2, 3]));
+        b.add_hyperedge(ns(&[0]), ns(&[2, 3, 4]));
+        b.add_simple_edge(0, 1);
+        let g = b.build();
+        // Neighborhood of {0}: R1 (simple) and R2 (representative of {2,3}); the hypernode
+        // {2,3,4} is subsumed by {2,3} so R2 is not added twice and R4 never becomes a
+        // representative.
+        assert_eq!(g.neighborhood(ns(&[0]), ns(&[0])), ns(&[1, 2]));
+    }
+
+    #[test]
+    fn singleton_hyperedge_target_subsumes_larger() {
+        // Hyperedges from {0,1} to {3} and to {3,4}: the singleton {3} subsumes {3,4}.
+        let mut b = Hypergraph::builder(5);
+        b.add_simple_edge(0, 1);
+        b.add_hyperedge(ns(&[0, 1]), ns(&[3, 4]));
+        b.add_hyperedge(ns(&[0, 1]), ns(&[3]));
+        let g = b.build();
+        assert_eq!(g.neighborhood(ns(&[0, 1]), ns(&[0, 1])), ns(&[3]));
+    }
+
+    #[test]
+    fn identical_hypernodes_counted_once() {
+        let mut b = Hypergraph::builder(5);
+        b.add_hyperedge(ns(&[0]), ns(&[2, 3]));
+        b.add_hyperedge(ns(&[0]), ns(&[2, 3]));
+        let g = b.build();
+        assert_eq!(g.neighborhood(ns(&[0]), ns(&[0])), ns(&[2]));
+    }
+
+    #[test]
+    fn generalized_edge_neighborhood_uses_remaining_flex() {
+        // Edge ({0}, {3}, flex {1,2}).
+        let mut b = Hypergraph::builder(4);
+        b.add_edge(Hyperedge::generalized(ns(&[0]), ns(&[3]), ns(&[1, 2])));
+        let g = b.build();
+        // From {0}: target hypernode is {3} ∪ ({1,2} \ {0}) = {1,2,3}; representative is R1.
+        assert_eq!(g.neighborhood(ns(&[0]), ns(&[0])), ns(&[1]));
+        // From {0,1,2}: target is just {3}.
+        assert_eq!(g.neighborhood(ns(&[0, 1, 2]), ns(&[0, 1, 2])), ns(&[3]));
+        // From {0,1}: target is {2,3}, representative R2.
+        assert_eq!(g.neighborhood(ns(&[0, 1]), ns(&[0, 1])), ns(&[2]));
+    }
+
+    #[test]
+    fn edge_internal_to_s_contributes_nothing() {
+        let g = fig2();
+        let s = g.all_nodes();
+        assert_eq!(g.neighborhood(s, s), NodeSet::EMPTY);
+    }
+
+    #[test]
+    fn neighborhood_of_right_half_through_hyperedge() {
+        let g = fig2();
+        // From {R3,R4,R5} (the right hypernode) the hyperedge leads to {R0,R1,R2}, whose
+        // representative is R0.
+        let s = ns(&[3, 4, 5]);
+        assert_eq!(g.neighborhood(s, s), ns(&[0]));
+        // Excluding R0 (and everything below it, as Bmin does) removes it.
+        assert_eq!(g.neighborhood(s, s | ns(&[0])), NodeSet::EMPTY);
+    }
+}

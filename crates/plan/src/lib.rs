@@ -1,0 +1,22 @@
+//! Join operators, predicates and plan trees.
+//!
+//! The DPhyp paper considers the regular inner join plus the non-inner operators of Sec. 5.1:
+//! left/full outer join, left semi- and antijoin, the nestjoin (binary grouping), and the
+//! dependent ("apply") variants of all left-handed operators. This crate defines
+//!
+//! * [`JoinOp`]: the operator enumeration with its reorderability metadata (commutativity,
+//!   left/right linearity per Def. 5, dependent counterparts per Sec. 5.6),
+//! * [`PlanNode`]: bushy operator trees produced by the optimizers, annotated with the relation
+//!   set, estimated cardinality, cost and the predicate (edge) ids applied at each join,
+//! * [`PlanShape`] helpers and a pretty printer for plans.
+//!
+//! The crate deliberately knows nothing about hypergraphs or statistics; those live in
+//! `qo-hypergraph` and `qo-catalog`.
+
+mod operator;
+mod tree;
+
+pub use operator::JoinOp;
+pub use tree::{PlanNode, PlanShape, PredicateId};
+
+pub use qo_bitset::{NodeId, NodeSet};

@@ -1,0 +1,347 @@
+//! Plan trees produced by the join-ordering algorithms.
+
+use crate::operator::JoinOp;
+use qo_bitset::{NodeId, NodeSet};
+use std::fmt;
+
+/// Identifier of a join predicate. Predicate ids coincide with the hyperedge ids of the query
+/// hypergraph the plan was built for.
+pub type PredicateId = usize;
+
+/// A bushy join plan.
+///
+/// Every node is annotated with the set of relations it produces, its estimated output
+/// cardinality and its accumulated cost under the cost model that built it. Join nodes
+/// additionally record the operator and the predicates (hyperedge ids) evaluated at that join —
+/// the conjunction `⋀ P(u, v)` that `EmitCsgCmp` assembles.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanNode {
+    /// A base-relation scan.
+    Scan {
+        /// The relation this scan produces.
+        relation: NodeId,
+        /// Estimated cardinality of the relation.
+        cardinality: f64,
+    },
+    /// A binary join.
+    Join {
+        /// The join operator.
+        op: JoinOp,
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+        /// Predicates (hyperedge ids) applied at this join.
+        predicates: Vec<PredicateId>,
+        /// Estimated output cardinality.
+        cardinality: f64,
+        /// Accumulated cost of the subtree under the cost model that produced the plan.
+        cost: f64,
+    },
+}
+
+impl PlanNode {
+    /// Creates a scan node.
+    pub fn scan(relation: NodeId, cardinality: f64) -> PlanNode {
+        PlanNode::Scan {
+            relation,
+            cardinality,
+        }
+    }
+
+    /// Creates a join node.
+    pub fn join(
+        op: JoinOp,
+        left: PlanNode,
+        right: PlanNode,
+        predicates: Vec<PredicateId>,
+        cardinality: f64,
+        cost: f64,
+    ) -> PlanNode {
+        PlanNode::Join {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+            predicates,
+            cardinality,
+            cost,
+        }
+    }
+
+    /// The set of relations produced by this plan.
+    pub fn relations(&self) -> NodeSet {
+        match self {
+            PlanNode::Scan { relation, .. } => NodeSet::single(*relation),
+            PlanNode::Join { left, right, .. } => left.relations() | right.relations(),
+        }
+    }
+
+    /// Estimated output cardinality.
+    pub fn cardinality(&self) -> f64 {
+        match self {
+            PlanNode::Scan { cardinality, .. } => *cardinality,
+            PlanNode::Join { cardinality, .. } => *cardinality,
+        }
+    }
+
+    /// Accumulated cost (scans are free, matching the C_out convention of the paper's
+    /// experimental setting).
+    pub fn cost(&self) -> f64 {
+        match self {
+            PlanNode::Scan { .. } => 0.0,
+            PlanNode::Join { cost, .. } => *cost,
+        }
+    }
+
+    /// Number of join operators in the plan.
+    pub fn join_count(&self) -> usize {
+        match self {
+            PlanNode::Scan { .. } => 0,
+            PlanNode::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
+        }
+    }
+
+    /// Number of base-relation scans in the plan.
+    pub fn scan_count(&self) -> usize {
+        match self {
+            PlanNode::Scan { .. } => 1,
+            PlanNode::Join { left, right, .. } => left.scan_count() + right.scan_count(),
+        }
+    }
+
+    /// Visits every node of the plan, parents before children.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a PlanNode)) {
+        f(self);
+        if let PlanNode::Join { left, right, .. } = self {
+            left.visit(f);
+            right.visit(f);
+        }
+    }
+
+    /// All join operators appearing in the plan, in pre-order.
+    pub fn operators(&self) -> Vec<JoinOp> {
+        let mut ops = Vec::new();
+        self.visit(&mut |n| {
+            if let PlanNode::Join { op, .. } = n {
+                ops.push(*op);
+            }
+        });
+        ops
+    }
+
+    /// All predicate ids applied somewhere in the plan (sorted, deduplicated).
+    pub fn applied_predicates(&self) -> Vec<PredicateId> {
+        let mut preds = Vec::new();
+        self.visit(&mut |n| {
+            if let PlanNode::Join { predicates, .. } = n {
+                preds.extend_from_slice(predicates);
+            }
+        });
+        preds.sort_unstable();
+        preds.dedup();
+        preds
+    }
+
+    /// Classifies the shape of the plan.
+    pub fn shape(&self) -> PlanShape {
+        fn classify(node: &PlanNode) -> (bool, bool) {
+            // returns (is_left_deep, is_right_deep)
+            match node {
+                PlanNode::Scan { .. } => (true, true),
+                PlanNode::Join { left, right, .. } => {
+                    let left_ok = classify(left).0 && matches!(**right, PlanNode::Scan { .. });
+                    let right_ok = classify(right).1 && matches!(**left, PlanNode::Scan { .. });
+                    (left_ok, right_ok)
+                }
+            }
+        }
+        let (l, r) = classify(self);
+        match (l, r) {
+            (true, true) => PlanShape::Linear, // at most one join
+            (true, false) => PlanShape::LeftDeep,
+            (false, true) => PlanShape::RightDeep,
+            (false, false) => {
+                // zigzag: every join has at least one scan child; otherwise bushy
+                fn zigzag(node: &PlanNode) -> bool {
+                    match node {
+                        PlanNode::Scan { .. } => true,
+                        PlanNode::Join { left, right, .. } => {
+                            (matches!(**left, PlanNode::Scan { .. }) && zigzag(right))
+                                || (matches!(**right, PlanNode::Scan { .. }) && zigzag(left))
+                        }
+                    }
+                }
+                if zigzag(self) {
+                    PlanShape::ZigZag
+                } else {
+                    PlanShape::Bushy
+                }
+            }
+        }
+    }
+
+    /// Renders the plan as an indented tree, one operator per line.
+    pub fn pretty(&self) -> String {
+        fn rec(node: &PlanNode, depth: usize, out: &mut String) {
+            let indent = "  ".repeat(depth);
+            match node {
+                PlanNode::Scan {
+                    relation,
+                    cardinality,
+                } => {
+                    out.push_str(&format!("{indent}scan R{relation} (card {cardinality:.0})\n"));
+                }
+                PlanNode::Join {
+                    op,
+                    left,
+                    right,
+                    predicates,
+                    cardinality,
+                    cost,
+                } => {
+                    out.push_str(&format!(
+                        "{indent}{} {:?} preds {:?} (card {:.1}, cost {:.1})\n",
+                        op.symbol(),
+                        node.relations(),
+                        predicates,
+                        cardinality,
+                        cost
+                    ));
+                    rec(left, depth + 1, out);
+                    rec(right, depth + 1, out);
+                }
+            }
+        }
+        let mut s = String::new();
+        rec(self, 0, &mut s);
+        s
+    }
+
+    /// Renders the plan on a single line, e.g. `((R0 ⋈ R1) ⟕ R2)`.
+    pub fn compact(&self) -> String {
+        match self {
+            PlanNode::Scan { relation, .. } => format!("R{relation}"),
+            PlanNode::Join {
+                op, left, right, ..
+            } => format!("({} {} {})", left.compact(), op.symbol(), right.compact()),
+        }
+    }
+}
+
+impl fmt::Display for PlanNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.compact())
+    }
+}
+
+/// The gross shape of a plan tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanShape {
+    /// At most one join.
+    Linear,
+    /// Every right child is a base relation.
+    LeftDeep,
+    /// Every left child is a base relation.
+    RightDeep,
+    /// Every join has at least one base-relation child, but sides alternate.
+    ZigZag,
+    /// At least one join joins two composite inputs.
+    Bushy,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(r: NodeId) -> PlanNode {
+        PlanNode::scan(r, 100.0)
+    }
+
+    fn ijoin(l: PlanNode, r: PlanNode) -> PlanNode {
+        let card = l.cardinality() * r.cardinality() * 0.01;
+        let cost = card + l.cost() + r.cost();
+        PlanNode::join(JoinOp::Inner, l, r, vec![], card, cost)
+    }
+
+    #[test]
+    fn scan_properties() {
+        let s = scan(3);
+        assert_eq!(s.relations(), NodeSet::single(3));
+        assert_eq!(s.cardinality(), 100.0);
+        assert_eq!(s.cost(), 0.0);
+        assert_eq!(s.join_count(), 0);
+        assert_eq!(s.scan_count(), 1);
+        assert_eq!(s.shape(), PlanShape::Linear);
+        assert_eq!(s.compact(), "R3");
+    }
+
+    #[test]
+    fn join_aggregates_relations_and_counts() {
+        let p = ijoin(ijoin(scan(0), scan(1)), scan(2));
+        assert_eq!(p.relations(), NodeSet::from_iter([0, 1, 2]));
+        assert_eq!(p.join_count(), 2);
+        assert_eq!(p.scan_count(), 3);
+        assert_eq!(p.operators(), vec![JoinOp::Inner, JoinOp::Inner]);
+    }
+
+    #[test]
+    fn shapes_are_classified() {
+        // left deep: ((0 ⋈ 1) ⋈ 2) ⋈ 3
+        let ld = ijoin(ijoin(ijoin(scan(0), scan(1)), scan(2)), scan(3));
+        assert_eq!(ld.shape(), PlanShape::LeftDeep);
+        // right deep: 0 ⋈ (1 ⋈ (2 ⋈ 3))
+        let rd = ijoin(scan(0), ijoin(scan(1), ijoin(scan(2), scan(3))));
+        assert_eq!(rd.shape(), PlanShape::RightDeep);
+        // zig-zag: (0 ⋈ (1 ⋈ 2)) ⋈ 3 — composite always paired with a scan, but sides mix
+        let zz = ijoin(ijoin(scan(0), ijoin(scan(1), scan(2))), scan(3));
+        assert_eq!(zz.shape(), PlanShape::ZigZag);
+        // bushy: (0 ⋈ 1) ⋈ (2 ⋈ 3)
+        let bushy = ijoin(ijoin(scan(0), scan(1)), ijoin(scan(2), scan(3)));
+        assert_eq!(bushy.shape(), PlanShape::Bushy);
+        // single join is linear
+        assert_eq!(ijoin(scan(0), scan(1)).shape(), PlanShape::Linear);
+    }
+
+    #[test]
+    fn applied_predicates_are_sorted_and_deduped() {
+        let inner = PlanNode::join(JoinOp::Inner, scan(0), scan(1), vec![3, 1], 10.0, 10.0);
+        let outer = PlanNode::join(JoinOp::LeftOuter, inner, scan(2), vec![1, 0], 10.0, 20.0);
+        assert_eq!(outer.applied_predicates(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn pretty_and_compact_render() {
+        let p = PlanNode::join(
+            JoinOp::LeftOuter,
+            ijoin(scan(0), scan(1)),
+            scan(2),
+            vec![7],
+            42.0,
+            99.0,
+        );
+        let pretty = p.pretty();
+        assert!(pretty.contains("⟕"));
+        assert!(pretty.contains("scan R2"));
+        assert!(pretty.contains("preds [7]"));
+        assert_eq!(p.compact(), "((R0 ⋈ R1) ⟕ R2)");
+        assert_eq!(format!("{p}"), p.compact());
+    }
+
+    #[test]
+    fn visit_is_preorder() {
+        let p = ijoin(scan(0), ijoin(scan(1), scan(2)));
+        let mut sets = Vec::new();
+        p.visit(&mut |n| sets.push(n.relations()));
+        assert_eq!(sets[0], NodeSet::from_iter([0, 1, 2]));
+        assert_eq!(sets[1], NodeSet::single(0));
+        assert_eq!(sets[2], NodeSet::from_iter([1, 2]));
+    }
+
+    #[test]
+    fn cost_accumulates() {
+        let p = ijoin(ijoin(scan(0), scan(1)), scan(2));
+        // inner: 100*100*0.01 = 100; outer: 100*100*0.01 = 100 + inner cost 100 = 200
+        assert_eq!(p.cost(), 200.0);
+        assert_eq!(p.cardinality(), 100.0);
+    }
+}

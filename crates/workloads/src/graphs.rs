@@ -1,0 +1,160 @@
+//! The classic simple query-graph families: chain, cycle, star and clique.
+
+use qo_catalog::Catalog;
+use qo_hypergraph::Hypergraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A named query-optimization workload: a hypergraph plus matching statistics.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Human-readable name, e.g. `"star-16"`.
+    pub name: String,
+    /// The query graph.
+    pub graph: Hypergraph,
+    /// Relation cardinalities and edge selectivities.
+    pub catalog: Catalog,
+}
+
+impl Workload {
+    /// Number of relations.
+    pub fn relations(&self) -> usize {
+        self.graph.node_count()
+    }
+}
+
+/// Deterministic pseudo-random statistics for a graph: cardinalities in `[100, 100_000]`,
+/// selectivities in `[0.001, 0.1]`.
+pub(crate) fn seeded_catalog(graph: &Hypergraph, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03);
+    let mut b = Catalog::builder(graph.node_count());
+    for r in 0..graph.node_count() {
+        let card = 10f64.powf(rng.random_range(2.0..5.0));
+        b.set_cardinality(r, card.round());
+    }
+    for (e, _) in graph.edges() {
+        let sel = 10f64.powf(rng.random_range(-3.0..-1.0));
+        b.set_selectivity(e, sel);
+    }
+    b.build()
+}
+
+/// Chain query: `R0 — R1 — … — R{n-1}`.
+pub fn chain_query(n: usize, seed: u64) -> Workload {
+    assert!(n >= 2, "a chain needs at least two relations");
+    let mut b = Hypergraph::builder(n);
+    for i in 0..n - 1 {
+        b.add_simple_edge(i, i + 1);
+    }
+    let graph = b.build();
+    let catalog = seeded_catalog(&graph, seed);
+    Workload {
+        name: format!("chain-{n}"),
+        graph,
+        catalog,
+    }
+}
+
+/// Cycle query: a chain plus the closing edge `R{n-1} — R0`.
+pub fn cycle_query(n: usize, seed: u64) -> Workload {
+    assert!(n >= 3, "a cycle needs at least three relations");
+    let mut b = Hypergraph::builder(n);
+    for i in 0..n {
+        b.add_simple_edge(i, (i + 1) % n);
+    }
+    let graph = b.build();
+    let catalog = seeded_catalog(&graph, seed);
+    Workload {
+        name: format!("cycle-{n}"),
+        graph,
+        catalog,
+    }
+}
+
+/// Star query: hub `R0` connected to `satellites` satellite relations `R1 .. R{satellites}`.
+pub fn star_query(satellites: usize, seed: u64) -> Workload {
+    assert!(satellites >= 1, "a star needs at least one satellite");
+    let n = satellites + 1;
+    let mut b = Hypergraph::builder(n);
+    for i in 1..n {
+        b.add_simple_edge(0, i);
+    }
+    let graph = b.build();
+    let catalog = seeded_catalog(&graph, seed);
+    Workload {
+        name: format!("star-{n}"),
+        graph,
+        catalog,
+    }
+}
+
+/// Clique query: every pair of relations is connected.
+pub fn clique_query(n: usize, seed: u64) -> Workload {
+    assert!(n >= 2, "a clique needs at least two relations");
+    let mut b = Hypergraph::builder(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            b.add_simple_edge(i, j);
+        }
+    }
+    let graph = b.build();
+    let catalog = seeded_catalog(&graph, seed);
+    Workload {
+        name: format!("clique-{n}"),
+        graph,
+        catalog,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qo_hypergraph::connectivity;
+
+    #[test]
+    fn graph_shapes_have_expected_edge_counts() {
+        assert_eq!(chain_query(5, 1).graph.edge_count(), 4);
+        assert_eq!(cycle_query(5, 1).graph.edge_count(), 5);
+        assert_eq!(star_query(5, 1).graph.edge_count(), 5);
+        assert_eq!(clique_query(5, 1).graph.edge_count(), 10);
+        assert_eq!(star_query(5, 1).relations(), 6);
+    }
+
+    #[test]
+    fn all_families_are_connected_and_validated() {
+        for w in [
+            chain_query(6, 7),
+            cycle_query(6, 7),
+            star_query(6, 7),
+            clique_query(6, 7),
+        ] {
+            assert!(connectivity::is_graph_connected(&w.graph), "{}", w.name);
+            assert!(w.catalog.validate_for(&w.graph).is_ok(), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn same_seed_gives_identical_statistics() {
+        let a = star_query(8, 42);
+        let b = star_query(8, 42);
+        for r in 0..a.relations() {
+            assert_eq!(a.catalog.cardinality(r), b.catalog.cardinality(r));
+        }
+        let c = star_query(8, 43);
+        let any_diff = (0..a.relations()).any(|r| a.catalog.cardinality(r) != c.catalog.cardinality(r));
+        assert!(any_diff, "different seeds should give different statistics");
+    }
+
+    #[test]
+    fn statistics_are_in_documented_ranges() {
+        let w = clique_query(8, 99);
+        for r in 0..8 {
+            let c = w.catalog.cardinality(r);
+            assert!((100.0..=100_000.0).contains(&c), "cardinality {c}");
+        }
+        for (e, _) in w.graph.edges() {
+            let s = w.catalog.edge_annotation(e).selectivity;
+            assert!((0.001..=0.1).contains(&s), "selectivity {s}");
+        }
+    }
+}

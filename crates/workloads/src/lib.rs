@@ -1,0 +1,28 @@
+//! Workload generators reproducing the experiments of the DPhyp paper (Sec. 4 and Sec. 5.8).
+//!
+//! The paper evaluates the algorithms on synthetic query graphs:
+//!
+//! * the classic simple-graph families — chain, cycle, star and clique queries
+//!   ([`graphs`]),
+//! * hypergraphs derived from cycle and star queries by adding one big hyperedge and then
+//!   successively splitting it ([`splits`], Fig. 4),
+//! * operator trees for the non-inner-join experiments — a left-deep star query with an
+//!   increasing number of antijoins (Fig. 8a) and a cycle query with an increasing number of
+//!   outer joins (Fig. 8b) ([`non_inner`]),
+//! * random connected hypergraphs and operator trees used by the property-based tests
+//!   ([`random`]).
+//!
+//! All generators are deterministic: statistics are derived from a seeded RNG so that repeated
+//! benchmark runs measure the same queries.
+
+pub mod graphs;
+pub mod non_inner;
+pub mod random;
+pub mod splits;
+
+pub use graphs::{chain_query, clique_query, cycle_query, star_query, Workload};
+pub use non_inner::{cycle_with_outer_joins, star_with_antijoins};
+pub use random::{random_catalog, random_hypergraph, random_left_deep_tree};
+pub use splits::{cycle_with_hyperedge_splits, max_splits, star_with_hyperedge_splits};
+
+pub use qo_bitset::{NodeId, NodeSet};

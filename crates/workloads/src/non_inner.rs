@@ -1,0 +1,160 @@
+//! Operator trees for the non-inner-join experiments (Sec. 5.8, Fig. 8).
+
+use qo_algebra::{OpTree, Predicate};
+use qo_bitset::NodeSet;
+use qo_plan::JoinOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn seeded_cards(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5851_F42D_4C95_7F2D);
+    (0..n)
+        .map(|_| 10f64.powf(rng.random_range(2.0..5.0)).round())
+        .collect()
+}
+
+/// The Fig. 8a workload: a left-deep star query over `1 + satellites` relations where the last
+/// `antijoins` operators are left antijoins and the rest are inner joins. Every predicate is
+/// between the hub `R0` and the satellite being added.
+///
+/// With `antijoins = 0` this is a plain star query; with `antijoins = satellites` the conflict
+/// analysis pins the antijoin order and the explored search space collapses from exponential to
+/// linear (Sec. 5.7).
+pub fn star_with_antijoins(satellites: usize, antijoins: usize, seed: u64) -> OpTree {
+    assert!(satellites >= 1);
+    assert!(antijoins <= satellites, "cannot have more antijoins than satellites");
+    let cards = seeded_cards(satellites + 1, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x94D0_49BB_1331_11EB);
+    let mut tree = OpTree::relation(0, cards[0]);
+    for i in 1..=satellites {
+        let op = if i > satellites - antijoins {
+            JoinOp::LeftAnti
+        } else {
+            JoinOp::Inner
+        };
+        let sel = 10f64.powf(rng.random_range(-3.0..-1.0));
+        tree = OpTree::op(
+            op,
+            Predicate::between(0, i, sel),
+            tree,
+            OpTree::relation(i, cards[i]),
+        );
+    }
+    tree
+}
+
+/// The Fig. 8b workload: a cycle query over `n` relations given as a left-deep operator tree
+/// whose last `outer_joins` operators are left outer joins and the rest inner joins. Operator
+/// `i` carries the chain predicate between `R{i-1}` and `R{i}`; the topmost operator
+/// additionally carries the cycle-closing predicate between `R{n-1}` and `R0` (merged into its
+/// predicate's reference set).
+pub fn cycle_with_outer_joins(n: usize, outer_joins: usize, seed: u64) -> OpTree {
+    assert!(n >= 3);
+    assert!(outer_joins < n, "at most n-1 operators exist");
+    let cards = seeded_cards(n, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x2545_F491_4F6C_DD1D);
+    let mut tree = OpTree::relation(0, cards[0]);
+    for i in 1..n {
+        let op = if i > n - 1 - outer_joins {
+            JoinOp::LeftOuter
+        } else {
+            JoinOp::Inner
+        };
+        let sel = 10f64.powf(rng.random_range(-3.0..-1.0));
+        let mut references = NodeSet::from_iter([i - 1, i]);
+        if i == n - 1 {
+            // Close the cycle: the final predicate also references the first relation.
+            references.insert(0);
+        }
+        tree = OpTree::op(
+            op,
+            Predicate::new(references, sel),
+            tree,
+            OpTree::relation(i, cards[i]),
+        );
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qo_algebra::{derive_query, ConflictEncoding};
+
+    #[test]
+    fn star_workload_structure() {
+        let tree = star_with_antijoins(8, 3, 1);
+        assert!(tree.validate().is_ok());
+        assert_eq!(tree.relation_count(), 9);
+        let ops = tree.operators_postorder();
+        assert_eq!(ops.len(), 8);
+        assert!(ops[..5].iter().all(|(op, ..)| *op == JoinOp::Inner));
+        assert!(ops[5..].iter().all(|(op, ..)| *op == JoinOp::LeftAnti));
+        // Every predicate references the hub.
+        for (_, p, _, _) in ops {
+            assert!(p.references.contains(0));
+        }
+    }
+
+    #[test]
+    fn star_workload_extremes() {
+        assert!(star_with_antijoins(16, 0, 7).validate().is_ok());
+        assert!(star_with_antijoins(16, 16, 7).validate().is_ok());
+    }
+
+    #[test]
+    fn full_antijoin_star_derives_growing_hyperedges() {
+        let tree = star_with_antijoins(6, 6, 3);
+        let q = derive_query(&tree, ConflictEncoding::Hyperedges).unwrap();
+        // The last antijoin's edge must require every previously antijoined satellite.
+        let last = q.graph.edge(5);
+        assert_eq!(last.left().len(), 6, "hub plus the five previous satellites");
+        assert_eq!(last.right(), NodeSet::single(6));
+    }
+
+    #[test]
+    fn inner_star_derives_simple_star_edges() {
+        let tree = star_with_antijoins(6, 0, 3);
+        let q = derive_query(&tree, ConflictEncoding::Hyperedges).unwrap();
+        assert!(!q.graph.has_complex_edges());
+    }
+
+    #[test]
+    fn cycle_workload_structure() {
+        let tree = cycle_with_outer_joins(8, 4, 11);
+        assert!(tree.validate().is_ok());
+        let ops = tree.operators_postorder();
+        assert_eq!(ops.len(), 7);
+        assert!(ops[..3].iter().all(|(op, ..)| *op == JoinOp::Inner));
+        assert!(ops[3..].iter().all(|(op, ..)| *op == JoinOp::LeftOuter));
+        // The topmost predicate closes the cycle.
+        let (_, top_pred, _, _) = ops.last().unwrap();
+        assert!(top_pred.references.contains(0));
+        assert!(top_pred.references.contains(7));
+    }
+
+    #[test]
+    fn cycle_workload_is_deterministic_per_seed() {
+        let a = cycle_with_outer_joins(10, 5, 42);
+        let b = cycle_with_outer_joins(10, 5, 42);
+        assert_eq!(a, b);
+        let c = cycle_with_outer_joins(10, 5, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn derived_cycle_query_is_optimizable_shape() {
+        for outer in [0, 3, 7] {
+            let tree = cycle_with_outer_joins(8, outer, 5);
+            let q = derive_query(&tree, ConflictEncoding::Hyperedges).unwrap();
+            assert_eq!(q.graph.node_count(), 8);
+            assert_eq!(q.graph.edge_count(), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more antijoins")]
+    fn too_many_antijoins_panics() {
+        let _ = star_with_antijoins(4, 5, 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Random workload generators for property-based testing.
+
+use qo_algebra::{OpTree, Predicate};
+use qo_bitset::NodeSet;
+use qo_catalog::Catalog;
+use qo_hypergraph::{Hyperedge, Hypergraph};
+use qo_plan::JoinOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random *connected* hypergraph over `n` relations: a random spanning tree of
+/// simple edges, plus `extra_simple` additional simple edges and `extra_hyper` hyperedges with
+/// hypernode sizes up to 3.
+pub fn random_hypergraph(n: usize, extra_simple: usize, extra_hyper: usize, seed: u64) -> Hypergraph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Hypergraph::builder(n);
+    // Random spanning tree: connect node i to a random earlier node.
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        b.add_simple_edge(j, i);
+    }
+    for _ in 0..extra_simple {
+        let a = rng.random_range(0..n);
+        let c = rng.random_range(0..n);
+        if a != c {
+            b.add_simple_edge(a, c);
+        }
+    }
+    for _ in 0..extra_hyper {
+        let left: NodeSet = (0..rng.random_range(1..=3usize))
+            .map(|_| rng.random_range(0..n))
+            .collect();
+        let mut right: NodeSet = (0..rng.random_range(1..=3usize))
+            .map(|_| rng.random_range(0..n))
+            .collect();
+        right -= left;
+        if !left.is_empty() && !right.is_empty() {
+            b.add_edge(Hyperedge::new(left, right));
+        }
+    }
+    b.build()
+}
+
+/// Generates random statistics matching `graph`.
+pub fn random_catalog(graph: &Hypergraph, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA076_1D64_78BD_642F);
+    let mut b = Catalog::builder(graph.node_count());
+    for r in 0..graph.node_count() {
+        b.set_cardinality(r, rng.random_range(1.0..100_000.0f64).round());
+    }
+    for (e, _) in graph.edges() {
+        b.set_selectivity(e, rng.random_range(0.0001..1.0f64));
+    }
+    b.build()
+}
+
+/// Generates a random left-deep operator tree over `n` relations with a mix of inner joins,
+/// outer joins, semijoins and antijoins. Every predicate connects the newly added relation to a
+/// random already-present relation, so the tree always validates.
+pub fn random_left_deep_tree(n: usize, seed: u64) -> OpTree {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let ops = [
+        JoinOp::Inner,
+        JoinOp::Inner,
+        JoinOp::Inner,
+        JoinOp::LeftOuter,
+        JoinOp::LeftSemi,
+        JoinOp::LeftAnti,
+    ];
+    let mut tree = OpTree::relation(0, rng.random_range(10.0..10_000.0f64).round());
+    for i in 1..n {
+        let partner = rng.random_range(0..i);
+        let op = ops[rng.random_range(0..ops.len())];
+        let sel = rng.random_range(0.001..0.5);
+        tree = OpTree::op(
+            op,
+            Predicate::between(partner, i, sel),
+            tree,
+            OpTree::relation(i, rng.random_range(10.0..10_000.0f64).round()),
+        );
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use qo_algebra::{derive_query, ConflictEncoding};
+    use qo_hypergraph::connectivity;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_random_hypergraphs_are_connected_and_valid(
+            n in 2usize..10,
+            extra in 0usize..5,
+            hyper in 0usize..3,
+            seed in any::<u64>(),
+        ) {
+            let g = random_hypergraph(n, extra, hyper, seed);
+            prop_assert_eq!(g.node_count(), n);
+            prop_assert!(connectivity::is_graph_connected(&g));
+            let c = random_catalog(&g, seed);
+            prop_assert!(c.validate_for(&g).is_ok());
+        }
+
+        #[test]
+        fn prop_random_trees_validate_and_derive(n in 2usize..10, seed in any::<u64>()) {
+            let tree = random_left_deep_tree(n, seed);
+            prop_assert!(tree.validate().is_ok());
+            let q = derive_query(&tree, ConflictEncoding::Hyperedges).unwrap();
+            prop_assert_eq!(q.graph.node_count(), n);
+            prop_assert_eq!(q.graph.edge_count(), n - 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_hypergraph(8, 3, 2, 7);
+        let b = random_hypergraph(8, 3, 2, 7);
+        assert_eq!(a.edge_count(), b.edge_count());
+        let ta = random_left_deep_tree(8, 7);
+        let tb = random_left_deep_tree(8, 7);
+        assert_eq!(ta, tb);
+    }
+}

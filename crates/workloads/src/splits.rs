@@ -1,0 +1,200 @@
+//! Hypergraphs derived from cycle and star queries by adding one big hyperedge and successively
+//! splitting it (Fig. 4 and Sec. 4 of the paper).
+//!
+//! The generator starts from the simple graph (cycle or star), adds one hyperedge whose two
+//! hypernodes each contain half of the relations, and then applies `splits` split operations.
+//! A split replaces the oldest splittable hyperedge `(u, v)` by two hyperedges obtained by
+//! halving both hypernodes; after the maximal number of splits only simple edges remain.
+
+use crate::graphs::{seeded_catalog, Workload};
+use qo_bitset::NodeSet;
+use qo_hypergraph::{Hyperedge, Hypergraph};
+use std::collections::VecDeque;
+
+/// The maximal number of split operations for an initial hyperedge whose hypernodes contain
+/// `half` relations each (i.e. until all derived edges are simple).
+///
+/// Each split turns one edge with hypernode size `k` into two edges of size `k/2`; an edge of
+/// size 1 cannot be split. For `half = 2^m` the total is `2^m - 1`.
+pub fn max_splits(half: usize) -> usize {
+    assert!(half.is_power_of_two(), "hypernode size must be a power of two");
+    half - 1
+}
+
+/// Splits the hyperedge `(u, v)` into two hyperedges by halving both hypernodes.
+fn split_edge(edge: &Hyperedge) -> Option<(Hyperedge, Hyperedge)> {
+    let u: Vec<_> = edge.left().iter().collect();
+    let v: Vec<_> = edge.right().iter().collect();
+    if u.len() < 2 || v.len() < 2 {
+        return None;
+    }
+    let (u1, u2) = u.split_at(u.len() / 2);
+    let (v1, v2) = v.split_at(v.len() / 2);
+    let to_set = |s: &[usize]| s.iter().copied().collect::<NodeSet>();
+    Some((
+        Hyperedge::new(to_set(u1), to_set(v1)),
+        Hyperedge::new(to_set(u2), to_set(v2)),
+    ))
+}
+
+fn apply_splits(initial: Hyperedge, splits: usize) -> Vec<Hyperedge> {
+    let mut queue: VecDeque<Hyperedge> = VecDeque::from([initial]);
+    let mut remaining = splits;
+    while remaining > 0 {
+        let Some(pos) = queue.iter().position(|e| e.left().len() > 1 && e.right().len() > 1) else {
+            panic!("more splits requested than the hyperedge supports");
+        };
+        let edge = queue.remove(pos).expect("position exists");
+        let (a, b) = split_edge(&edge).expect("splittable by construction");
+        queue.push_back(a);
+        queue.push_back(b);
+        remaining -= 1;
+    }
+    queue.into_iter().collect()
+}
+
+/// Cycle-based hypergraph (Fig. 4a): `n` relations in a cycle plus the hyperedge
+/// `({R0..R{n/2-1}}, {R{n/2}..R{n-1}})`, split `splits` times.
+///
+/// `n` must be a power of two ≥ 4; `splits ≤ max_splits(n / 2)`.
+pub fn cycle_with_hyperedge_splits(n: usize, splits: usize, seed: u64) -> Workload {
+    assert!(n >= 4 && n.is_power_of_two(), "cycle workload needs a power-of-two size ≥ 4");
+    assert!(splits <= max_splits(n / 2), "too many splits for {n} relations");
+    let mut b = Hypergraph::builder(n);
+    for i in 0..n {
+        b.add_simple_edge(i, (i + 1) % n);
+    }
+    let initial = Hyperedge::new(NodeSet::range(0, n / 2), NodeSet::range(n / 2, n));
+    for e in apply_splits(initial, splits) {
+        b.add_edge(e);
+    }
+    let graph = b.build();
+    let catalog = seeded_catalog(&graph, seed);
+    Workload {
+        name: format!("cycle-{n}-splits-{splits}"),
+        graph,
+        catalog,
+    }
+}
+
+/// Star-based hypergraph (Fig. 4b): hub `R0`, `satellites` satellites, plus the hyperedge
+/// `({R1..}, {..R{satellites}})` over the two satellite halves, split `splits` times.
+///
+/// `satellites` must be a power of two ≥ 2; `splits ≤ max_splits(satellites / 2)`.
+pub fn star_with_hyperedge_splits(satellites: usize, splits: usize, seed: u64) -> Workload {
+    assert!(
+        satellites >= 2 && satellites.is_power_of_two(),
+        "star workload needs a power-of-two satellite count ≥ 2"
+    );
+    assert!(
+        splits <= max_splits(satellites / 2),
+        "too many splits for {satellites} satellites"
+    );
+    let n = satellites + 1;
+    let mut b = Hypergraph::builder(n);
+    for i in 1..n {
+        b.add_simple_edge(0, i);
+    }
+    let half = satellites / 2;
+    let initial = Hyperedge::new(NodeSet::range(1, 1 + half), NodeSet::range(1 + half, n));
+    for e in apply_splits(initial, splits) {
+        b.add_edge(e);
+    }
+    let graph = b.build();
+    let catalog = seeded_catalog(&graph, seed);
+    Workload {
+        name: format!("star-{satellites}-splits-{splits}"),
+        graph,
+        catalog,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qo_hypergraph::connectivity;
+
+    fn ns(v: &[usize]) -> NodeSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn max_splits_values() {
+        assert_eq!(max_splits(2), 1);
+        assert_eq!(max_splits(4), 3);
+        assert_eq!(max_splits(8), 7);
+    }
+
+    #[test]
+    fn cycle8_g0_matches_figure_4a() {
+        let w = cycle_with_hyperedge_splits(8, 0, 1);
+        assert_eq!(w.graph.node_count(), 8);
+        // 8 cycle edges + 1 hyperedge.
+        assert_eq!(w.graph.edge_count(), 9);
+        let hyper = w.graph.edge(8);
+        assert_eq!(hyper.left(), ns(&[0, 1, 2, 3]));
+        assert_eq!(hyper.right(), ns(&[4, 5, 6, 7]));
+    }
+
+    #[test]
+    fn splitting_produces_one_more_edge_per_split() {
+        for splits in 0..=3 {
+            let w = cycle_with_hyperedge_splits(8, splits, 1);
+            assert_eq!(w.graph.edge_count(), 8 + 1 + splits, "splits = {splits}");
+            assert!(connectivity::is_graph_connected(&w.graph));
+        }
+        // After the maximal number of splits all derived edges are simple.
+        let w = cycle_with_hyperedge_splits(8, 3, 1);
+        assert!(!w.graph.has_complex_edges());
+    }
+
+    #[test]
+    fn first_cycle_split_halves_both_hypernodes() {
+        let w = cycle_with_hyperedge_splits(8, 1, 1);
+        let derived: Vec<_> = w
+            .graph
+            .edges()
+            .filter(|(id, _)| *id >= 8)
+            .map(|(_, e)| (e.left(), e.right()))
+            .collect();
+        assert_eq!(derived.len(), 2);
+        assert!(derived.contains(&(ns(&[0, 1]), ns(&[4, 5]))));
+        assert!(derived.contains(&(ns(&[2, 3]), ns(&[6, 7]))));
+    }
+
+    #[test]
+    fn star_splits_cover_the_paper_range() {
+        // 8 satellites: splits 0..=3 (Fig. 6 left); 16 satellites: splits 0..=7 (Fig. 6 right).
+        for splits in 0..=3 {
+            let w = star_with_hyperedge_splits(8, splits, 2);
+            assert_eq!(w.graph.node_count(), 9);
+            assert_eq!(w.graph.edge_count(), 8 + 1 + splits);
+            assert!(connectivity::is_graph_connected(&w.graph));
+        }
+        for splits in 0..=7 {
+            let w = star_with_hyperedge_splits(16, splits, 2);
+            assert_eq!(w.graph.node_count(), 17);
+            assert_eq!(w.graph.edge_count(), 16 + 1 + splits);
+        }
+    }
+
+    #[test]
+    fn star_initial_hyperedge_spans_the_satellite_halves() {
+        let w = star_with_hyperedge_splits(8, 0, 3);
+        let hyper = w.graph.edge(8);
+        assert_eq!(hyper.left(), ns(&[1, 2, 3, 4]));
+        assert_eq!(hyper.right(), ns(&[5, 6, 7, 8]));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many splits")]
+    fn too_many_splits_panics() {
+        let _ = cycle_with_hyperedge_splits(8, 4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_panics() {
+        let _ = cycle_with_hyperedge_splits(6, 0, 1);
+    }
+}

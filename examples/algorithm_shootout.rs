@@ -1,0 +1,50 @@
+//! Algorithm shoot-out: runs DPhyp, DPsize, DPsub and GOO on the paper's workload families and
+//! prints single-shot optimization times — a miniature version of the `reproduce` harness that
+//! is convenient to play with.
+//!
+//! ```text
+//! cargo run --release --example algorithm_shootout [relations]
+//! ```
+
+use qo_baselines::{dpsize, dpsub, goo};
+use qo_catalog::CoutCost;
+use qo_workloads::{cycle_with_hyperedge_splits, star_query, star_with_hyperedge_splits, Workload};
+use std::time::Instant;
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn shootout(w: &Workload) {
+    let dphyp_ms = time_ms(|| {
+        dphyp::optimize(&w.graph, &w.catalog).expect("plannable");
+    });
+    let dpsize_ms = time_ms(|| {
+        dpsize(&w.graph, &w.catalog, &CoutCost).expect("plannable");
+    });
+    let dpsub_ms = time_ms(|| {
+        dpsub(&w.graph, &w.catalog, &CoutCost).expect("plannable");
+    });
+    let goo_ms = time_ms(|| {
+        goo(&w.graph, &w.catalog, &CoutCost).expect("plannable");
+    });
+    println!(
+        "{:<22} DPhyp {:>9.3} ms   DPsize {:>9.3} ms   DPsub {:>9.3} ms   GOO {:>9.3} ms",
+        w.name, dphyp_ms, dpsize_ms, dpsub_ms, goo_ms
+    );
+}
+
+fn main() {
+    let relations: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+    println!("(times are single-shot; run with --release for meaningful numbers)");
+    shootout(&star_query(relations.saturating_sub(1).max(2), 1));
+    shootout(&cycle_with_hyperedge_splits(8, 0, 1));
+    shootout(&cycle_with_hyperedge_splits(8, 3, 1));
+    shootout(&star_with_hyperedge_splits(8, 0, 1));
+    shootout(&star_with_hyperedge_splits(8, 3, 1));
+}

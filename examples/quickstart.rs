@@ -1,0 +1,51 @@
+//! Quickstart: optimize a five-relation chain query with DPhyp.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dphyp::{Optimizer, OptimizerOptions};
+use qo_catalog::Catalog;
+use qo_hypergraph::Hypergraph;
+
+fn main() {
+    // 1. Describe the query graph: five relations joined in a chain
+    //    orders — lineitems — parts — suppliers — nations.
+    let names = ["orders", "lineitems", "parts", "suppliers", "nations"];
+    let mut graph = Hypergraph::builder(5);
+    for i in 0..4 {
+        graph.add_simple_edge(i, i + 1);
+    }
+    let graph = graph.build();
+
+    // 2. Attach statistics: cardinalities per relation, selectivities per join predicate.
+    let mut catalog = Catalog::builder(5);
+    catalog
+        .set_cardinality(0, 1_500_000.0)
+        .set_cardinality(1, 6_000_000.0)
+        .set_cardinality(2, 200_000.0)
+        .set_cardinality(3, 10_000.0)
+        .set_cardinality(4, 25.0)
+        .set_selectivity(0, 1.0 / 1_500_000.0)
+        .set_selectivity(1, 1.0 / 200_000.0)
+        .set_selectivity(2, 1.0 / 10_000.0)
+        .set_selectivity(3, 1.0 / 25.0);
+    let catalog = catalog.build();
+
+    // 3. Optimize.
+    let optimizer = Optimizer::new(OptimizerOptions::default());
+    let result = optimizer
+        .optimize_hypergraph(&graph, &catalog)
+        .expect("chain query is always plannable");
+
+    println!("relations : {:?}", names);
+    println!("optimal   : {}", result.plan.compact());
+    println!("cost      : {:.1} (C_out)", result.cost);
+    println!("cardinality estimate: {:.1}", result.cardinality);
+    println!(
+        "search    : {} csg-cmp-pairs considered, {} DP entries",
+        result.ccp_count, result.dp_entries
+    );
+    println!();
+    println!("full plan:\n{}", result.plan.pretty());
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the DPhyp reproduction: re-exports the workspace crates so that the
+//! examples and cross-crate integration tests have a single, convenient dependency.
+//!
+//! Library users should depend on the individual crates (`dphyp`, `qo-hypergraph`,
+//! `qo-catalog`, …) directly; this crate only exists to host `examples/` and `tests/`.
+
+pub use dphyp;
+pub use qo_algebra as algebra;
+pub use qo_baselines as baselines;
+pub use qo_bitset as bitset;
+pub use qo_catalog as catalog;
+pub use qo_exec as exec;
+pub use qo_hypergraph as hypergraph;
+pub use qo_plan as plan;
+pub use qo_workloads as workloads;

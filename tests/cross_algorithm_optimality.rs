@@ -1,0 +1,105 @@
+//! Cross-crate integration tests: every enumeration algorithm must find a plan of the same
+//! (optimal) cost on every workload, and DPhyp must do so with the minimal number of
+//! cost-function calls.
+
+use dphyp::{optimize, Optimizer, OptimizerOptions};
+use qo_baselines::{dpsize, dpsub, goo};
+use qo_catalog::CoutCost;
+use qo_hypergraph::count_ccps;
+use qo_workloads::{
+    chain_query, clique_query, cycle_query, cycle_with_hyperedge_splits, random_catalog,
+    random_hypergraph, star_query, star_with_hyperedge_splits, Workload,
+};
+
+fn assert_all_agree(w: &Workload) {
+    let dphyp = optimize(&w.graph, &w.catalog).expect("plannable");
+    let size = dpsize(&w.graph, &w.catalog, &CoutCost).expect("plannable");
+    let sub = dpsub(&w.graph, &w.catalog, &CoutCost).expect("plannable");
+    let tol = 1e-6 * dphyp.cost.max(1.0);
+    assert!(
+        (dphyp.cost - size.cost).abs() < tol,
+        "{}: DPhyp {} vs DPsize {}",
+        w.name,
+        dphyp.cost,
+        size.cost
+    );
+    assert!(
+        (dphyp.cost - sub.cost).abs() < tol,
+        "{}: DPhyp {} vs DPsub {}",
+        w.name,
+        dphyp.cost,
+        sub.cost
+    );
+    // All three DP variants call the cost function exactly once per csg-cmp-pair.
+    let ccp = count_ccps(&w.graph);
+    assert_eq!(dphyp.ccp_count, ccp, "{}: DPhyp emissions", w.name);
+    assert_eq!(size.cost_calls, ccp, "{}: DPsize cost calls", w.name);
+    assert_eq!(sub.cost_calls, ccp, "{}: DPsub cost calls", w.name);
+    // Every plan covers all relations.
+    assert_eq!(dphyp.plan.relations(), w.graph.all_nodes());
+    assert_eq!(size.plan.relations(), w.graph.all_nodes());
+    assert_eq!(sub.plan.relations(), w.graph.all_nodes());
+    // Greedy is valid but never better than the optimum.
+    let greedy = goo(&w.graph, &w.catalog, &CoutCost).expect("plannable");
+    assert!(greedy.cost >= dphyp.cost - tol, "{}", w.name);
+}
+
+#[test]
+fn classic_graph_families_agree() {
+    for seed in [1u64, 2, 3] {
+        assert_all_agree(&chain_query(7, seed));
+        assert_all_agree(&cycle_query(7, seed));
+        assert_all_agree(&star_query(6, seed));
+        assert_all_agree(&clique_query(6, seed));
+    }
+}
+
+#[test]
+fn hyperedge_split_workloads_agree() {
+    for splits in 0..=3 {
+        assert_all_agree(&cycle_with_hyperedge_splits(8, splits, 11));
+        assert_all_agree(&star_with_hyperedge_splits(8, splits, 11));
+    }
+}
+
+#[test]
+fn random_hypergraphs_agree() {
+    for seed in 0..20u64 {
+        let graph = random_hypergraph(7, (seed % 4) as usize, (seed % 3) as usize, seed);
+        let catalog = random_catalog(&graph, seed);
+        let w = Workload {
+            name: format!("random-{seed}"),
+            graph,
+            catalog,
+        };
+        assert_all_agree(&w);
+    }
+}
+
+#[test]
+fn dphyp_search_space_matches_the_paper_on_paper_sized_queries() {
+    // Star with 16 satellites (17 relations): (n-1) * 2^(n-2) csg-cmp-pairs.
+    let w = star_query(16, 5);
+    let r = optimize(&w.graph, &w.catalog).expect("plannable");
+    assert_eq!(r.ccp_count, 16 * (1 << 15));
+    // Cycle with 16 relations: (n³ - 2n² + n)/2.
+    let w = cycle_query(16, 5);
+    let r = optimize(&w.graph, &w.catalog).expect("plannable");
+    let n = 16usize;
+    assert_eq!(r.ccp_count, (n.pow(3) - 2 * n.pow(2) + n) / 2);
+}
+
+#[test]
+fn cost_models_are_interchangeable() {
+    use dphyp::CostModelKind;
+    let w = star_with_hyperedge_splits(8, 2, 9);
+    for model in [CostModelKind::Cout, CostModelKind::Mixed] {
+        let r = Optimizer::new(OptimizerOptions {
+            cost_model: model,
+            ..Default::default()
+        })
+        .optimize_hypergraph(&w.graph, &w.catalog)
+        .expect("plannable");
+        assert_eq!(r.plan.relations(), w.graph.all_nodes());
+    }
+}

@@ -1,0 +1,62 @@
+//! Smoke tests for the public API surface exercised by the examples and the README quickstart.
+
+use dphyp::{ConflictEncoding, JoinOp, OpTree, Optimizer, OptimizerOptions, Predicate};
+use dphyp_repro as umbrella;
+use qo_catalog::Catalog;
+use qo_hypergraph::Hypergraph;
+
+#[test]
+fn readme_quickstart_flow() {
+    let mut b = Hypergraph::builder(4);
+    b.add_simple_edge(0, 1);
+    b.add_simple_edge(1, 2);
+    b.add_simple_edge(2, 3);
+    let graph = b.build();
+    let mut cat = Catalog::builder(4);
+    cat.set_cardinality(0, 1000.0)
+        .set_cardinality(1, 50.0)
+        .set_cardinality(2, 80_000.0)
+        .set_cardinality(3, 200.0)
+        .set_selectivity(0, 0.02)
+        .set_selectivity(1, 0.0005)
+        .set_selectivity(2, 0.01);
+    let catalog = cat.build();
+
+    let result = dphyp::optimize(&graph, &catalog).expect("plannable");
+    assert_eq!(result.plan.relations(), graph.all_nodes());
+    assert!(result.cost > 0.0);
+    assert!(result.plan.pretty().contains("scan R0"));
+}
+
+#[test]
+fn umbrella_reexports_are_usable() {
+    let w = umbrella::workloads::star_query(4, 1);
+    let r = umbrella::dphyp::optimize(&w.graph, &w.catalog).expect("plannable");
+    assert_eq!(r.plan.scan_count(), 5);
+    let counts = umbrella::hypergraph::count_ccps(&w.graph);
+    assert_eq!(counts, r.ccp_count);
+}
+
+#[test]
+fn operator_tree_entry_point_works_end_to_end() {
+    let tree = OpTree::op(
+        JoinOp::LeftOuter,
+        Predicate::between(1, 2, 0.1),
+        OpTree::join(
+            Predicate::between(0, 1, 0.01),
+            OpTree::relation(0, 10_000.0),
+            OpTree::relation(1, 500.0),
+        ),
+        OpTree::relation(2, 2_000.0),
+    );
+    for encoding in [ConflictEncoding::Hyperedges, ConflictEncoding::TesTest] {
+        let result = Optimizer::new(OptimizerOptions {
+            conflict_encoding: encoding,
+            ..Default::default()
+        })
+        .optimize_tree(&tree)
+        .expect("plannable");
+        assert_eq!(result.plan.join_count(), 2);
+        assert!(result.plan.operators().contains(&JoinOp::LeftOuter));
+    }
+}

@@ -78,7 +78,11 @@ impl ConflictAnalysis {
 /// Syntactic eligibility set of one operator: the referenced relations (predicate references
 /// plus lateral references of relations in the subtree), restricted to the operator's own
 /// subtree.
-pub fn ses(predicate: &Predicate, subtree_tables: NodeSet, lateral_refs_in_subtree: NodeSet) -> NodeSet {
+pub fn ses(
+    predicate: &Predicate,
+    subtree_tables: NodeSet,
+    lateral_refs_in_subtree: NodeSet,
+) -> NodeSet {
     (predicate.references | lateral_refs_in_subtree) & subtree_tables
 }
 
@@ -180,10 +184,7 @@ fn analyze(tree: &OpTree) -> ConflictAnalysis {
     let mut operators = Vec::with_capacity(tree.operator_count());
     // Returns (tables of subtree, lateral refs of relations in the subtree, operator index of
     // the subtree root if it is an operator).
-    fn rec(
-        t: &OpTree,
-        operators: &mut Vec<OperatorInfo>,
-    ) -> (NodeSet, NodeSet, Option<usize>) {
+    fn rec(t: &OpTree, operators: &mut Vec<OperatorInfo>) -> (NodeSet, NodeSet, Option<usize>) {
         match t {
             OpTree::Relation {
                 id, lateral_refs, ..
@@ -318,7 +319,9 @@ mod tests {
         let a = calc_tes(&tree);
         for i in 1..a.operators.len() {
             assert!(
-                a.operators[i].tes.is_superset_of(a.operators[i - 1].tes - ns(&[0])),
+                a.operators[i]
+                    .tes
+                    .is_superset_of(a.operators[i - 1].tes - ns(&[0])),
                 "antijoin {i} must require all previously antijoined satellites"
             );
         }
@@ -356,7 +359,11 @@ mod tests {
         assert_eq!(a.operators[0].op, JoinOp::LeftOuter);
         assert_eq!(a.operators[0].tes, ns(&[0, 1]));
         assert_eq!(a.operators[1].op, JoinOp::Inner);
-        assert_eq!(a.operators[1].tes, ns(&[0, 1, 2]), "join absorbs the outer join's TES");
+        assert_eq!(
+            a.operators[1].tes,
+            ns(&[0, 1, 2]),
+            "join absorbs the outer join's TES"
+        );
     }
 
     #[test]
@@ -440,7 +447,11 @@ mod tests {
         let a = calc_tes(&tree);
         let root = a.root().unwrap();
         assert_eq!(root.op, JoinOp::LeftAnti);
-        assert_eq!(root.tes, ns(&[0, 1, 2]), "antijoin must absorb the full outer join's TES");
+        assert_eq!(
+            root.tes,
+            ns(&[0, 1, 2]),
+            "antijoin must absorb the full outer join's TES"
+        );
     }
 
     #[test]

@@ -54,14 +54,19 @@ impl HypergraphQuery {
 ///
 /// The tree is validated first; relation ids must be dense (`0..n` for some `n`) because they
 /// double as hypergraph node ids.
-pub fn derive_query(tree: &OpTree, encoding: ConflictEncoding) -> Result<HypergraphQuery, OpTreeError> {
+pub fn derive_query(
+    tree: &OpTree,
+    encoding: ConflictEncoding,
+) -> Result<HypergraphQuery, OpTreeError> {
     tree.validate()?;
     let tables = tree.tables();
     let node_count = tables.len();
     // Relation ids must be exactly 0..node_count.
     if tables != NodeSet::first_n(node_count) {
         // Re-use the "unknown relation" error for sparse numbering.
-        let missing = (NodeSet::first_n(node_count) - tables).min_node().unwrap_or(node_count);
+        let missing = (NodeSet::first_n(node_count) - tables)
+            .min_node()
+            .unwrap_or(node_count);
         return Err(OpTreeError::PredicateReferencesUnknownRelation(missing));
     }
 
@@ -89,8 +94,16 @@ pub fn derive_query(tree: &OpTree, encoding: ConflictEncoding) -> Result<Hypergr
             }
             ConflictEncoding::TesTest => {
                 // Plain predicate edges: the syntactic eligibility split.
-                let r = non_empty_side(info.ses & info.right_tables, NodeSet::EMPTY, info.right_tables);
-                let l = non_empty_side(info.ses & info.left_tables, NodeSet::EMPTY, info.left_tables);
+                let r = non_empty_side(
+                    info.ses & info.right_tables,
+                    NodeSet::EMPTY,
+                    info.right_tables,
+                );
+                let l = non_empty_side(
+                    info.ses & info.left_tables,
+                    NodeSet::EMPTY,
+                    info.left_tables,
+                );
                 (l, r)
             }
         };
@@ -156,7 +169,10 @@ mod tests {
         let q = derive_query(&tree, ConflictEncoding::Hyperedges).unwrap();
         assert_eq!(q.graph.node_count(), 5);
         assert_eq!(q.graph.edge_count(), 4);
-        assert!(!q.graph.has_complex_edges(), "inner joins produce only simple edges");
+        assert!(
+            !q.graph.has_complex_edges(),
+            "inner joins produce only simple edges"
+        );
         for (id, e) in q.graph.edges() {
             assert_eq!(e.left(), ns(&[0]));
             assert_eq!(e.right(), ns(&[id + 1]));
@@ -192,7 +208,10 @@ mod tests {
     fn tes_test_encoding_keeps_simple_edges_but_annotates_tes() {
         let tree = left_deep_star(&[JoinOp::LeftAnti; 3]);
         let q = derive_query(&tree, ConflictEncoding::TesTest).unwrap();
-        assert!(!q.graph.has_complex_edges(), "generate-and-test keeps the plain predicate edges");
+        assert!(
+            !q.graph.has_complex_edges(),
+            "generate-and-test keeps the plain predicate edges"
+        );
         // The TES annotations still grow.
         let ann_last = q.catalog.edge_annotation(2);
         assert_eq!(ann_last.tes(), ns(&[0, 1, 2, 3]));
@@ -258,7 +277,12 @@ mod tests {
         // Chain-style tree with predicates (R_{i-1}, R_i), outer joins at the end: outer joins
         // reorder among themselves, so only edges whose operator conflicts with something grow.
         let mut tree = OpTree::relation(0, 100.0);
-        let ops = [JoinOp::Inner, JoinOp::Inner, JoinOp::LeftOuter, JoinOp::LeftOuter];
+        let ops = [
+            JoinOp::Inner,
+            JoinOp::Inner,
+            JoinOp::LeftOuter,
+            JoinOp::LeftOuter,
+        ];
         for (i, op) in ops.iter().enumerate() {
             let rel = i + 1;
             tree = OpTree::op(

@@ -60,13 +60,22 @@ impl fmt::Display for OpTreeError {
                 write!(f, "leaves must be ordered left-to-right by relation id")
             }
             OpTreeError::PredicateReferencesUnknownRelation(r) => {
-                write!(f, "a predicate references R{r}, which is not part of the tree")
+                write!(
+                    f,
+                    "a predicate references R{r}, which is not part of the tree"
+                )
             }
             OpTreeError::PredicateDoesNotSpanOperands => {
-                write!(f, "a predicate does not reference both operands of its operator")
+                write!(
+                    f,
+                    "a predicate does not reference both operands of its operator"
+                )
             }
             OpTreeError::InvalidLateralReference(r) => {
-                write!(f, "relation R{r} has a lateral reference to a non-preceding relation")
+                write!(
+                    f,
+                    "relation R{r} has a lateral reference to a non-preceding relation"
+                )
             }
             OpTreeError::InvalidSelectivity(s) => write!(f, "invalid selectivity {s}"),
         }
@@ -327,10 +336,7 @@ mod tests {
         assert_eq!(t.operator_count(), 2);
         assert_eq!(t.compact(), "((R0 ⋈ R1) ⟕ R2)");
         assert_eq!(format!("{t}"), t.compact());
-        assert_eq!(
-            t.cardinalities(),
-            vec![(0, 100.0), (1, 200.0), (2, 300.0)]
-        );
+        assert_eq!(t.cardinalities(), vec![(0, 100.0), (1, 200.0), (2, 300.0)]);
     }
 
     #[test]

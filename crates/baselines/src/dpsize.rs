@@ -3,7 +3,7 @@
 use crate::result::{BaselineError, BaselineResult};
 use qo_bitset::NodeSet;
 use qo_catalog::{Catalog, CostModel, DpTable, JoinCombiner};
-use qo_hypergraph::Hypergraph;
+use qo_hypergraph::{EdgeId, Hypergraph};
 
 /// Runs DPsize over the hypergraph.
 ///
@@ -13,10 +13,13 @@ use qo_hypergraph::Hypergraph;
 /// the two tests marked `(*)` in the paper's pseudocode, which are exactly what makes DPsize
 /// slow: the number of inspected pairs grows with the square of the table size regardless of the
 /// graph structure.
-pub fn dpsize(
+///
+/// Generic over the cost model so that concrete instantiations inline the cost function, the
+/// same way the DPhyp handler does.
+pub fn dpsize<M: CostModel + ?Sized>(
     graph: &Hypergraph,
     catalog: &Catalog,
-    cost_model: &dyn CostModel,
+    cost_model: &M,
 ) -> Result<BaselineResult, BaselineError> {
     catalog
         .validate_for(graph)
@@ -33,6 +36,7 @@ pub fn dpsize(
 
     let mut pairs_tested = 0usize;
     let mut cost_calls = 0usize;
+    let mut edge_buf: Vec<EdgeId> = Vec::new();
 
     for size in 2..=n {
         let mut new_sets: Vec<NodeSet> = Vec::new();
@@ -55,11 +59,16 @@ pub fn dpsize(
                     if !graph.has_connecting_edge(left_set, right_set) {
                         continue; // test (*) 2: not connected
                     }
-                    let (a, b) = (
-                        table.get(left_set).expect("listed class must exist").clone(),
-                        table.get(right_set).expect("listed class must exist").clone(),
-                    );
-                    if let Some(candidate) = combiner.combine(&a, &b) {
+                    let a = table
+                        .get(left_set)
+                        .expect("listed class must exist")
+                        .stats();
+                    let b = table
+                        .get(right_set)
+                        .expect("listed class must exist")
+                        .stats();
+                    graph.connecting_edges_into(left_set, right_set, &mut edge_buf);
+                    if let Some(candidate) = combiner.combine(&a, &b, &edge_buf) {
                         cost_calls += 1;
                         let set = candidate.set;
                         let was_new = !table.contains(set);

@@ -2,7 +2,7 @@
 
 use crate::result::{BaselineError, BaselineResult};
 use qo_catalog::{Catalog, CostModel, DpTable, JoinCombiner};
-use qo_hypergraph::Hypergraph;
+use qo_hypergraph::{EdgeId, Hypergraph};
 
 /// Runs DPsub over the hypergraph.
 ///
@@ -11,10 +11,10 @@ use qo_hypergraph::Hypergraph;
 /// The tests — do plans for both halves exist, and are the halves connected by a hyperedge —
 /// fail for the vast majority of the `2^|S|` splits on sparse query graphs, which is why DPsub
 /// loses against DPhyp everywhere and against DPsize on large low-density graphs (cycles).
-pub fn dpsub(
+pub fn dpsub<M: CostModel + ?Sized>(
     graph: &Hypergraph,
     catalog: &Catalog,
-    cost_model: &dyn CostModel,
+    cost_model: &M,
 ) -> Result<BaselineResult, BaselineError> {
     catalog
         .validate_for(graph)
@@ -28,6 +28,7 @@ pub fn dpsub(
 
     let mut pairs_tested = 0usize;
     let mut cost_calls = 0usize;
+    let mut edge_buf: Vec<EdgeId> = Vec::new();
     let all = graph.all_nodes();
 
     for set in all.subsets() {
@@ -52,8 +53,9 @@ pub fn dpsub(
             if !graph.has_connecting_edge(s1, s2) {
                 continue;
             }
-            let (a, b) = (a.clone(), b.clone());
-            if let Some(candidate) = combiner.combine(&a, &b) {
+            let (a, b) = (a.stats(), b.stats());
+            graph.connecting_edges_into(s1, s2, &mut edge_buf);
+            if let Some(candidate) = combiner.combine(&a, &b, &edge_buf) {
                 cost_calls += 1;
                 table.offer(candidate);
             }
@@ -111,20 +113,20 @@ mod tests {
 
     #[test]
     fn agrees_with_dpsize_on_cost_and_cost_calls() {
-        for (g, c) in [
-            star(5, 250.0, 0.02),
-            {
-                let mut b = Hypergraph::builder(6);
-                for i in 0..6 {
-                    b.add_simple_edge(i, (i + 1) % 6);
-                }
-                b.add_hyperedge(ns(&[0, 1, 2]), ns(&[3, 4, 5]));
-                (b.build(), Catalog::uniform(6, 80.0, 7, 0.1))
-            },
-        ] {
+        for (g, c) in [star(5, 250.0, 0.02), {
+            let mut b = Hypergraph::builder(6);
+            for i in 0..6 {
+                b.add_simple_edge(i, (i + 1) % 6);
+            }
+            b.add_hyperedge(ns(&[0, 1, 2]), ns(&[3, 4, 5]));
+            (b.build(), Catalog::uniform(6, 80.0, 7, 0.1))
+        }] {
             let a = dpsub(&g, &c, &CoutCost).unwrap();
             let b = dpsize(&g, &c, &CoutCost).unwrap();
-            assert!((a.cost - b.cost).abs() < 1e-9 * a.cost.max(1.0), "optimal costs must agree");
+            assert!(
+                (a.cost - b.cost).abs() < 1e-9 * a.cost.max(1.0),
+                "optimal costs must agree"
+            );
             assert_eq!(
                 a.cost_calls, b.cost_calls,
                 "both enumerate exactly the csg-cmp-pairs"

@@ -5,16 +5,18 @@
 //! dynamic-programming optimum that DPhyp/DPsize/DPsub all reach.
 
 use crate::result::{BaselineError, BaselineResult};
-use qo_catalog::{Catalog, CostModel, DpTable, JoinCombiner, PlanClass};
-use qo_hypergraph::Hypergraph;
+use qo_catalog::{
+    Candidate, CandidateJoin, Catalog, CostModel, DpTable, JoinCombiner, SubPlanStats,
+};
+use qo_hypergraph::{EdgeId, Hypergraph};
 
 /// Runs greedy operator ordering: repeatedly merges the connected pair of classes whose join has
 /// the smallest estimated output cardinality until a single class covering all relations
 /// remains.
-pub fn goo(
+pub fn goo<M: CostModel + ?Sized>(
     graph: &Hypergraph,
     catalog: &Catalog,
-    cost_model: &dyn CostModel,
+    cost_model: &M,
 ) -> Result<BaselineResult, BaselineError> {
     catalog
         .validate_for(graph)
@@ -23,39 +25,62 @@ pub fn goo(
     let combiner = JoinCombiner::new(graph, catalog, cost_model);
     // The DpTable doubles as the plan store for reconstruction.
     let mut table = DpTable::new();
-    let mut live: Vec<PlanClass> = Vec::with_capacity(n);
+    let mut live: Vec<SubPlanStats> = Vec::with_capacity(n);
     for v in 0..n {
         table.insert_leaf(v, catalog.cardinality(v));
-        live.push(table.get(qo_bitset::NodeSet::single(v)).unwrap().clone());
+        live.push(SubPlanStats::leaf(v, catalog.cardinality(v)));
     }
 
     let mut pairs_tested = 0usize;
     let mut cost_calls = 0usize;
+    let mut edge_buf: Vec<EdgeId> = Vec::new();
+    // Connecting edges of the current best pair; swapped (not cloned) with `edge_buf` whenever
+    // the best changes, so the winner can be offered without re-running the combiner.
+    let mut best_edges: Vec<EdgeId> = Vec::new();
 
     while live.len() > 1 {
-        let mut best: Option<(usize, usize, PlanClass)> = None;
+        let mut best: Option<(usize, usize, Candidate<'static>)> = None;
         for i in 0..live.len() {
             for j in i + 1..live.len() {
                 pairs_tested += 1;
                 if !graph.has_connecting_edge(live[i].set, live[j].set) {
                     continue;
                 }
-                if let Some(candidate) = combiner.combine(&live[i], &live[j]) {
+                graph.connecting_edges_into(live[i].set, live[j].set, &mut edge_buf);
+                if let Some(candidate) = combiner.combine(&live[i], &live[j], &edge_buf) {
                     cost_calls += 1;
                     let better = match &best {
                         Some((_, _, b)) => candidate.cardinality < b.cardinality,
                         None => true,
                     };
                     if better {
-                        best = Some((i, j, candidate));
+                        // Detach the candidate from `edge_buf` (which later pairs overwrite) by
+                        // keeping its edges in `best_edges`; the join's predicate slice is
+                        // re-attached when the winner is offered below.
+                        let detached = Candidate {
+                            join: candidate.join.map(|join| CandidateJoin {
+                                predicates: &[],
+                                ..join
+                            }),
+                            ..candidate
+                        };
+                        best = Some((i, j, detached));
+                        std::mem::swap(&mut best_edges, &mut edge_buf);
                     }
                 }
             }
         }
-        let Some((i, j, merged)) = best else {
+        let Some((i, j, winner)) = best else {
             return Err(BaselineError::NoCompletePlan);
         };
-        table.offer(merged.clone());
+        let merged = winner.stats();
+        table.offer(Candidate {
+            join: winner.join.map(|join| CandidateJoin {
+                predicates: &best_edges,
+                ..join
+            }),
+            ..winner
+        });
         // Remove the higher index first to keep the lower one valid.
         live.remove(j);
         live.remove(i);

@@ -16,11 +16,7 @@ fn bench_ccp_counts(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(500));
     for n in [8usize, 12, 16] {
-        let workloads = [
-            chain_query(n, 7),
-            cycle_query(n, 7),
-            star_query(n - 1, 7),
-        ];
+        let workloads = [chain_query(n, 7), cycle_query(n, 7), star_query(n - 1, 7)];
         for w in workloads {
             group.bench_with_input(BenchmarkId::new(w.name.clone(), n), &n, |b, _| {
                 b.iter(|| black_box(count_ccps_dphyp(&w.graph).ccp_count()))

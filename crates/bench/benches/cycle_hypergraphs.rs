@@ -23,11 +23,9 @@ fn bench_cycle(c: &mut Criterion) {
         for splits in 0..=max_splits(n / 2) {
             let w = cycle_with_hyperedge_splits(n, splits, 2008);
             for algo in [Algorithm::DpHyp, Algorithm::DpSize, Algorithm::DpSub] {
-                group.bench_with_input(
-                    BenchmarkId::new(algo.name(), splits),
-                    &splits,
-                    |b, _| b.iter(|| black_box(run_algorithm(algo, &w.graph, &w.catalog))),
-                );
+                group.bench_with_input(BenchmarkId::new(algo.name(), splits), &splits, |b, _| {
+                    b.iter(|| black_box(run_algorithm(algo, &w.graph, &w.catalog)))
+                });
             }
         }
         group.finish();

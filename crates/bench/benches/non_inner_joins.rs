@@ -50,7 +50,13 @@ fn bench_outer_join_cycle(c: &mut Criterion) {
             BenchmarkId::new("DPhyp", outer_joins),
             &outer_joins,
             |b, _| {
-                b.iter(|| black_box(run_algorithm(Algorithm::DpHyp, &query.graph, &query.catalog)))
+                b.iter(|| {
+                    black_box(run_algorithm(
+                        Algorithm::DpHyp,
+                        &query.graph,
+                        &query.catalog,
+                    ))
+                })
             },
         );
         group.bench_with_input(
@@ -58,7 +64,11 @@ fn bench_outer_join_cycle(c: &mut Criterion) {
             &outer_joins,
             |b, _| {
                 b.iter(|| {
-                    black_box(run_algorithm(Algorithm::DpSize, &query.graph, &query.catalog))
+                    black_box(run_algorithm(
+                        Algorithm::DpSize,
+                        &query.graph,
+                        &query.catalog,
+                    ))
                 })
             },
         );

@@ -27,11 +27,9 @@ fn bench_regular_star(c: &mut Criterion) {
     // The large end of the x-axis: DPhyp only (the baselines need seconds to minutes per run).
     for relations in [13usize, 15, 17] {
         let w = star_query(relations - 1, 2008);
-        group.bench_with_input(
-            BenchmarkId::new("DPhyp", relations),
-            &relations,
-            |b, _| b.iter(|| black_box(run_algorithm(Algorithm::DpHyp, &w.graph, &w.catalog))),
-        );
+        group.bench_with_input(BenchmarkId::new("DPhyp", relations), &relations, |b, _| {
+            b.iter(|| black_box(run_algorithm(Algorithm::DpHyp, &w.graph, &w.catalog)))
+        });
     }
     group.finish();
 }

@@ -22,11 +22,9 @@ fn bench_star(c: &mut Criterion) {
         for splits in 0..=max_splits(satellites / 2) {
             let w = star_with_hyperedge_splits(satellites, splits, 2008);
             for algo in [Algorithm::DpHyp, Algorithm::DpSize, Algorithm::DpSub] {
-                group.bench_with_input(
-                    BenchmarkId::new(algo.name(), splits),
-                    &splits,
-                    |b, _| b.iter(|| black_box(run_algorithm(algo, &w.graph, &w.catalog))),
-                );
+                group.bench_with_input(BenchmarkId::new(algo.name(), splits), &splits, |b, _| {
+                    b.iter(|| black_box(run_algorithm(algo, &w.graph, &w.catalog)))
+                });
             }
         }
         group.finish();

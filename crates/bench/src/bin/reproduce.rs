@@ -3,27 +3,38 @@
 //! algorithm and workload point).
 //!
 //! ```text
-//! reproduce [--full] [--experiment <id>]
+//! reproduce [--full] [--experiment <id>] [--baseline [path]]
 //! ```
 //!
 //! * `--full` also runs the baseline algorithms at the largest query sizes (DPsize/DPsub on the
 //!   16-relation stars take from seconds to minutes per point, exactly as in the paper).
 //! * `--experiment <id>` restricts the run to one experiment; ids: `e1`, `fig5a`, `fig5b`, `e4`,
-//!   `fig6a`, `fig6b`, `fig7`, `fig8a`, `fig8b`, `ccp`.
+//!   `fig6a`, `fig6b`, `fig7`, `fig8a`, `fig8b`, `ccp`, `table`.
+//! * `--baseline [path]` skips the experiment tables and instead writes a machine-readable
+//!   snapshot (`BENCH_baseline.json` by default): ccp counts and wall-clock per graph family
+//!   plus the arena-vs-HashMap DP-table comparison, so future changes have a perf trajectory.
 //!
 //! Absolute numbers depend on the machine; the claims to check are the *relative* ones (who
-//! wins, by how much, and how the curves move with the workload parameter). See EXPERIMENTS.md.
+//! wins, by how much, and how the curves move with the workload parameter).
 
 use dphyp::ConflictEncoding;
 use qo_algebra::derive_query;
-use qo_bench::{format_ms, run_algorithm, run_tree_pipeline, time_once, Algorithm};
+use qo_bench::{
+    compare_tables, format_ms, run_algorithm, run_tree_pipeline, time_mean_ms, time_once,
+    Algorithm, TableComparison,
+};
 use qo_workloads::{
-    cycle_with_hyperedge_splits, cycle_with_outer_joins, max_splits, star_query,
-    star_with_antijoins, star_with_hyperedge_splits, Workload,
+    chain_query, clique_query, cycle_query, cycle_with_hyperedge_splits, cycle_with_outer_joins,
+    max_splits, star_query, star_with_antijoins, star_with_hyperedge_splits, Workload,
 };
 use std::env;
+use std::time::Duration;
 
 const SEED: u64 = 2008;
+
+/// Measurement budget per timed point in baseline/table modes; long enough to average out
+/// noise on fast workloads, short enough that the multi-second star-20 runs once.
+const BUDGET: Duration = Duration::from_millis(300);
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -32,27 +43,68 @@ fn main() {
         .iter()
         .position(|a| a == "--experiment")
         .and_then(|i| args.get(i + 1).cloned());
+    if let Some(i) = args.iter().position(|a| a == "--baseline") {
+        let path = args
+            .get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+        write_baseline(&path);
+        return;
+    }
 
-    let want = |id: &str| only.as_deref().map_or(true, |o| o == id);
+    let want = |id: &str| only.as_deref().is_none_or(|o| o == id);
 
     println!("DPhyp reproduction harness (single-shot timings, milliseconds)");
-    println!("mode: {}", if full { "full" } else { "quick (use --full for the large baselines)" });
+    println!(
+        "mode: {}",
+        if full {
+            "full"
+        } else {
+            "quick (use --full for the large baselines)"
+        }
+    );
     println!();
 
     if want("e1") {
-        hyperedge_split_experiment("E1 / Sec 4.2 table: cycle, 4 relations", cycle(4), full, usize::MAX);
+        hyperedge_split_experiment(
+            "E1 / Sec 4.2 table: cycle, 4 relations",
+            cycle(4),
+            full,
+            usize::MAX,
+        );
     }
     if want("fig5a") {
-        hyperedge_split_experiment("E2 / Fig 5 (left): cycle, 8 relations", cycle(8), full, usize::MAX);
+        hyperedge_split_experiment(
+            "E2 / Fig 5 (left): cycle, 8 relations",
+            cycle(8),
+            full,
+            usize::MAX,
+        );
     }
     if want("fig5b") {
-        hyperedge_split_experiment("E3 / Fig 5 (right): cycle, 16 relations", cycle(16), full, 3);
+        hyperedge_split_experiment(
+            "E3 / Fig 5 (right): cycle, 16 relations",
+            cycle(16),
+            full,
+            3,
+        );
     }
     if want("e4") {
-        hyperedge_split_experiment("E4 / Sec 4.3 table: star, 4 satellites", star(4), full, usize::MAX);
+        hyperedge_split_experiment(
+            "E4 / Sec 4.3 table: star, 4 satellites",
+            star(4),
+            full,
+            usize::MAX,
+        );
     }
     if want("fig6a") {
-        hyperedge_split_experiment("E5 / Fig 6 (left): star, 8 satellites", star(8), full, usize::MAX);
+        hyperedge_split_experiment(
+            "E5 / Fig 6 (left): star, 8 satellites",
+            star(8),
+            full,
+            usize::MAX,
+        );
     }
     if want("fig6b") {
         hyperedge_split_experiment("E6 / Fig 6 (right): star, 16 satellites", star(16), full, 0);
@@ -69,6 +121,103 @@ fn main() {
     if want("ccp") {
         ccp_counts();
     }
+    if want("table") {
+        table_comparison();
+    }
+}
+
+/// The 20-relation workloads used for the DP-table comparison and the baseline snapshot.
+fn table_workloads() -> [Workload; 2] {
+    [chain_query(20, SEED), star_query(19, SEED)]
+}
+
+/// T1: arena DP table vs the pre-refactor std-HashMap reference, same DPhyp enumerator and
+/// cost model on both sides (costs asserted equal inside [`compare_tables`]).
+fn table_comparison() {
+    println!("== T1: arena DpTable vs std-HashMap reference (same DPhyp enumeration) ==");
+    println!(
+        "{:>10} {:>12} {:>14} {:>9} {:>12}",
+        "workload", "arena (ms)", "hashmap (ms)", "speedup", "#ccp"
+    );
+    for w in table_workloads() {
+        let cmp = compare_tables(&w.graph, &w.catalog, BUDGET);
+        println!(
+            "{:>10} {:>12.3} {:>14.3} {:>8.2}x {:>12}",
+            w.name,
+            cmp.arena_ms,
+            cmp.hashmap_ms,
+            cmp.speedup(),
+            cmp.ccp_count
+        );
+    }
+    println!();
+}
+
+/// Writes the machine-readable baseline snapshot consumed by future perf comparisons.
+fn write_baseline(path: &str) {
+    use dphyp::optimize;
+
+    println!("writing baseline snapshot to {path} ...");
+    let workloads = [
+        chain_query(20, SEED),
+        cycle_query(20, SEED),
+        star_query(19, SEED),
+        clique_query(14, SEED),
+    ];
+    let mut workload_rows = Vec::new();
+    for w in &workloads {
+        let result = optimize(&w.graph, &w.catalog).expect("baseline workload plannable");
+        let wall_ms = time_mean_ms(BUDGET, || {
+            optimize(&w.graph, &w.catalog).expect("plannable").cost
+        });
+        println!(
+            "  {:>10}: {:>9} ccps, {:>7} dp entries, {:>10.3} ms",
+            w.name, result.ccp_count, result.dp_entries, wall_ms
+        );
+        workload_rows.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"relations\": {}, \"ccp_count\": {}, ",
+                "\"dp_entries\": {}, \"wall_ms\": {:.4}}}"
+            ),
+            w.name,
+            w.relations(),
+            result.ccp_count,
+            result.dp_entries,
+            wall_ms
+        ));
+    }
+
+    let mut table_rows = Vec::new();
+    for w in table_workloads() {
+        let cmp: TableComparison = compare_tables(&w.graph, &w.catalog, BUDGET);
+        println!(
+            "  {:>10}: arena {:.3} ms vs hashmap {:.3} ms ({:.2}x)",
+            w.name,
+            cmp.arena_ms,
+            cmp.hashmap_ms,
+            cmp.speedup()
+        );
+        table_rows.push(format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"arena_ms\": {:.4}, \"hashmap_ms\": {:.4}, ",
+                "\"speedup\": {:.3}, \"ccp_count\": {}}}"
+            ),
+            w.name,
+            cmp.arena_ms,
+            cmp.hashmap_ms,
+            cmp.speedup(),
+            cmp.ccp_count
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"generated_by\": \"reproduce --baseline\",\n  \
+         \"seed\": {SEED},\n  \"workloads\": [\n{}\n  ],\n  \"dp_table_comparison\": [\n{}\n  ]\n}}\n",
+        workload_rows.join(",\n"),
+        table_rows.join(",\n"),
+    );
+    std::fs::write(path, json).expect("baseline file is writable");
+    println!("done.");
 }
 
 fn cycle(n: usize) -> (Box<dyn Fn(usize) -> Workload>, usize) {
@@ -96,21 +245,30 @@ fn hyperedge_split_experiment(
     baseline_limit: usize,
 ) {
     println!("== {title} ==");
-    println!("{:>7} {:>12} {:>12} {:>12} {:>14}", "splits", "DPhyp", "DPsize", "DPsub", "#ccp (DPhyp)");
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>14}",
+        "splits", "DPhyp", "DPsize", "DPsub", "#ccp (DPhyp)"
+    );
     for splits in 0..=splits_max {
         let w = make(splits);
         let (t_hyp, stats) = time_once(|| run_algorithm(Algorithm::DpHyp, &w.graph, &w.catalog));
         let run_baselines = full || splits <= baseline_limit;
         let t_size = if run_baselines {
             let (t, s) = time_once(|| run_algorithm(Algorithm::DpSize, &w.graph, &w.catalog));
-            assert!((s.cost - stats.cost).abs() <= 1e-6 * stats.cost.max(1.0), "cost mismatch");
+            assert!(
+                (s.cost - stats.cost).abs() <= 1e-6 * stats.cost.max(1.0),
+                "cost mismatch"
+            );
             format_ms(t)
         } else {
             "(skipped)".to_string()
         };
         let t_sub = if run_baselines {
             let (t, s) = time_once(|| run_algorithm(Algorithm::DpSub, &w.graph, &w.catalog));
-            assert!((s.cost - stats.cost).abs() <= 1e-6 * stats.cost.max(1.0), "cost mismatch");
+            assert!(
+                (s.cost - stats.cost).abs() <= 1e-6 * stats.cost.max(1.0),
+                "cost mismatch"
+            );
             format_ms(t)
         } else {
             "(skipped)".to_string()
@@ -131,7 +289,10 @@ fn hyperedge_split_experiment(
 /// paper).
 fn regular_graphs(full: bool) {
     println!("== E7 / Fig 7: star queries without hyperedges (regular graphs) ==");
-    println!("{:>10} {:>12} {:>12} {:>12}", "relations", "DPhyp", "DPsize", "DPsub");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "relations", "DPhyp", "DPsize", "DPsub"
+    );
     for relations in 3..=16usize {
         let w = star_query(relations - 1, SEED);
         let (t_hyp, _) = time_once(|| run_algorithm(Algorithm::DpHyp, &w.graph, &w.catalog));
@@ -166,7 +327,8 @@ fn antijoin_star() {
     );
     for antijoins in 0..=15usize {
         let tree = star_with_antijoins(15, antijoins, SEED);
-        let (t_hyper, s_hyper) = time_once(|| run_tree_pipeline(&tree, ConflictEncoding::Hyperedges));
+        let (t_hyper, s_hyper) =
+            time_once(|| run_tree_pipeline(&tree, ConflictEncoding::Hyperedges));
         let (t_tes, s_tes) = time_once(|| run_tree_pipeline(&tree, ConflictEncoding::TesTest));
         println!(
             "{:>10} {:>18} {:>14} {:>18} {:>14}",
@@ -187,9 +349,16 @@ fn outer_join_cycle() {
     for outer in 0..=15usize {
         let tree = cycle_with_outer_joins(16, outer, SEED);
         let query = derive_query(&tree, ConflictEncoding::Hyperedges).expect("valid workload");
-        let (t_hyp, _) = time_once(|| run_algorithm(Algorithm::DpHyp, &query.graph, &query.catalog));
-        let (t_size, _) = time_once(|| run_algorithm(Algorithm::DpSize, &query.graph, &query.catalog));
-        println!("{:>12} {:>12} {:>12}", outer, format_ms(t_hyp), format_ms(t_size));
+        let (t_hyp, _) =
+            time_once(|| run_algorithm(Algorithm::DpHyp, &query.graph, &query.catalog));
+        let (t_size, _) =
+            time_once(|| run_algorithm(Algorithm::DpSize, &query.graph, &query.catalog));
+        println!(
+            "{:>12} {:>12} {:>12}",
+            outer,
+            format_ms(t_hyp),
+            format_ms(t_size)
+        );
     }
     println!();
 }
@@ -200,7 +369,10 @@ fn ccp_counts() {
     use qo_catalog::CcpHandler;
     use qo_workloads::{chain_query, clique_query, cycle_query};
     println!("== A1: csg-cmp-pair counts (lower bound on cost-function calls) ==");
-    println!("{:>10} {:>10} {:>10} {:>10} {:>12}", "relations", "chain", "cycle", "star", "clique");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>12}",
+        "relations", "chain", "cycle", "star", "clique"
+    );
     for n in [4usize, 8, 12, 16] {
         let chain = count_ccps_dphyp(&chain_query(n, SEED).graph).ccp_count();
         let cycle = count_ccps_dphyp(&cycle_query(n, SEED).graph).ccp_count();
@@ -212,7 +384,10 @@ fn ccp_counts() {
         } else {
             "(skipped)".to_string()
         };
-        println!("{:>10} {:>10} {:>10} {:>10} {:>12}", n, chain, cycle, star, clique);
+        println!(
+            "{:>10} {:>10} {:>10} {:>10} {:>12}",
+            n, chain, cycle, star, clique
+        );
     }
     println!();
 }

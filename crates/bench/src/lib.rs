@@ -5,10 +5,14 @@
 //! that the Criterion benches (one per table/figure) and the `reproduce` binary (which prints
 //! paper-style tables from single-shot measurements) share the exact same code paths.
 
+pub mod reference;
+
+use dphyp::enumerate::DpHyp;
 use dphyp::{ConflictEncoding, OpTree, Optimizer, OptimizerOptions};
 use qo_baselines::{dpsize, dpsub, goo};
-use qo_catalog::{Catalog, CoutCost};
+use qo_catalog::{Catalog, CcpHandler, CoutCost};
 use qo_hypergraph::Hypergraph;
+use reference::HashMapReferenceHandler;
 use std::time::{Duration, Instant};
 
 /// Which join-ordering algorithm to run.
@@ -116,6 +120,83 @@ pub fn time_once<T>(f: impl FnOnce() -> T) -> (Duration, T) {
 /// Formats a duration in milliseconds with three significant decimals, like the paper's tables.
 pub fn format_ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Repeats `f` until `budget` wall-clock time has elapsed (at least once) and returns the mean
+/// milliseconds per invocation. Used where single-shot timings would drown in noise.
+pub fn time_mean_ms<T>(budget: Duration, mut f: impl FnMut() -> T) -> f64 {
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        std::hint::black_box(f());
+        iters += 1;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+/// Result of pitting the arena [`qo_catalog::DpTable`] against the std-`HashMap` reference
+/// ([`reference::HashMapReferenceHandler`]) on one workload.
+#[derive(Clone, Debug)]
+pub struct TableComparison {
+    /// Mean optimization time with the production arena table, milliseconds.
+    pub arena_ms: f64,
+    /// Mean optimization time with the std-HashMap reference table, milliseconds.
+    pub hashmap_ms: f64,
+    /// csg-cmp-pairs processed (identical for both by construction).
+    pub ccp_count: usize,
+    /// DP-table entries (identical for both by construction).
+    pub dp_entries: usize,
+}
+
+impl TableComparison {
+    /// `hashmap_ms / arena_ms` — how much faster the arena table is.
+    pub fn speedup(&self) -> f64 {
+        self.hashmap_ms / self.arena_ms
+    }
+}
+
+/// Runs the arena-vs-HashMap table comparison on an (inner-join) workload. Both sides are
+/// driven by the same DPhyp enumerator with the `C_out` model and neither reconstructs a plan,
+/// so the timing difference isolates the memo structure (table lookups in `contains`, class
+/// reads, candidate offers). Plan cost, ccp count and table size are asserted equal.
+pub fn compare_tables(graph: &Hypergraph, catalog: &Catalog, budget: Duration) -> TableComparison {
+    let all = graph.all_nodes();
+    let run_arena = || {
+        let combiner = qo_catalog::JoinCombiner::new(graph, catalog, &CoutCost);
+        let mut h = qo_catalog::CostBasedHandler::new(combiner);
+        DpHyp::new(graph, &mut h).run();
+        let ccps = h.ccp_count();
+        let table = h.into_table();
+        let cost = table.get(all).expect("complete plan").cost;
+        (cost, ccps, table.len())
+    };
+    let run_hashmap = || {
+        let mut h = HashMapReferenceHandler::new(graph, catalog, &CoutCost);
+        DpHyp::new(graph, &mut h).run();
+        let cost = h.cost_of(all).expect("complete plan");
+        (cost, h.ccp_count(), h.dp_entries())
+    };
+
+    let (arena_cost, ccp_count, dp_entries) = run_arena();
+    let (ref_cost, ref_ccps, ref_entries) = run_hashmap();
+    assert_eq!(ref_ccps, ccp_count, "ccp count mismatch");
+    assert_eq!(ref_entries, dp_entries, "table size mismatch");
+    assert!(
+        (ref_cost - arena_cost).abs() <= 1e-9 * arena_cost.max(1.0),
+        "cost mismatch: reference {ref_cost} vs production {arena_cost}"
+    );
+
+    let arena_ms = time_mean_ms(budget, run_arena);
+    let hashmap_ms = time_mean_ms(budget, run_hashmap);
+    TableComparison {
+        arena_ms,
+        hashmap_ms,
+        ccp_count,
+        dp_entries,
+    }
 }
 
 #[cfg(test)]

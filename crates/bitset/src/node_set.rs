@@ -213,6 +213,28 @@ impl NodeSet {
         NodeSet(self.0 & (self.0.wrapping_sub(1)))
     }
 
+    /// Mixes the raw mask into a well-distributed 64-bit hash.
+    ///
+    /// This is the hashing primitive of the planner's DP table: a fixed-cost multiply-xor
+    /// finalizer (FxHash-style, based on the SplitMix64 mixer) instead of std's SipHash. Node
+    /// sets are single machine words, so keyed hashing buys nothing here, and the finalizer's
+    /// full avalanche keeps clustered masks (consecutive subsets differ in few bits) spread
+    /// across table slots.
+    #[inline]
+    pub const fn hash64(self) -> u64 {
+        let mut z = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Index of this set's hash in a power-of-two table of `1 << bits` slots, using the highest
+    /// bits of [`NodeSet::hash64`] (the best-mixed ones for multiply-based finalizers).
+    #[inline]
+    pub const fn hash_index(self, bits: u32) -> usize {
+        (self.hash64() >> (64 - bits)) as usize
+    }
+
     /// Iterates over elements in ascending node order.
     #[inline]
     pub fn iter(self) -> NodeSetIter {
@@ -434,9 +456,15 @@ mod tests {
     #[test]
     fn first_n_and_range() {
         assert_eq!(NodeSet::first_n(0), NodeSet::EMPTY);
-        assert_eq!(NodeSet::first_n(3).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            NodeSet::first_n(3).iter().collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert_eq!(NodeSet::first_n(64).len(), 64);
-        assert_eq!(NodeSet::range(2, 5).iter().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(
+            NodeSet::range(2, 5).iter().collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
         assert_eq!(NodeSet::range(3, 3), NodeSet::EMPTY);
     }
 
@@ -518,6 +546,27 @@ mod tests {
         let s = NodeSet::from_iter([0, 2]);
         assert_eq!(format!("{s:?}"), "{R0, R2}");
         assert_eq!(format!("{}", NodeSet::EMPTY), "{}");
+    }
+
+    #[test]
+    fn hash64_spreads_clustered_masks() {
+        // Consecutive subset masks (the access pattern of subset-driven DP) must not collide in
+        // the upper bits used for table indexing.
+        let mut indexes = BTreeSet::new();
+        for mask in 1u64..=256 {
+            indexes.insert(NodeSet::from_mask(mask).hash_index(10));
+        }
+        // 256 keys into 1024 slots: demand a reasonable spread (no catastrophic clustering).
+        assert!(indexes.len() > 180, "only {} distinct slots", indexes.len());
+        // And determinism.
+        assert_eq!(
+            NodeSet::from_mask(0xABCD).hash64(),
+            NodeSet::from_mask(0xABCD).hash64()
+        );
+        assert_ne!(
+            NodeSet::from_mask(1).hash64(),
+            NodeSet::from_mask(2).hash64()
+        );
     }
 
     #[test]

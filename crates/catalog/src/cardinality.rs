@@ -57,13 +57,7 @@ impl<'a> CardinalityEstimator<'a> {
     /// `left_card`/`right_card` are the estimated cardinalities of the two inputs; `edges` are
     /// the hyperedges connecting them (their selectivities are all applied, mirroring the
     /// conjunction assembled by `EmitCsgCmp`).
-    pub fn join(
-        &self,
-        op: JoinOp,
-        left_card: f64,
-        right_card: f64,
-        edges: &[EdgeId],
-    ) -> f64 {
+    pub fn join(&self, op: JoinOp, left_card: f64, right_card: f64, edges: &[EdgeId]) -> f64 {
         let sel = self.catalog.selectivity_product(edges);
         Self::join_with_selectivity(op, left_card, right_card, sel)
     }
@@ -139,7 +133,8 @@ mod tests {
     fn left_outer_preserves_left() {
         // Very selective predicate: inner result would be tiny, outer join keeps all 100 left
         // tuples.
-        let card = CardinalityEstimator::join_with_selectivity(JoinOp::LeftOuter, 100.0, 10.0, 1e-6);
+        let card =
+            CardinalityEstimator::join_with_selectivity(JoinOp::LeftOuter, 100.0, 10.0, 1e-6);
         assert_eq!(card, 100.0);
         // Non-selective: behaves like the inner join.
         let card = CardinalityEstimator::join_with_selectivity(JoinOp::LeftOuter, 100.0, 10.0, 0.5);
@@ -148,7 +143,8 @@ mod tests {
 
     #[test]
     fn full_outer_preserves_both() {
-        let card = CardinalityEstimator::join_with_selectivity(JoinOp::FullOuter, 100.0, 40.0, 1e-9);
+        let card =
+            CardinalityEstimator::join_with_selectivity(JoinOp::FullOuter, 100.0, 40.0, 1e-9);
         assert_eq!(card, 140.0);
     }
 
@@ -159,7 +155,10 @@ mod tests {
         let anti = CardinalityEstimator::join_with_selectivity(JoinOp::LeftAnti, l, r, sel);
         assert!(semi <= l);
         assert!(anti <= l);
-        assert!((semi + anti - l).abs() < 1e-9, "semi + anti must equal the left input");
+        assert!(
+            (semi + anti - l).abs() < 1e-9,
+            "semi + anti must equal the left input"
+        );
         // Semijoin never exceeds the left side even for sel = 1.
         let semi_full = CardinalityEstimator::join_with_selectivity(JoinOp::LeftSemi, l, r, 1.0);
         assert_eq!(semi_full, l);

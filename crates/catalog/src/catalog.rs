@@ -71,6 +71,9 @@ pub struct Catalog {
     cardinalities: Vec<f64>,
     lateral_refs: Vec<NodeSet>,
     edge_annotations: Vec<EdgeAnnotation>,
+    /// Union of all relations that appear in some lateral-reference set; empty for the vast
+    /// majority of queries, letting the planner skip the per-pair free-table scans entirely.
+    any_lateral: NodeSet,
 }
 
 impl Catalog {
@@ -81,7 +84,12 @@ impl Catalog {
 
     /// Convenience constructor: every relation has the given cardinality, every edge (up to
     /// `edge_count`) is an inner join with the given selectivity.
-    pub fn uniform(node_count: usize, cardinality: f64, edge_count: usize, selectivity: f64) -> Self {
+    pub fn uniform(
+        node_count: usize,
+        cardinality: f64,
+        edge_count: usize,
+        selectivity: f64,
+    ) -> Self {
         let mut b = CatalogBuilder::new(node_count);
         for i in 0..node_count {
             b.set_cardinality(i, cardinality);
@@ -108,9 +116,20 @@ impl Catalog {
         self.lateral_refs[relation]
     }
 
+    /// Does any relation of the query carry lateral references? When `false` — the common case
+    /// — every [`Catalog::free_tables`] result is empty and the planner's dependent-join
+    /// analysis can be skipped per pair.
+    #[inline]
+    pub fn has_lateral_refs(&self) -> bool {
+        !self.any_lateral.is_empty()
+    }
+
     /// Union of the lateral references of all relations in `set` that are not satisfied within
     /// `set` itself: `FT(set) \ set`.
     pub fn free_tables(&self, set: NodeSet) -> NodeSet {
+        if self.any_lateral.is_empty() {
+            return NodeSet::EMPTY;
+        }
         let mut ft = NodeSet::EMPTY;
         for r in set {
             ft |= self.lateral_refs[r];
@@ -121,10 +140,7 @@ impl Catalog {
     /// Annotation of a hyperedge. Edges beyond the annotated range get the default annotation
     /// (inner join, selectivity 1).
     pub fn edge_annotation(&self, edge: EdgeId) -> EdgeAnnotation {
-        self.edge_annotations
-            .get(edge)
-            .copied()
-            .unwrap_or_default()
+        self.edge_annotations.get(edge).copied().unwrap_or_default()
     }
 
     /// Product of the selectivities of the given edges.
@@ -159,7 +175,10 @@ impl Catalog {
         }
         for (i, a) in self.edge_annotations.iter().enumerate() {
             if !(a.selectivity.is_finite() && a.selectivity > 0.0 && a.selectivity <= 1.0) {
-                return Err(format!("edge e{i} has invalid selectivity {}", a.selectivity));
+                return Err(format!(
+                    "edge e{i} has invalid selectivity {}",
+                    a.selectivity
+                ));
             }
         }
         Ok(())
@@ -199,7 +218,8 @@ impl CatalogBuilder {
     /// Annotates the edge with the given id; intermediate edge ids get default annotations.
     pub fn annotate_edge(&mut self, edge: EdgeId, annotation: EdgeAnnotation) -> &mut Self {
         if self.edge_annotations.len() <= edge {
-            self.edge_annotations.resize(edge + 1, EdgeAnnotation::default());
+            self.edge_annotations
+                .resize(edge + 1, EdgeAnnotation::default());
         }
         self.edge_annotations[edge] = annotation;
         self
@@ -218,10 +238,15 @@ impl CatalogBuilder {
 
     /// Finalizes the catalog.
     pub fn build(&self) -> Catalog {
+        let any_lateral = self
+            .lateral_refs
+            .iter()
+            .fold(NodeSet::EMPTY, |acc, &r| acc | r);
         Catalog {
             cardinalities: self.cardinalities.clone(),
             lateral_refs: self.lateral_refs.clone(),
             edge_annotations: self.edge_annotations.clone(),
+            any_lateral,
         }
     }
 }

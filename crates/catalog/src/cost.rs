@@ -160,7 +160,10 @@ mod tests {
         // Building on the small side (right = r) is cheaper.
         assert!(ab < ba);
         let dep = m.join_cost(JoinOp::DepJoin, &l, &r, 100.0);
-        assert!(dep > ab, "dependent evaluation must be costlier than a hash join here");
+        assert!(
+            dep > ab,
+            "dependent evaluation must be costlier than a hash join here"
+        );
         assert_eq!(m.name(), "mixed(hash/nl)");
     }
 

@@ -11,19 +11,25 @@
 //! * [`CostModel`] with two implementations — [`CoutCost`] (the classic C_out used throughout
 //!   the join-ordering literature) and [`MixedCost`] (a simple physical model distinguishing
 //!   hash joins from nested-loop/dependent joins),
-//! * [`planner`]: the DP table ([`DpTable`]), the [`CcpHandler`] trait through which the
-//!   enumeration algorithms report csg-cmp-pairs, the cost-based handler that implements the
-//!   paper's `EmitCsgCmp`, and a counting handler used for search-space statistics.
+//! * [`table`]: the arena-based DP table ([`DpTable`]) — plan classes in a contiguous arena
+//!   behind a hand-rolled FxHash-style `NodeSet → u32` slot map, with interned predicate edge
+//!   lists,
+//! * [`planner`]: the [`CcpHandler`] trait through which the enumeration algorithms report
+//!   csg-cmp-pairs, the cost-based handler that implements the paper's `EmitCsgCmp`
+//!   (monomorphized over the cost model), and a counting handler used for search-space
+//!   statistics.
 
 mod cardinality;
 mod catalog;
 mod cost;
 pub mod planner;
+pub mod table;
 
 pub use cardinality::CardinalityEstimator;
 pub use catalog::{Catalog, CatalogBuilder, EdgeAnnotation};
 pub use cost::{CostModel, CoutCost, MixedCost, SubPlanStats};
-pub use planner::{CcpHandler, CostBasedHandler, CountingHandler, DpTable, JoinCombiner, PlanClass};
+pub use planner::{CcpHandler, CostBasedHandler, CountingHandler, JoinCombiner};
+pub use table::{BestJoin, Candidate, CandidateJoin, DpTable, EdgeListRef, PlanClass};
 
 pub use qo_bitset::{NodeId, NodeSet};
 pub use qo_hypergraph::EdgeId;

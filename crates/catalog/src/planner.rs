@@ -1,5 +1,6 @@
-//! Shared dynamic-programming machinery: the DP table, the csg-cmp-pair handler interface and
-//! the cost-based plan construction that implements the paper's `EmitCsgCmp`.
+//! Shared dynamic-programming machinery: the csg-cmp-pair handler interface and the cost-based
+//! plan construction that implements the paper's `EmitCsgCmp` (the DP table itself lives in
+//! [`crate::table`]).
 //!
 //! Every enumeration algorithm in this workspace (DPhyp, DPccp, DPsize, DPsub, the TES
 //! generate-and-test variant) reports the csg-cmp-pairs it discovers through the [`CcpHandler`]
@@ -7,146 +8,20 @@
 //! memoizing the best plan per relation set in a [`DpTable`]; the [`CountingHandler`] merely
 //! counts pairs, which is how the tests compare an algorithm's emissions against the brute-force
 //! oracle of `qo-hypergraph`.
+//!
+//! Both the combiner and the handler are generic over the [`CostModel`] (defaulting to
+//! `dyn CostModel` for callers that need runtime model selection): monomorphized instantiations
+//! inline the cost function straight into `EmitCsgCmp`, which runs once per csg-cmp-pair and is
+//! the planner's measured hot path.
 
 use crate::cardinality::CardinalityEstimator;
 use crate::catalog::Catalog;
 use crate::cost::{CostModel, SubPlanStats};
+pub use crate::table::{BestJoin, Candidate, CandidateJoin, DpTable, EdgeListRef, PlanClass};
 use qo_bitset::{NodeId, NodeSet};
 use qo_hypergraph::{EdgeId, Hypergraph};
-use qo_plan::{JoinOp, PlanNode};
-use std::collections::{HashMap, HashSet};
-
-/// The best plan known for one set of relations (a "plan class").
-#[derive(Clone, Debug, PartialEq)]
-pub struct PlanClass {
-    /// The relations covered by this class.
-    pub set: NodeSet,
-    /// Estimated output cardinality of the class.
-    pub cardinality: f64,
-    /// Cost of the best plan found so far.
-    pub cost: f64,
-    /// How the best plan combines its inputs; `None` for base relations.
-    pub best_join: Option<BestJoin>,
-}
-
-/// The root join of the best plan of a [`PlanClass`].
-#[derive(Clone, Debug, PartialEq)]
-pub struct BestJoin {
-    /// Relations of the left input class.
-    pub left: NodeSet,
-    /// Relations of the right input class.
-    pub right: NodeSet,
-    /// Operator applied at the root (already turned into its dependent variant if required).
-    pub op: JoinOp,
-    /// Hyperedge ids whose predicates are evaluated at this join.
-    pub predicates: Vec<EdgeId>,
-}
-
-impl PlanClass {
-    fn stats(&self) -> SubPlanStats {
-        SubPlanStats {
-            set: self.set,
-            cardinality: self.cardinality,
-            cost: self.cost,
-        }
-    }
-}
-
-/// The dynamic programming table: best plan per connected set of relations.
-#[derive(Clone, Debug, Default)]
-pub struct DpTable {
-    classes: HashMap<NodeSet, PlanClass>,
-}
-
-impl DpTable {
-    /// Creates an empty table.
-    pub fn new() -> Self {
-        DpTable {
-            classes: HashMap::new(),
-        }
-    }
-
-    /// Number of memoized plan classes (connected sets discovered so far).
-    pub fn len(&self) -> usize {
-        self.classes.len()
-    }
-
-    /// Is the table empty?
-    pub fn is_empty(&self) -> bool {
-        self.classes.is_empty()
-    }
-
-    /// Does the table contain a plan for `set`?
-    pub fn contains(&self, set: NodeSet) -> bool {
-        self.classes.contains_key(&set)
-    }
-
-    /// The plan class for `set`, if any.
-    pub fn get(&self, set: NodeSet) -> Option<&PlanClass> {
-        self.classes.get(&set)
-    }
-
-    /// Iterates over all memoized classes (no particular order).
-    pub fn classes(&self) -> impl Iterator<Item = &PlanClass> {
-        self.classes.values()
-    }
-
-    /// Inserts the access plan for a single relation.
-    pub fn insert_leaf(&mut self, relation: NodeId, cardinality: f64) {
-        let set = NodeSet::single(relation);
-        self.classes.insert(
-            set,
-            PlanClass {
-                set,
-                cardinality,
-                cost: 0.0,
-                best_join: None,
-            },
-        );
-    }
-
-    /// Offers a candidate plan class; it replaces the memoized one if it is cheaper (or if the
-    /// set was unknown). Returns `true` if the candidate was accepted.
-    pub fn offer(&mut self, candidate: PlanClass) -> bool {
-        match self.classes.get_mut(&candidate.set) {
-            Some(existing) => {
-                if candidate.cost < existing.cost {
-                    *existing = candidate;
-                    true
-                } else {
-                    false
-                }
-            }
-            None => {
-                self.classes.insert(candidate.set, candidate);
-                true
-            }
-        }
-    }
-
-    /// Reconstructs the full plan tree for `set` from the memoized join decisions.
-    pub fn reconstruct(&self, set: NodeSet) -> Option<PlanNode> {
-        let class = self.classes.get(&set)?;
-        match &class.best_join {
-            None => {
-                let relation = set.min_node().expect("leaf class with empty set");
-                Some(PlanNode::scan(relation, class.cardinality))
-            }
-            Some(join) => {
-                let left = self.reconstruct(join.left)?;
-                let right = self.reconstruct(join.right)?;
-                Some(PlanNode::join(
-                    join.op,
-                    left,
-                    right,
-                    join.predicates.clone(),
-                    class.cardinality,
-                    class.cost,
-                ))
-            }
-        }
-    }
-}
+use qo_plan::JoinOp;
+use std::collections::HashSet;
 
 /// Interface through which enumeration algorithms report their progress.
 ///
@@ -170,13 +45,18 @@ pub trait CcpHandler {
     fn ccp_count(&self) -> usize;
 }
 
-/// Combines two plan classes into a candidate class: finds the connecting predicates, recovers
-/// the operator from the hyperedge annotations, decides the operator orientation and the
-/// dependent-join question (Sec. 5.6), estimates cardinality and cost.
-pub struct JoinCombiner<'a> {
+/// Combines two plan classes into a candidate class: recovers the operator from the hyperedge
+/// annotations, decides the operator orientation and the dependent-join question (Sec. 5.6),
+/// estimates cardinality and cost.
+///
+/// `M` is the cost model; instantiating the combiner with a concrete model (the normal case)
+/// lets the compiler inline [`CostModel::join_cost`] into the per-pair hot path. The
+/// `dyn CostModel` default keeps one dynamically-dispatched instantiation available for callers
+/// that select the model at runtime.
+pub struct JoinCombiner<'a, M: CostModel + ?Sized = dyn CostModel> {
     graph: &'a Hypergraph,
     catalog: &'a Catalog,
-    cost_model: &'a dyn CostModel,
+    cost_model: &'a M,
     /// When set, every connecting edge's TES must be contained in `S1 ∪ S2` (with the left/right
     /// split respected). This is the generate-and-test approach the paper compares against in
     /// Fig. 8a; the hypergraph-based approach encodes the same constraints as hyperedges and
@@ -184,9 +64,9 @@ pub struct JoinCombiner<'a> {
     enforce_tes: bool,
 }
 
-impl<'a> JoinCombiner<'a> {
+impl<'a, M: CostModel + ?Sized> JoinCombiner<'a, M> {
     /// Creates a combiner.
-    pub fn new(graph: &'a Hypergraph, catalog: &'a Catalog, cost_model: &'a dyn CostModel) -> Self {
+    pub fn new(graph: &'a Hypergraph, catalog: &'a Catalog, cost_model: &'a M) -> Self {
         JoinCombiner {
             graph,
             catalog,
@@ -211,23 +91,33 @@ impl<'a> JoinCombiner<'a> {
         self.catalog
     }
 
-    /// Combines `a` and `b` into the best candidate plan class for `a.set ∪ b.set`, or `None`
-    /// if no valid join exists (no connecting edge, TES violated, unresolved lateral
+    /// Combines the sub-plans `a` and `b` into the best candidate for `a.set ∪ b.set`, or
+    /// `None` if no valid join exists (no connecting edge, TES violated, unresolved lateral
     /// references, …).
-    pub fn combine(&self, a: &PlanClass, b: &PlanClass) -> Option<PlanClass> {
+    ///
+    /// `edges` must be the connecting edges of `(a.set, b.set)` — the caller obtains them via
+    /// [`Hypergraph::connecting_edges_into`] into a reused buffer so that the per-pair hot path
+    /// performs no allocation; the returned candidate borrows that buffer until it is offered
+    /// to the [`DpTable`] (which interns the list only if the offer is accepted).
+    pub fn combine<'e>(
+        &self,
+        a: &SubPlanStats,
+        b: &SubPlanStats,
+        edges: &'e [EdgeId],
+    ) -> Option<Candidate<'e>> {
         debug_assert!(a.set.is_disjoint(b.set));
-        let edges = self.graph.connecting_edges(a.set, b.set);
+        debug_assert_eq!(edges, self.graph.connecting_edges(a.set, b.set).as_slice());
         if edges.is_empty() {
             return None;
         }
         let union = a.set | b.set;
-        let selectivity = self.catalog.selectivity_product(&edges);
+        let selectivity = self.catalog.selectivity_product(edges);
 
         // Recover the operator: prefer the (unique) non-inner operator among the connecting
         // edges; plain predicates keep the inner join.
         let mut op = JoinOp::Inner;
         let mut defining_edge: Option<EdgeId> = None;
-        for &e in &edges {
+        for &e in edges {
             let ann = self.catalog.edge_annotation(e);
             if !ann.op.is_inner() {
                 debug_assert!(
@@ -242,35 +132,49 @@ impl<'a> JoinCombiner<'a> {
             }
         }
 
-        if self.enforce_tes && !self.tes_satisfied(&edges, a.set, b.set) {
+        if self.enforce_tes && !self.tes_satisfied(edges, a.set, b.set) {
             return None;
         }
 
         // Candidate orientations. Non-commutative operators are oriented by their defining
         // hyperedge: the edge's left hypernode belongs to the operator's left input (Sec. 5.4).
-        let mut orientations: Vec<(&PlanClass, &PlanClass)> = Vec::with_capacity(2);
+        let mut orientations: [Option<(&SubPlanStats, &SubPlanStats)>; 2] = [None, None];
         if op.is_commutative() {
-            orientations.push((a, b));
-            orientations.push((b, a));
+            orientations[0] = Some((a, b));
+            orientations[1] = Some((b, a));
         } else {
             let e = self.graph.edge(defining_edge.expect("non-empty edge list"));
             if e.left().is_subset_of(a.set) && e.right().is_subset_of(b.set) {
-                orientations.push((a, b));
+                orientations[0] = Some((a, b));
             } else {
-                orientations.push((b, a));
+                orientations[0] = Some((b, a));
             }
         }
 
-        let mut best: Option<PlanClass> = None;
-        for (outer, inner) in orientations {
-            if self.enforce_tes && !self.tes_orientation_ok(&edges, outer.set, inner.set) {
+        // Dependent-join inputs (Sec. 5.6), hoisted out of the orientation loop; for the common
+        // lateral-free catalog both sets are empty and the per-pair scans are skipped entirely.
+        let (ft_a, ft_b) = if self.catalog.has_lateral_refs() {
+            (
+                self.catalog.free_tables(a.set),
+                self.catalog.free_tables(b.set),
+            )
+        } else {
+            (NodeSet::EMPTY, NodeSet::EMPTY)
+        };
+
+        let mut best: Option<Candidate<'e>> = None;
+        for (outer, inner) in orientations.into_iter().flatten() {
+            if self.enforce_tes && !self.tes_orientation_ok(edges, outer.set, inner.set) {
                 continue;
             }
             // Dependent-join decision (Sec. 5.6): FT(P2) ∩ S1 ≠ ∅ turns the operator into its
             // dependent counterpart; the lateral references must be fully available on the
             // outer side.
-            let ft_inner = self.catalog.free_tables(inner.set);
-            let ft_outer = self.catalog.free_tables(outer.set);
+            let (ft_outer, ft_inner) = if outer.set == a.set {
+                (ft_a, ft_b)
+            } else {
+                (ft_b, ft_a)
+            };
             if ft_outer.intersects(inner.set) {
                 // The outer side would depend on the inner side — invalid for left-handed
                 // operators; the swapped orientation (if allowed) handles it.
@@ -292,18 +196,18 @@ impl<'a> JoinCombiner<'a> {
                 inner.cardinality,
                 selectivity,
             );
-            let cost =
-                self.cost_model
-                    .join_cost(actual_op, &outer.stats(), &inner.stats(), cardinality);
-            let candidate = PlanClass {
+            let cost = self
+                .cost_model
+                .join_cost(actual_op, outer, inner, cardinality);
+            let candidate = Candidate {
                 set: union,
                 cardinality,
                 cost,
-                best_join: Some(BestJoin {
+                join: Some(CandidateJoin {
                     left: outer.set,
                     right: inner.set,
                     op: actual_op,
-                    predicates: edges.clone(),
+                    predicates: edges,
                 }),
             };
             match &best {
@@ -336,18 +240,25 @@ impl<'a> JoinCombiner<'a> {
 
 /// The standard cost-based handler: reacts to each csg-cmp-pair exactly like the paper's
 /// `EmitCsgCmp`, i.e. builds the candidate plan(s) for `S1 ∪ S2` and memoizes the cheapest.
-pub struct CostBasedHandler<'a> {
-    combiner: JoinCombiner<'a>,
+///
+/// Generic over the cost model like [`JoinCombiner`]; a concrete `M` makes the whole
+/// pair-processing path — connecting-edge collection into a reused buffer, candidate
+/// construction, cost call, table offer — free of virtual dispatch and allocation.
+pub struct CostBasedHandler<'a, M: CostModel + ?Sized = dyn CostModel> {
+    combiner: JoinCombiner<'a, M>,
     table: DpTable,
+    /// Reused connecting-edge buffer; one `emit_ccp` at a time borrows it.
+    edge_buf: Vec<EdgeId>,
     ccps: usize,
 }
 
-impl<'a> CostBasedHandler<'a> {
+impl<'a, M: CostModel + ?Sized> CostBasedHandler<'a, M> {
     /// Creates a handler over an empty DP table.
-    pub fn new(combiner: JoinCombiner<'a>) -> Self {
+    pub fn new(combiner: JoinCombiner<'a, M>) -> Self {
         CostBasedHandler {
             combiner,
             table: DpTable::new(),
+            edge_buf: Vec::new(),
             ccps: 0,
         }
     }
@@ -363,12 +274,12 @@ impl<'a> CostBasedHandler<'a> {
     }
 
     /// The combiner used by this handler.
-    pub fn combiner(&self) -> &JoinCombiner<'a> {
+    pub fn combiner(&self) -> &JoinCombiner<'a, M> {
         &self.combiner
     }
 }
 
-impl CcpHandler for CostBasedHandler<'_> {
+impl<M: CostModel + ?Sized> CcpHandler for CostBasedHandler<'_, M> {
     fn init_leaf(&mut self, relation: NodeId) {
         let card = self.combiner.catalog().cardinality(relation);
         self.table.insert_leaf(relation, card);
@@ -380,11 +291,20 @@ impl CcpHandler for CostBasedHandler<'_> {
 
     fn emit_ccp(&mut self, s1: NodeSet, s2: NodeSet) {
         self.ccps += 1;
-        let (Some(a), Some(b)) = (self.table.get(s1), self.table.get(s2)) else {
-            debug_assert!(false, "emit_ccp called before both classes exist: {s1:?}, {s2:?}");
-            return;
+        let (a, b) = match (self.table.get(s1), self.table.get(s2)) {
+            (Some(a), Some(b)) => (a.stats(), b.stats()),
+            _ => {
+                debug_assert!(
+                    false,
+                    "emit_ccp called before both classes exist: {s1:?}, {s2:?}"
+                );
+                return;
+            }
         };
-        if let Some(candidate) = self.combiner.combine(a, b) {
+        self.combiner
+            .graph()
+            .connecting_edges_into(s1, s2, &mut self.edge_buf);
+        if let Some(candidate) = self.combiner.combine(&a, &b, &self.edge_buf) {
             self.table.offer(candidate);
         }
     }
@@ -463,6 +383,22 @@ mod tests {
         v.iter().copied().collect()
     }
 
+    fn leaf_stats(relation: usize, cardinality: f64) -> SubPlanStats {
+        SubPlanStats::leaf(relation, cardinality)
+    }
+
+    /// Combines two sub-plans the way the handler does, with a fresh edge buffer. Returns an
+    /// owned view `(candidate-as-stats, join)` so tests can chain combinations.
+    fn combine_pair<'e, M: CostModel + ?Sized>(
+        combiner: &JoinCombiner<'_, M>,
+        a: &SubPlanStats,
+        b: &SubPlanStats,
+        edges: &'e mut Vec<EdgeId>,
+    ) -> Option<Candidate<'e>> {
+        combiner.graph().connecting_edges_into(a.set, b.set, edges);
+        combiner.combine(a, b, edges)
+    }
+
     /// Chain R0 - R1 - R2 with distinctive cardinalities.
     fn chain3() -> (Hypergraph, Catalog) {
         let mut b = Hypergraph::builder(3);
@@ -476,45 +412,6 @@ mod tests {
             .annotate_edge(0, EdgeAnnotation::inner(0.01))
             .annotate_edge(1, EdgeAnnotation::inner(0.01));
         (g, cb.build())
-    }
-
-    #[test]
-    fn dp_table_leaf_and_offer_semantics() {
-        let mut t = DpTable::new();
-        assert!(t.is_empty());
-        t.insert_leaf(0, 100.0);
-        t.insert_leaf(1, 50.0);
-        assert_eq!(t.len(), 2);
-        assert!(t.contains(NodeSet::single(0)));
-        assert!(!t.contains(ns(&[0, 1])));
-
-        let expensive = PlanClass {
-            set: ns(&[0, 1]),
-            cardinality: 10.0,
-            cost: 100.0,
-            best_join: Some(BestJoin {
-                left: ns(&[0]),
-                right: ns(&[1]),
-                op: JoinOp::Inner,
-                predicates: vec![0],
-            }),
-        };
-        assert!(t.offer(expensive.clone()));
-        // A cheaper plan replaces it.
-        let cheap = PlanClass {
-            cost: 10.0,
-            ..expensive.clone()
-        };
-        assert!(t.offer(cheap));
-        assert_eq!(t.get(ns(&[0, 1])).unwrap().cost, 10.0);
-        // An equally expensive plan does not.
-        let equal = PlanClass {
-            cost: 10.0,
-            cardinality: 99.0,
-            ..expensive
-        };
-        assert!(!t.offer(equal));
-        assert_eq!(t.get(ns(&[0, 1])).unwrap().cardinality, 10.0);
     }
 
     #[test]
@@ -546,23 +443,31 @@ mod tests {
     }
 
     #[test]
+    fn handler_is_usable_through_dyn_cost_model() {
+        // The default `dyn CostModel` instantiation keeps runtime model selection working.
+        let (g, c) = chain3();
+        let model: &dyn CostModel = &CoutCost;
+        let combiner: JoinCombiner<'_> = JoinCombiner::new(&g, &c, model);
+        let mut h = CostBasedHandler::new(combiner);
+        for r in 0..3 {
+            h.init_leaf(r);
+        }
+        h.emit_ccp(ns(&[0]), ns(&[1]));
+        assert!(h.contains(ns(&[0, 1])));
+    }
+
+    #[test]
     fn combiner_requires_a_connecting_edge() {
         let (g, c) = chain3();
         let model = CoutCost;
         let combiner = JoinCombiner::new(&g, &c, &model);
-        let a = PlanClass {
-            set: ns(&[0]),
-            cardinality: 10.0,
-            cost: 0.0,
-            best_join: None,
-        };
-        let b = PlanClass {
-            set: ns(&[2]),
-            cardinality: 10.0,
-            cost: 0.0,
-            best_join: None,
-        };
-        assert!(combiner.combine(&a, &b).is_none(), "R0 and R2 are not adjacent");
+        let a = leaf_stats(0, 10.0);
+        let b = leaf_stats(2, 10.0);
+        let mut edges = Vec::new();
+        assert!(
+            combine_pair(&combiner, &a, &b, &mut edges).is_none(),
+            "R0 and R2 are not adjacent"
+        );
     }
 
     #[test]
@@ -570,26 +475,17 @@ mod tests {
         let (g, c) = chain3();
         let model = CoutCost;
         let combiner = JoinCombiner::new(&g, &c, &model);
-        let a = PlanClass {
-            set: ns(&[0]),
-            cardinality: 10.0,
-            cost: 0.0,
-            best_join: None,
-        };
-        let b = PlanClass {
-            set: ns(&[1]),
-            cardinality: 1000.0,
-            cost: 0.0,
-            best_join: None,
-        };
-        let combined = combiner.combine(&a, &b).expect("adjacent");
+        let a = leaf_stats(0, 10.0);
+        let b = leaf_stats(1, 1000.0);
+        let mut edges = Vec::new();
+        let combined = combine_pair(&combiner, &a, &b, &mut edges).expect("adjacent");
         // 10 * 1000 * 0.01 = 100
         assert!((combined.cardinality - 100.0).abs() < 1e-9);
         assert!((combined.cost - 100.0).abs() < 1e-9);
         assert_eq!(combined.set, ns(&[0, 1]));
-        let join = combined.best_join.unwrap();
+        let join = combined.join.unwrap();
         assert_eq!(join.op, JoinOp::Inner);
-        assert_eq!(join.predicates, vec![0]);
+        assert_eq!(join.predicates, &[0]);
     }
 
     #[test]
@@ -599,20 +495,11 @@ mod tests {
         let (g, c) = chain3();
         let model = MixedCost;
         let combiner = JoinCombiner::new(&g, &c, &model);
-        let small = PlanClass {
-            set: ns(&[0]),
-            cardinality: 10.0,
-            cost: 0.0,
-            best_join: None,
-        };
-        let big = PlanClass {
-            set: ns(&[1]),
-            cardinality: 1000.0,
-            cost: 0.0,
-            best_join: None,
-        };
-        let combined = combiner.combine(&small, &big).unwrap();
-        let join = combined.best_join.unwrap();
+        let small = leaf_stats(0, 10.0);
+        let big = leaf_stats(1, 1000.0);
+        let mut edges = Vec::new();
+        let combined = combine_pair(&combiner, &small, &big, &mut edges).unwrap();
+        let join = combined.join.unwrap();
         assert_eq!(join.left, ns(&[1]), "large input should be the probe side");
         assert_eq!(join.right, ns(&[0]));
     }
@@ -631,21 +518,12 @@ mod tests {
         let c = cb.build();
         let model = CoutCost;
         let combiner = JoinCombiner::new(&g, &c, &model);
-        let r0 = PlanClass {
-            set: ns(&[0]),
-            cardinality: 10.0,
-            cost: 0.0,
-            best_join: None,
-        };
-        let r1 = PlanClass {
-            set: ns(&[1]),
-            cardinality: 100.0,
-            cost: 0.0,
-            best_join: None,
-        };
+        let r0 = leaf_stats(0, 10.0);
+        let r1 = leaf_stats(1, 100.0);
         for (x, y) in [(&r0, &r1), (&r1, &r0)] {
-            let combined = combiner.combine(x, y).unwrap();
-            let join = combined.best_join.unwrap();
+            let mut edges = Vec::new();
+            let combined = combine_pair(&combiner, x, y, &mut edges).unwrap();
+            let join = combined.join.unwrap();
             assert_eq!(join.op, JoinOp::LeftOuter);
             assert_eq!(join.left, ns(&[0]));
             assert_eq!(join.right, ns(&[1]));
@@ -666,25 +544,24 @@ mod tests {
         let c = cb.build();
         let model = CoutCost;
         let combiner = JoinCombiner::new(&g, &c, &model);
-        let r0 = PlanClass {
-            set: ns(&[0]),
-            cardinality: 100.0,
-            cost: 0.0,
-            best_join: None,
-        };
-        let r1 = PlanClass {
-            set: ns(&[1]),
-            cardinality: 5.0,
-            cost: 0.0,
-            best_join: None,
-        };
-        let combined = combiner.combine(&r0, &r1).unwrap();
-        let join = combined.best_join.unwrap();
-        assert_eq!(join.op, JoinOp::DepJoin, "lateral reference must force a d-join");
-        assert_eq!(join.left, ns(&[0]), "the referenced relation must be on the left");
+        let r0 = leaf_stats(0, 100.0);
+        let r1 = leaf_stats(1, 5.0);
+        let mut edges = Vec::new();
+        let combined = combine_pair(&combiner, &r0, &r1, &mut edges).unwrap();
+        let join = combined.join.unwrap();
+        assert_eq!(
+            join.op,
+            JoinOp::DepJoin,
+            "lateral reference must force a d-join"
+        );
+        assert_eq!(
+            join.left,
+            ns(&[0]),
+            "the referenced relation must be on the left"
+        );
         // Same result regardless of argument order.
-        let combined2 = combiner.combine(&r1, &r0).unwrap();
-        assert_eq!(combined2.best_join.unwrap().op, JoinOp::DepJoin);
+        let combined2 = combine_pair(&combiner, &r1, &r0, &mut edges).unwrap();
+        assert_eq!(combined2.join.unwrap().op, JoinOp::DepJoin);
     }
 
     #[test]
@@ -704,19 +581,23 @@ mod tests {
         let c = cb.build();
         let model = CoutCost;
         let combiner = JoinCombiner::new(&g, &c, &model);
-        let leaf = |r: usize| PlanClass {
-            set: NodeSet::single(r),
-            cardinality: 10.0,
-            cost: 0.0,
-            best_join: None,
-        };
         // R0 ⋈ R1: reference to R2 is not touched by this join — stays a regular join.
-        let r01 = combiner.combine(&leaf(0), &leaf(1)).expect("adjacent");
-        assert_eq!(r01.best_join.as_ref().unwrap().op, JoinOp::Inner);
+        let mut edges = Vec::new();
+        let r01 = combine_pair(
+            &combiner,
+            &leaf_stats(0, 10.0),
+            &leaf_stats(1, 10.0),
+            &mut edges,
+        )
+        .expect("adjacent");
+        assert_eq!(r01.join.as_ref().unwrap().op, JoinOp::Inner);
+        let r01_stats = r01.stats();
         // ({R0,R1}) with R2: the only valid orientation places R2 (the referenced relation) on
         // the left and turns the operator into a dependent join.
-        let combined = combiner.combine(&r01, &leaf(2)).expect("adjacent");
-        let join = combined.best_join.unwrap();
+        let mut edges2 = Vec::new();
+        let combined = combine_pair(&combiner, &r01_stats, &leaf_stats(2, 10.0), &mut edges2)
+            .expect("adjacent");
+        let join = combined.join.unwrap();
         assert_eq!(join.op, JoinOp::DepJoin);
         assert_eq!(join.left, ns(&[2]));
         assert_eq!(join.right, ns(&[0, 1]));
@@ -737,35 +618,37 @@ mod tests {
         cb.annotate_edge(1, EdgeAnnotation::inner(0.5));
         let c = cb.build();
         let model = CoutCost;
-        let leaf = |r: usize| PlanClass {
-            set: NodeSet::single(r),
-            cardinality: 100.0,
-            cost: 0.0,
-            best_join: None,
-        };
 
         let tes_combiner = JoinCombiner::new(&g, &c, &model).with_tes_enforcement(true);
         // {R0} vs {R1}: TES {0,2} not contained in the union → rejected.
-        assert!(tes_combiner.combine(&leaf(0), &leaf(1)).is_none());
+        let mut edges = Vec::new();
+        assert!(combine_pair(
+            &tes_combiner,
+            &leaf_stats(0, 100.0),
+            &leaf_stats(1, 100.0),
+            &mut edges
+        )
+        .is_none());
         // {R0,R2} vs {R1}: satisfied.
-        let r02 = PlanClass {
+        let r02 = SubPlanStats {
             set: ns(&[0, 2]),
             cardinality: 5000.0,
             cost: 5000.0,
-            best_join: Some(BestJoin {
-                left: ns(&[0]),
-                right: ns(&[2]),
-                op: JoinOp::Inner,
-                predicates: vec![1],
-            }),
         };
-        let combined = tes_combiner.combine(&r02, &leaf(1)).expect("TES satisfied");
-        assert_eq!(combined.best_join.unwrap().op, JoinOp::LeftAnti);
+        let combined = combine_pair(&tes_combiner, &r02, &leaf_stats(1, 100.0), &mut edges)
+            .expect("TES satisfied");
+        assert_eq!(combined.join.unwrap().op, JoinOp::LeftAnti);
 
         // Without enforcement the incomplete pair is accepted (this is exactly the extra work
         // the generate-and-test variant wastes).
         let plain = JoinCombiner::new(&g, &c, &model);
-        assert!(plain.combine(&leaf(0), &leaf(1)).is_some());
+        assert!(combine_pair(
+            &plain,
+            &leaf_stats(0, 100.0),
+            &leaf_stats(1, 100.0),
+            &mut edges
+        )
+        .is_some());
     }
 
     #[test]

@@ -1,0 +1,614 @@
+//! The dynamic-programming table of the planner, re-architected for the hot path.
+//!
+//! The paper's metric is cost-function invocations per csg-cmp-pair, so the per-pair overhead
+//! of the memo structure *is* the hot path. The table therefore avoids the two costs of the
+//! obvious `HashMap<NodeSet, PlanClass>` design:
+//!
+//! * **SipHash + bucket indirection.** Plan classes live in one contiguous arena
+//!   ([`DpTable::classes`] iterates it in insertion order) and are found through a hand-rolled
+//!   open-addressing slot map from the raw 64-bit set mask to a `u32` arena index, hashed with
+//!   the FxHash-style finalizer of [`NodeSet::hash64`]. Lookups touch one flat array with
+//!   linear probing — no SipHash rounds, no `(hash, key, value)` buckets.
+//! * **Per-offer `Vec<EdgeId>` clones.** The connecting-predicate list of a join is interned
+//!   into a shared arena ([`EdgeListRef`] is an 8-byte handle, hash-consed so equal lists are
+//!   stored once); a rejected [`DpTable::offer`] allocates nothing, and [`PlanClass`] becomes
+//!   `Copy`, which in turn lets every enumeration algorithm read table entries without cloning.
+
+use crate::cost::SubPlanStats;
+use qo_bitset::{NodeId, NodeSet};
+use qo_hypergraph::EdgeId;
+use qo_plan::{JoinOp, PlanNode};
+
+/// Handle to an interned predicate list; resolve with [`DpTable::edge_list`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeListRef {
+    offset: u32,
+    len: u32,
+}
+
+impl EdgeListRef {
+    /// Number of edges in the referenced list.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// Is the referenced list empty?
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The root join of the best plan of a [`PlanClass`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BestJoin {
+    /// Relations of the left input class.
+    pub left: NodeSet,
+    /// Relations of the right input class.
+    pub right: NodeSet,
+    /// Operator applied at the root (already turned into its dependent variant if required).
+    pub op: JoinOp,
+    /// Hyperedge ids whose predicates are evaluated at this join, interned in the owning
+    /// [`DpTable`].
+    pub predicates: EdgeListRef,
+}
+
+/// The best plan known for one set of relations (a "plan class").
+///
+/// Plan classes are plain 48-byte `Copy` values: enumeration algorithms read them out of the
+/// table by value instead of cloning heap-backed structs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlanClass {
+    /// The relations covered by this class.
+    pub set: NodeSet,
+    /// Estimated output cardinality of the class.
+    pub cardinality: f64,
+    /// Cost of the best plan found so far.
+    pub cost: f64,
+    /// How the best plan combines its inputs; `None` for base relations.
+    pub best_join: Option<BestJoin>,
+}
+
+impl PlanClass {
+    /// The class viewed as sub-plan statistics (the combiner's input currency).
+    pub fn stats(&self) -> SubPlanStats {
+        SubPlanStats {
+            set: self.set,
+            cardinality: self.cardinality,
+            cost: self.cost,
+        }
+    }
+}
+
+/// A candidate plan class produced by the combiner, not yet memoized: its predicate list still
+/// borrows the caller's connecting-edge buffer and is only interned if the offer is accepted.
+#[derive(Clone, Copy, Debug)]
+pub struct Candidate<'e> {
+    /// The relations covered by the candidate.
+    pub set: NodeSet,
+    /// Estimated output cardinality.
+    pub cardinality: f64,
+    /// Cost of the candidate plan.
+    pub cost: f64,
+    /// The root join; `None` never occurs for combiner output but keeps the type parallel to
+    /// [`PlanClass`].
+    pub join: Option<CandidateJoin<'e>>,
+}
+
+impl Candidate<'_> {
+    /// The candidate viewed as sub-plan statistics (for chaining combinations without going
+    /// through the table).
+    pub fn stats(&self) -> SubPlanStats {
+        SubPlanStats {
+            set: self.set,
+            cardinality: self.cardinality,
+            cost: self.cost,
+        }
+    }
+}
+
+/// The root join of a [`Candidate`].
+#[derive(Clone, Copy, Debug)]
+pub struct CandidateJoin<'e> {
+    /// Relations of the left input class.
+    pub left: NodeSet,
+    /// Relations of the right input class.
+    pub right: NodeSet,
+    /// Operator applied at the root.
+    pub op: JoinOp,
+    /// Hyperedge ids whose predicates are evaluated at this join.
+    pub predicates: &'e [EdgeId],
+}
+
+/// Open-addressing map from raw non-zero set masks to `u32` arena indexes.
+///
+/// Mask `0` (the empty relation set, never a valid plan-class key) doubles as the vacancy
+/// sentinel, so a slot is a bare `(u64, u32)` pair and probing is branch-light.
+#[derive(Clone, Debug)]
+struct SlotMap {
+    masks: Vec<u64>,
+    slots: Vec<u32>,
+    len: usize,
+    /// log2 of the table size; kept so indexing can use the well-mixed high hash bits.
+    bits: u32,
+}
+
+impl SlotMap {
+    const INITIAL_BITS: u32 = 6; // 64 slots
+
+    fn new() -> Self {
+        SlotMap {
+            masks: vec![0; 1 << Self::INITIAL_BITS],
+            slots: vec![0; 1 << Self::INITIAL_BITS],
+            len: 0,
+            bits: Self::INITIAL_BITS,
+        }
+    }
+
+    #[inline]
+    fn get(&self, set: NodeSet) -> Option<u32> {
+        let mask = set.mask();
+        debug_assert!(mask != 0, "the empty set is never a plan-class key");
+        let cap_mask = self.masks.len() - 1;
+        let mut i = set.hash_index(self.bits);
+        loop {
+            let m = self.masks[i];
+            if m == mask {
+                return Some(self.slots[i]);
+            }
+            if m == 0 {
+                return None;
+            }
+            i = (i + 1) & cap_mask;
+        }
+    }
+
+    /// Inserts a new key. The caller guarantees `set` is not present.
+    fn insert(&mut self, set: NodeSet, slot: u32) {
+        debug_assert!(set.mask() != 0, "the empty set is never a plan-class key");
+        debug_assert!(self.get(set).is_none(), "duplicate slot-map insert");
+        // Grow at 3/4 load to keep probe sequences short.
+        if (self.len + 1) * 4 > self.masks.len() * 3 {
+            self.grow();
+        }
+        let cap_mask = self.masks.len() - 1;
+        let mut i = set.hash_index(self.bits);
+        while self.masks[i] != 0 {
+            i = (i + 1) & cap_mask;
+        }
+        self.masks[i] = set.mask();
+        self.slots[i] = slot;
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let old_masks = std::mem::take(&mut self.masks);
+        let old_slots = std::mem::take(&mut self.slots);
+        self.bits += 1;
+        let cap = 1 << self.bits;
+        self.masks = vec![0; cap];
+        self.slots = vec![0; cap];
+        let cap_mask = cap - 1;
+        for (m, s) in old_masks.into_iter().zip(old_slots) {
+            if m != 0 {
+                let mut i = NodeSet::from_mask(m).hash_index(self.bits);
+                while self.masks[i] != 0 {
+                    i = (i + 1) & cap_mask;
+                }
+                self.masks[i] = m;
+                self.slots[i] = s;
+            }
+        }
+    }
+}
+
+/// Hash-consing arena for predicate edge lists: equal lists share one storage slot, and
+/// rejected offers never touch it.
+#[derive(Clone, Debug)]
+struct EdgeListInterner {
+    data: Vec<EdgeId>,
+    /// Open addressing over interned refs; `len == 0` marks a vacant slot (interned lists are
+    /// never empty — a join always has at least one connecting predicate).
+    table: Vec<EdgeListRef>,
+    len: usize,
+    bits: u32,
+}
+
+impl EdgeListInterner {
+    const INITIAL_BITS: u32 = 6;
+
+    fn new() -> Self {
+        EdgeListInterner {
+            data: Vec::new(),
+            table: vec![EdgeListRef { offset: 0, len: 0 }; 1 << Self::INITIAL_BITS],
+            len: 0,
+            bits: Self::INITIAL_BITS,
+        }
+    }
+
+    #[inline]
+    fn resolve(&self, r: EdgeListRef) -> &[EdgeId] {
+        &self.data[r.offset as usize..r.offset as usize + r.len as usize]
+    }
+
+    fn hash(list: &[EdgeId]) -> u64 {
+        // Fx-style accumulate-and-mix over the edge ids.
+        let mut h: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        for &e in list {
+            h = (h.rotate_left(5) ^ e as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        // Final avalanche so short lists still fill the high bits.
+        h ^= h >> 32;
+        h.wrapping_mul(0xD6E8_FEB8_6659_FD93)
+    }
+
+    fn intern(&mut self, list: &[EdgeId]) -> EdgeListRef {
+        debug_assert!(!list.is_empty(), "joins always have a connecting predicate");
+        if (self.len + 1) * 4 > self.table.len() * 3 {
+            self.grow();
+        }
+        let cap_mask = self.table.len() - 1;
+        let mut i = (Self::hash(list) >> (64 - self.bits)) as usize;
+        loop {
+            let r = self.table[i];
+            if r.len == 0 {
+                let interned = EdgeListRef {
+                    offset: u32::try_from(self.data.len()).expect("edge arena fits in u32"),
+                    len: u32::try_from(list.len()).expect("edge list fits in u32"),
+                };
+                self.data.extend_from_slice(list);
+                self.table[i] = interned;
+                self.len += 1;
+                return interned;
+            }
+            if self.resolve(r) == list {
+                return r;
+            }
+            i = (i + 1) & cap_mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let old = std::mem::take(&mut self.table);
+        self.bits += 1;
+        let cap = 1 << self.bits;
+        self.table = vec![EdgeListRef { offset: 0, len: 0 }; cap];
+        let cap_mask = cap - 1;
+        for r in old {
+            if r.len != 0 {
+                let mut i = (Self::hash(self.resolve(r)) >> (64 - self.bits)) as usize;
+                while self.table[i].len != 0 {
+                    i = (i + 1) & cap_mask;
+                }
+                self.table[i] = r;
+            }
+        }
+    }
+}
+
+/// The dynamic programming table: best plan per connected set of relations.
+///
+/// See the module documentation for the layout rationale. The public surface mirrors what the
+/// enumeration algorithms need: leaf seeding, membership tests, candidate offers and plan
+/// reconstruction.
+#[derive(Clone, Debug)]
+pub struct DpTable {
+    map: SlotMap,
+    classes: Vec<PlanClass>,
+    predicates: EdgeListInterner,
+}
+
+impl Default for DpTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DpTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        DpTable {
+            map: SlotMap::new(),
+            classes: Vec::new(),
+            predicates: EdgeListInterner::new(),
+        }
+    }
+
+    /// Number of memoized plan classes (connected sets discovered so far).
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Does the table contain a plan for `set`?
+    #[inline]
+    pub fn contains(&self, set: NodeSet) -> bool {
+        !set.is_empty() && self.map.get(set).is_some()
+    }
+
+    /// The plan class for `set`, if any.
+    #[inline]
+    pub fn get(&self, set: NodeSet) -> Option<&PlanClass> {
+        if set.is_empty() {
+            return None;
+        }
+        self.map.get(set).map(|i| &self.classes[i as usize])
+    }
+
+    /// Iterates over all memoized classes in insertion order.
+    pub fn classes(&self) -> impl Iterator<Item = &PlanClass> {
+        self.classes.iter()
+    }
+
+    /// Resolves an interned predicate list.
+    #[inline]
+    pub fn edge_list(&self, r: EdgeListRef) -> &[EdgeId] {
+        self.predicates.resolve(r)
+    }
+
+    /// The predicate edge ids of a class's best join (empty for leaf classes).
+    pub fn best_join_predicates(&self, class: &PlanClass) -> &[EdgeId] {
+        match class.best_join {
+            Some(join) => self.edge_list(join.predicates),
+            None => &[],
+        }
+    }
+
+    /// Inserts the access plan for a single relation. Re-inserting a relation resets its class
+    /// to a fresh leaf (cost 0, no join).
+    pub fn insert_leaf(&mut self, relation: NodeId, cardinality: f64) {
+        let set = NodeSet::single(relation);
+        let class = PlanClass {
+            set,
+            cardinality,
+            cost: 0.0,
+            best_join: None,
+        };
+        match self.map.get(set) {
+            Some(i) => self.classes[i as usize] = class,
+            None => {
+                let i = u32::try_from(self.classes.len()).expect("class arena fits in u32");
+                self.classes.push(class);
+                self.map.insert(set, i);
+            }
+        }
+    }
+
+    /// Offers a candidate plan class; it replaces the memoized one if it is cheaper (or if the
+    /// set was unknown). Returns `true` if the candidate was accepted. On equal cost the
+    /// incumbent wins, so the first plan found at a given cost is kept.
+    pub fn offer(&mut self, candidate: Candidate<'_>) -> bool {
+        match self.map.get(candidate.set) {
+            Some(i) => {
+                if candidate.cost < self.classes[i as usize].cost {
+                    let class = self.admit(candidate);
+                    self.classes[i as usize] = class;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                let class = self.admit(candidate);
+                let i = u32::try_from(self.classes.len()).expect("class arena fits in u32");
+                self.classes.push(class);
+                self.map.insert(candidate.set, i);
+                true
+            }
+        }
+    }
+
+    /// Interns an accepted candidate's predicate list and builds its stored class.
+    fn admit(&mut self, candidate: Candidate<'_>) -> PlanClass {
+        let best_join = candidate.join.map(|j| BestJoin {
+            left: j.left,
+            right: j.right,
+            op: j.op,
+            predicates: self.predicates.intern(j.predicates),
+        });
+        PlanClass {
+            set: candidate.set,
+            cardinality: candidate.cardinality,
+            cost: candidate.cost,
+            best_join,
+        }
+    }
+
+    /// Reconstructs the full plan tree for `set` from the memoized join decisions.
+    pub fn reconstruct(&self, set: NodeSet) -> Option<PlanNode> {
+        let class = self.get(set)?;
+        match class.best_join {
+            None => {
+                let relation = set.min_node().expect("leaf class with empty set");
+                Some(PlanNode::scan(relation, class.cardinality))
+            }
+            Some(join) => {
+                let left = self.reconstruct(join.left)?;
+                let right = self.reconstruct(join.right)?;
+                Some(PlanNode::join(
+                    join.op,
+                    left,
+                    right,
+                    self.edge_list(join.predicates).to_vec(),
+                    class.cardinality,
+                    class.cost,
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: &[usize]) -> NodeSet {
+        v.iter().copied().collect()
+    }
+
+    fn candidate(set: NodeSet, cost: f64, predicates: &[EdgeId]) -> Candidate<'_> {
+        let left = set.min_singleton();
+        Candidate {
+            set,
+            cardinality: 10.0,
+            cost,
+            join: Some(CandidateJoin {
+                left,
+                right: set - left,
+                op: JoinOp::Inner,
+                predicates,
+            }),
+        }
+    }
+
+    #[test]
+    fn leaf_insert_get_contains() {
+        let mut t = DpTable::new();
+        assert!(t.is_empty());
+        assert!(!t.contains(NodeSet::EMPTY));
+        assert!(t.get(NodeSet::EMPTY).is_none());
+        t.insert_leaf(3, 500.0);
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(NodeSet::single(3)));
+        let c = t.get(NodeSet::single(3)).unwrap();
+        assert_eq!(c.cardinality, 500.0);
+        assert_eq!(c.cost, 0.0);
+        assert!(c.best_join.is_none());
+        assert!(t.best_join_predicates(c).is_empty());
+    }
+
+    #[test]
+    fn leaf_reinsertion_resets_the_class() {
+        let mut t = DpTable::new();
+        t.insert_leaf(0, 100.0);
+        t.insert_leaf(1, 100.0);
+        assert!(t.offer(candidate(ns(&[0, 1]), 42.0, &[7])));
+        // Re-inserting a leaf must not create a duplicate class and must reset the stats.
+        t.insert_leaf(0, 250.0);
+        assert_eq!(t.len(), 3);
+        let c = t.get(NodeSet::single(0)).unwrap();
+        assert_eq!(c.cardinality, 250.0);
+        assert_eq!(c.cost, 0.0);
+        assert!(c.best_join.is_none());
+    }
+
+    #[test]
+    fn offer_keeps_the_cheapest_and_breaks_ties_for_the_incumbent() {
+        let mut t = DpTable::new();
+        assert!(t.offer(candidate(ns(&[0, 1]), 100.0, &[0])));
+        // Cheaper: replaces.
+        assert!(t.offer(candidate(ns(&[0, 1]), 10.0, &[1])));
+        assert_eq!(t.get(ns(&[0, 1])).unwrap().cost, 10.0);
+        // Equal cost: the incumbent wins (deterministic tie-breaking on emission order).
+        let mut tied = candidate(ns(&[0, 1]), 10.0, &[2]);
+        tied.cardinality = 99.0;
+        assert!(!t.offer(tied));
+        let stored = t.get(ns(&[0, 1])).unwrap();
+        assert_eq!(stored.cardinality, 10.0);
+        assert_eq!(t.best_join_predicates(stored), &[1]);
+        // More expensive: rejected.
+        assert!(!t.offer(candidate(ns(&[0, 1]), 11.0, &[3])));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn equal_edge_lists_are_interned_once() {
+        let mut t = DpTable::new();
+        assert!(t.offer(candidate(ns(&[0, 1]), 5.0, &[3, 8])));
+        assert!(t.offer(candidate(ns(&[0, 2]), 5.0, &[3, 8])));
+        assert!(t.offer(candidate(ns(&[1, 2]), 5.0, &[4])));
+        let a = t.get(ns(&[0, 1])).unwrap().best_join.unwrap().predicates;
+        let b = t.get(ns(&[0, 2])).unwrap().best_join.unwrap().predicates;
+        let c = t.get(ns(&[1, 2])).unwrap().best_join.unwrap().predicates;
+        assert_eq!(a, b, "identical lists must share one interned slot");
+        assert_ne!(a, c);
+        assert_eq!(t.edge_list(a), &[3, 8]);
+        assert_eq!(t.edge_list(c), &[4]);
+        // Arena stores the shared list once plus the distinct one.
+        assert_eq!(t.predicates.data.len(), 3);
+    }
+
+    #[test]
+    fn slot_map_survives_growth_with_many_classes() {
+        // Enough classes to force several slot-map and interner growth steps.
+        let mut t = DpTable::new();
+        for r in 0..16 {
+            t.insert_leaf(r, 1.0 + r as f64);
+        }
+        let all = NodeSet::first_n(16);
+        let mut count = 16usize;
+        for s in all.subsets() {
+            if s.is_singleton() || s.len() > 3 {
+                continue;
+            }
+            let edges: Vec<EdgeId> = s.iter().collect();
+            assert!(t.offer(candidate(s, s.mask() as f64, &edges)));
+            count += 1;
+        }
+        assert_eq!(t.len(), count);
+        // Every class is still reachable with intact data after rehashing.
+        for s in all.subsets() {
+            if s.len() > 3 {
+                continue;
+            }
+            let c = t.get(s).expect("class survived growth");
+            assert_eq!(c.set, s);
+            if !s.is_singleton() {
+                let expect: Vec<EdgeId> = s.iter().collect();
+                assert_eq!(t.best_join_predicates(c), expect.as_slice());
+            }
+        }
+        assert!(!t.contains(NodeSet::from_mask(1 << 20)));
+    }
+
+    #[test]
+    fn reconstruct_resolves_interned_predicates() {
+        let mut t = DpTable::new();
+        t.insert_leaf(0, 10.0);
+        t.insert_leaf(1, 20.0);
+        t.insert_leaf(2, 30.0);
+        assert!(t.offer(Candidate {
+            set: ns(&[0, 1]),
+            cardinality: 15.0,
+            cost: 15.0,
+            join: Some(CandidateJoin {
+                left: ns(&[0]),
+                right: ns(&[1]),
+                op: JoinOp::Inner,
+                predicates: &[0],
+            }),
+        }));
+        assert!(t.offer(Candidate {
+            set: ns(&[0, 1, 2]),
+            cardinality: 7.0,
+            cost: 22.0,
+            join: Some(CandidateJoin {
+                left: ns(&[0, 1]),
+                right: ns(&[2]),
+                op: JoinOp::LeftOuter,
+                predicates: &[1, 2],
+            }),
+        }));
+        let plan = t.reconstruct(ns(&[0, 1, 2])).expect("full plan");
+        assert_eq!(plan.relations(), ns(&[0, 1, 2]));
+        assert_eq!(plan.applied_predicates(), vec![0, 1, 2]);
+        assert!(t.reconstruct(ns(&[1, 2])).is_none());
+    }
+
+    #[test]
+    fn max_nodes_boundary_sets_are_usable_keys() {
+        // Bit 63 and the full 64-relation mask must hash, store and compare correctly.
+        let mut t = DpTable::new();
+        t.insert_leaf(63, 5.0);
+        assert!(t.contains(NodeSet::single(63)));
+        let full = NodeSet::first_n(64);
+        assert!(t.offer(candidate(full, 1.0, &[0])));
+        assert!(t.contains(full));
+        assert_eq!(t.get(full).unwrap().set, full);
+    }
+}

@@ -125,8 +125,8 @@ pub fn count_ccps_dphyp(graph: &Hypergraph) -> CountingHandler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qo_hypergraph::{enumerate_ccps, Hyperedge, Hypergraph};
     use proptest::prelude::*;
+    use qo_hypergraph::{enumerate_ccps, Hyperedge, Hypergraph};
     use std::collections::BTreeSet;
 
     fn ns(v: &[usize]) -> NodeSet {
@@ -140,7 +140,11 @@ mod tests {
         let emitted = handler.canonical_pairs();
         let mut dedup = emitted.clone();
         dedup.dedup();
-        assert_eq!(dedup.len(), emitted.len(), "duplicate csg-cmp-pairs emitted");
+        assert_eq!(
+            dedup.len(),
+            emitted.len(),
+            "duplicate csg-cmp-pairs emitted"
+        );
         let expected = enumerate_ccps(graph);
         assert_eq!(
             emitted.iter().copied().collect::<BTreeSet<_>>(),
@@ -230,7 +234,11 @@ mod tests {
     fn chain_ccp_count_matches_closed_form() {
         for n in 2..=10usize {
             let g = chain(n);
-            assert_eq!(count_ccps_dphyp(&g).ccp_count(), (n.pow(3) - n) / 6, "chain {n}");
+            assert_eq!(
+                count_ccps_dphyp(&g).ccp_count(),
+                (n.pow(3) - n) / 6,
+                "chain {n}"
+            );
         }
     }
 
@@ -251,7 +259,7 @@ mod tests {
     fn clique_ccp_count_matches_closed_form() {
         for n in 2..=8usize {
             let g = clique(n);
-            let expected = (3usize.pow(n as u32) - (1 << (n + 1)) + 1) / 2;
+            let expected = (3usize.pow(n as u32) - (1 << (n + 1))).div_ceil(2);
             assert_eq!(count_ccps_dphyp(&g).ccp_count(), expected, "clique {n}");
         }
     }
@@ -317,8 +325,14 @@ mod tests {
         DpHyp::new(&g, &mut handler).run();
         let mut known: BTreeSet<NodeSet> = (0..7).map(NodeSet::single).collect();
         for &(a, b) in handler.pairs() {
-            assert!(known.contains(&a), "pair emitted before its csg was known: {a:?}");
-            assert!(known.contains(&b), "pair emitted before its cmp was known: {b:?}");
+            assert!(
+                known.contains(&a),
+                "pair emitted before its csg was known: {a:?}"
+            );
+            assert!(
+                known.contains(&b),
+                "pair emitted before its cmp was known: {b:?}"
+            );
             known.insert(a | b);
         }
     }

@@ -19,15 +19,6 @@ pub enum CostModelKind {
     Mixed,
 }
 
-impl CostModelKind {
-    fn instance(&self) -> Box<dyn CostModel> {
-        match self {
-            CostModelKind::Cout => Box::new(CoutCost),
-            CostModelKind::Mixed => Box::new(MixedCost),
-        }
-    }
-}
-
 /// Options controlling the optimizer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OptimizerOptions {
@@ -132,9 +123,14 @@ impl Optimizer {
         catalog
             .validate_for(graph)
             .map_err(OptimizeError::InvalidCatalog)?;
-        let cost_model = self.options.cost_model.instance();
         let enforce_tes = self.options.conflict_encoding == ConflictEncoding::TesTest;
-        optimize_graph_with(graph, catalog, cost_model.as_ref(), enforce_tes)
+        // Dispatch on the model kind exactly once; everything downstream — combiner, handler,
+        // `EmitCsgCmp` — is monomorphized per concrete model, so the per-pair hot path has no
+        // virtual dispatch.
+        match self.options.cost_model {
+            CostModelKind::Cout => optimize_graph_with(graph, catalog, &CoutCost, enforce_tes),
+            CostModelKind::Mixed => optimize_graph_with(graph, catalog, &MixedCost, enforce_tes),
+        }
     }
 
     /// Optimizes a query given as an initial operator tree (Sec. 5): runs the SES/TES conflict
@@ -142,17 +138,25 @@ impl Optimizer {
     /// [`ConflictEncoding`], and enumerates with DPhyp.
     pub fn optimize_tree(&self, tree: &OpTree) -> Result<Optimized, OptimizeError> {
         let query = derive_query(tree, self.options.conflict_encoding)?;
-        let cost_model = self.options.cost_model.instance();
         let enforce_tes = self.options.conflict_encoding == ConflictEncoding::TesTest;
-        optimize_graph_with(&query.graph, &query.catalog, cost_model.as_ref(), enforce_tes)
+        match self.options.cost_model {
+            CostModelKind::Cout => {
+                optimize_graph_with(&query.graph, &query.catalog, &CoutCost, enforce_tes)
+            }
+            CostModelKind::Mixed => {
+                optimize_graph_with(&query.graph, &query.catalog, &MixedCost, enforce_tes)
+            }
+        }
     }
 
-    /// Like [`Optimizer::optimize_hypergraph`] but with a caller-provided cost model.
-    pub fn optimize_hypergraph_with_model(
+    /// Like [`Optimizer::optimize_hypergraph`] but with a caller-provided cost model. Concrete
+    /// model types get a fully monomorphized enumeration; `&dyn CostModel` still works for
+    /// models chosen at runtime.
+    pub fn optimize_hypergraph_with_model<M: CostModel + ?Sized>(
         &self,
         graph: &Hypergraph,
         catalog: &Catalog,
-        cost_model: &dyn CostModel,
+        cost_model: &M,
     ) -> Result<Optimized, OptimizeError> {
         catalog
             .validate_for(graph)
@@ -163,11 +167,11 @@ impl Optimizer {
 }
 
 /// Shared optimization driver used by the facade (and, through re-export, by the benchmark
-/// harness for the generate-and-test comparison).
-pub(crate) fn optimize_graph_with(
+/// harness for the generate-and-test comparison). Monomorphized per cost model.
+pub(crate) fn optimize_graph_with<M: CostModel + ?Sized>(
     graph: &Hypergraph,
     catalog: &Catalog,
-    cost_model: &dyn CostModel,
+    cost_model: &M,
     enforce_tes: bool,
 ) -> Result<Optimized, OptimizeError> {
     let combiner = JoinCombiner::new(graph, catalog, cost_model).with_tes_enforcement(enforce_tes);
@@ -177,11 +181,7 @@ pub(crate) fn optimize_graph_with(
     let table = handler.into_table();
     let all = graph.all_nodes();
     let Some(class) = table.get(all) else {
-        let largest_covered = table
-            .classes()
-            .map(|c| c.set.len())
-            .max()
-            .unwrap_or(0);
+        let largest_covered = table.classes().map(|c| c.set.len()).max().unwrap_or(0);
         return Err(OptimizeError::NoCompletePlan { largest_covered });
     };
     let plan = table
@@ -207,7 +207,7 @@ mod tests {
     use super::*;
     use qo_algebra::Predicate;
     use qo_bitset::{NodeSet, SubsetIter};
-    use qo_catalog::{CountingHandler, EdgeAnnotation, PlanClass};
+    use qo_catalog::{CountingHandler, EdgeAnnotation, SubPlanStats};
     use qo_plan::{JoinOp, PlanShape};
     use std::collections::HashMap;
 
@@ -221,16 +221,11 @@ mod tests {
         let model = CoutCost;
         let combiner = JoinCombiner::new(graph, catalog, &model);
         let all = graph.all_nodes();
-        let mut best: HashMap<NodeSet, PlanClass> = HashMap::new();
+        let mut best: HashMap<NodeSet, SubPlanStats> = HashMap::new();
         for r in all {
             best.insert(
                 NodeSet::single(r),
-                PlanClass {
-                    set: NodeSet::single(r),
-                    cardinality: catalog.cardinality(r),
-                    cost: 0.0,
-                    best_join: None,
-                },
+                SubPlanStats::leaf(r, catalog.cardinality(r)),
             );
         }
         // Ascending mask order: subsets come before supersets.
@@ -238,15 +233,16 @@ mod tests {
             if s.is_singleton() {
                 continue;
             }
-            let mut best_here: Option<PlanClass> = None;
+            let mut best_here: Option<SubPlanStats> = None;
             for s1 in s.proper_subsets() {
                 let s2 = s - s1;
                 let (Some(a), Some(b)) = (best.get(&s1), best.get(&s2)) else {
                     continue;
                 };
-                if let Some(cand) = combiner.combine(a, b) {
-                    if best_here.as_ref().map_or(true, |c| cand.cost < c.cost) {
-                        best_here = Some(cand);
+                let edges = graph.connecting_edges(s1, s2);
+                if let Some(cand) = combiner.combine(a, b, &edges) {
+                    if best_here.is_none_or(|c| cand.cost < c.cost) {
+                        best_here = Some(cand.stats());
                     }
                 }
             }
@@ -283,7 +279,10 @@ mod tests {
         assert_eq!(result.ccp_count, 4);
         assert_eq!(result.dp_entries, 6); // 3 singletons + {01} + {12} + {012}
         let exhaustive = exhaustive_optimal_cost(&g, &c).unwrap();
-        assert!((result.cost - exhaustive).abs() < 1e-9, "DPhyp must be optimal");
+        assert!(
+            (result.cost - exhaustive).abs() < 1e-9,
+            "DPhyp must be optimal"
+        );
     }
 
     #[test]

@@ -193,7 +193,9 @@ mod tests {
         let rows = execute_plan(&plan, &g, &db);
         // R0 keys {1,2,3}, R1 keys {1,1,4}: matches are 1-1 (twice).
         assert_eq!(rows.len(), 2);
-        assert!(rows.iter().all(|r| r.key(0) == Some(1) && r.key(1) == Some(1)));
+        assert!(rows
+            .iter()
+            .all(|r| r.key(0) == Some(1) && r.key(1) == Some(1)));
     }
 
     #[test]

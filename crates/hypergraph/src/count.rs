@@ -19,7 +19,10 @@ pub fn enumerate_connected_subgraphs(graph: &Hypergraph) -> Vec<NodeSet> {
     let n = graph.node_count();
     // connected[mask] for masks over the full node set; indexed by mask as usize.
     // For n <= 25 or so this table is fine; guard against absurd sizes.
-    assert!(n <= 25, "oracle enumeration limited to 25 relations, got {n}");
+    assert!(
+        n <= 25,
+        "oracle enumeration limited to 25 relations, got {n}"
+    );
     let size = 1usize << n;
     let mut connected = vec![false; size];
     let mut out = Vec::new();
@@ -143,7 +146,11 @@ mod tests {
         for n in 2..=8usize {
             let g = chain(n);
             // #csg of a chain: n(n+1)/2, #ccp: (n^3 - n)/6.
-            assert_eq!(count_connected_subgraphs(&g), n * (n + 1) / 2, "csg chain {n}");
+            assert_eq!(
+                count_connected_subgraphs(&g),
+                n * (n + 1) / 2,
+                "csg chain {n}"
+            );
             assert_eq!(count_ccps(&g), (n.pow(3) - n) / 6, "ccp chain {n}");
         }
     }
@@ -169,9 +176,17 @@ mod tests {
         for n in 3..=8usize {
             let g = cycle(n);
             // #csg of a cycle: n^2 - n + 1.
-            assert_eq!(count_connected_subgraphs(&g), n * n - n + 1, "csg cycle {n}");
+            assert_eq!(
+                count_connected_subgraphs(&g),
+                n * n - n + 1,
+                "csg cycle {n}"
+            );
             // #ccp of a cycle: (n^3 - 2n^2 + n) / 2.
-            assert_eq!(count_ccps(&g), (n.pow(3) - 2 * n.pow(2) + n) / 2, "ccp cycle {n}");
+            assert_eq!(
+                count_ccps(&g),
+                (n.pow(3) - 2 * n.pow(2) + n) / 2,
+                "ccp cycle {n}"
+            );
         }
     }
 
@@ -180,9 +195,13 @@ mod tests {
         for n in 2..=7usize {
             let g = clique(n);
             // #csg of a clique: 2^n - 1.
-            assert_eq!(count_connected_subgraphs(&g), (1 << n) - 1, "csg clique {n}");
+            assert_eq!(
+                count_connected_subgraphs(&g),
+                (1 << n) - 1,
+                "csg clique {n}"
+            );
             // #ccp of a clique: (3^n - 2^(n+1) + 1) / 2.
-            let expected = (3usize.pow(n as u32) - (1 << (n + 1)) + 1) / 2;
+            let expected = (3usize.pow(n as u32) - (1 << (n + 1))).div_ceil(2);
             assert_eq!(count_ccps(&g), expected, "ccp clique {n}");
         }
     }

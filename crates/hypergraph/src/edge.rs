@@ -47,7 +47,10 @@ impl Hyperedge {
     pub fn generalized(left: NodeSet, right: NodeSet, flex: NodeSet) -> Self {
         assert!(!left.is_empty(), "hyperedge with empty left hypernode");
         assert!(!right.is_empty(), "hyperedge with empty right hypernode");
-        assert!(left.is_disjoint(right), "hypernodes of an edge must be disjoint");
+        assert!(
+            left.is_disjoint(right),
+            "hypernodes of an edge must be disjoint"
+        );
         assert!(
             flex.is_disjoint(left) && flex.is_disjoint(right),
             "flexible nodes must be disjoint from both hypernodes"
@@ -141,7 +144,11 @@ impl fmt::Debug for Hyperedge {
         if self.flex.is_empty() {
             write!(f, "({:?} — {:?})", self.left, self.right)
         } else {
-            write!(f, "({:?} — {:?} | flex {:?})", self.left, self.right, self.flex)
+            write!(
+                f,
+                "({:?} — {:?} | flex {:?})",
+                self.left, self.right, self.flex
+            )
         }
     }
 }

@@ -126,8 +126,20 @@ impl Hypergraph {
     /// conjoins into the join predicate of the new plan.
     pub fn connecting_edges(&self, s1: NodeSet, s2: NodeSet) -> Vec<EdgeId> {
         let mut out = Vec::new();
+        self.connecting_edges_into(s1, s2, &mut out);
+        out
+    }
+
+    /// Like [`Hypergraph::connecting_edges`], but clears and fills a caller-provided buffer so
+    /// the planner's hot path (one call per emitted csg-cmp-pair) does not allocate.
+    pub fn connecting_edges_into(&self, s1: NodeSet, s2: NodeSet, out: &mut Vec<EdgeId>) {
+        out.clear();
         // Simple edges incident to the smaller side.
-        let (probe, _other) = if s1.len() <= s2.len() { (s1, s2) } else { (s2, s1) };
+        let (probe, _other) = if s1.len() <= s2.len() {
+            (s1, s2)
+        } else {
+            (s2, s1)
+        };
         for node in probe {
             for &eid in &self.simple_edges_per_node[node] {
                 if self.edges[eid].connects(s1, s2) && !out.contains(&eid) {
@@ -142,7 +154,6 @@ impl Hypergraph {
         }
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     /// All edge ids whose referenced nodes are fully contained in `s` (used by cardinality
@@ -194,7 +205,8 @@ impl HypergraphBuilder {
     /// Panics if the edge references nodes outside the graph.
     pub fn add_edge(&mut self, edge: Hyperedge) -> EdgeId {
         assert!(
-            edge.all_nodes().is_subset_of(NodeSet::first_n(self.node_count)),
+            edge.all_nodes()
+                .is_subset_of(NodeSet::first_n(self.node_count)),
             "edge {edge:?} references nodes outside the graph"
         );
         let id = self.edges.len();

@@ -189,7 +189,9 @@ impl PlanNode {
                     relation,
                     cardinality,
                 } => {
-                    out.push_str(&format!("{indent}scan R{relation} (card {cardinality:.0})\n"));
+                    out.push_str(&format!(
+                        "{indent}scan R{relation} (card {cardinality:.0})\n"
+                    ));
                 }
                 PlanNode::Join {
                     op,

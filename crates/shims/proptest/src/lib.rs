@@ -397,10 +397,8 @@ mod tests {
         for _ in 0..500 {
             let v = super::Strategy::generate(&(3usize..9), &mut rng);
             assert!((3..9).contains(&v));
-            let s = super::Strategy::generate(
-                &super::collection::btree_set(0usize..8, 1..4),
-                &mut rng,
-            );
+            let s =
+                super::Strategy::generate(&super::collection::btree_set(0usize..8, 1..4), &mut rng);
             assert!(s.len() <= 3);
             assert!(s.iter().all(|&x| x < 8));
             let vec = super::Strategy::generate(

@@ -141,7 +141,8 @@ mod tests {
             assert_eq!(a.catalog.cardinality(r), b.catalog.cardinality(r));
         }
         let c = star_query(8, 43);
-        let any_diff = (0..a.relations()).any(|r| a.catalog.cardinality(r) != c.catalog.cardinality(r));
+        let any_diff =
+            (0..a.relations()).any(|r| a.catalog.cardinality(r) != c.catalog.cardinality(r));
         assert!(any_diff, "different seeds should give different statistics");
     }
 

@@ -20,9 +20,13 @@ fn seeded_cards(n: usize, seed: u64) -> Vec<f64> {
 /// With `antijoins = 0` this is a plain star query; with `antijoins = satellites` the conflict
 /// analysis pins the antijoin order and the explored search space collapses from exponential to
 /// linear (Sec. 5.7).
+#[allow(clippy::needless_range_loop)] // `i` is the relation id; cards[i] is incidental
 pub fn star_with_antijoins(satellites: usize, antijoins: usize, seed: u64) -> OpTree {
     assert!(satellites >= 1);
-    assert!(antijoins <= satellites, "cannot have more antijoins than satellites");
+    assert!(
+        antijoins <= satellites,
+        "cannot have more antijoins than satellites"
+    );
     let cards = seeded_cards(satellites + 1, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x94D0_49BB_1331_11EB);
     let mut tree = OpTree::relation(0, cards[0]);
@@ -48,6 +52,7 @@ pub fn star_with_antijoins(satellites: usize, antijoins: usize, seed: u64) -> Op
 /// `i` carries the chain predicate between `R{i-1}` and `R{i}`; the topmost operator
 /// additionally carries the cycle-closing predicate between `R{n-1}` and `R0` (merged into its
 /// predicate's reference set).
+#[allow(clippy::needless_range_loop)] // `i` is the relation id; cards[i] is incidental
 pub fn cycle_with_outer_joins(n: usize, outer_joins: usize, seed: u64) -> OpTree {
     assert!(n >= 3);
     assert!(outer_joins < n, "at most n-1 operators exist");
@@ -108,7 +113,11 @@ mod tests {
         let q = derive_query(&tree, ConflictEncoding::Hyperedges).unwrap();
         // The last antijoin's edge must require every previously antijoined satellite.
         let last = q.graph.edge(5);
-        assert_eq!(last.left().len(), 6, "hub plus the five previous satellites");
+        assert_eq!(
+            last.left().len(),
+            6,
+            "hub plus the five previous satellites"
+        );
         assert_eq!(last.right(), NodeSet::single(6));
     }
 

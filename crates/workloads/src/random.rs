@@ -11,7 +11,12 @@ use rand::{Rng, SeedableRng};
 /// Generates a random *connected* hypergraph over `n` relations: a random spanning tree of
 /// simple edges, plus `extra_simple` additional simple edges and `extra_hyper` hyperedges with
 /// hypernode sizes up to 3.
-pub fn random_hypergraph(n: usize, extra_simple: usize, extra_hyper: usize, seed: u64) -> Hypergraph {
+pub fn random_hypergraph(
+    n: usize,
+    extra_simple: usize,
+    extra_hyper: usize,
+    seed: u64,
+) -> Hypergraph {
     assert!(n >= 2);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = Hypergraph::builder(n);

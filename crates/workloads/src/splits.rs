@@ -17,7 +17,10 @@ use std::collections::VecDeque;
 /// Each split turns one edge with hypernode size `k` into two edges of size `k/2`; an edge of
 /// size 1 cannot be split. For `half = 2^m` the total is `2^m - 1`.
 pub fn max_splits(half: usize) -> usize {
-    assert!(half.is_power_of_two(), "hypernode size must be a power of two");
+    assert!(
+        half.is_power_of_two(),
+        "hypernode size must be a power of two"
+    );
     half - 1
 }
 
@@ -41,7 +44,10 @@ fn apply_splits(initial: Hyperedge, splits: usize) -> Vec<Hyperedge> {
     let mut queue: VecDeque<Hyperedge> = VecDeque::from([initial]);
     let mut remaining = splits;
     while remaining > 0 {
-        let Some(pos) = queue.iter().position(|e| e.left().len() > 1 && e.right().len() > 1) else {
+        let Some(pos) = queue
+            .iter()
+            .position(|e| e.left().len() > 1 && e.right().len() > 1)
+        else {
             panic!("more splits requested than the hyperedge supports");
         };
         let edge = queue.remove(pos).expect("position exists");
@@ -58,8 +64,14 @@ fn apply_splits(initial: Hyperedge, splits: usize) -> Vec<Hyperedge> {
 ///
 /// `n` must be a power of two ≥ 4; `splits ≤ max_splits(n / 2)`.
 pub fn cycle_with_hyperedge_splits(n: usize, splits: usize, seed: u64) -> Workload {
-    assert!(n >= 4 && n.is_power_of_two(), "cycle workload needs a power-of-two size ≥ 4");
-    assert!(splits <= max_splits(n / 2), "too many splits for {n} relations");
+    assert!(
+        n >= 4 && n.is_power_of_two(),
+        "cycle workload needs a power-of-two size ≥ 4"
+    );
+    assert!(
+        splits <= max_splits(n / 2),
+        "too many splits for {n} relations"
+    );
     let mut b = Hypergraph::builder(n);
     for i in 0..n {
         b.add_simple_edge(i, (i + 1) % n);

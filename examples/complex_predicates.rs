@@ -18,10 +18,7 @@ fn main() {
     b.add_simple_edge(1, 2);
     b.add_simple_edge(3, 4);
     b.add_simple_edge(4, 5);
-    b.add_hyperedge(
-        NodeSet::from_iter([0, 1, 2]),
-        NodeSet::from_iter([3, 4, 5]),
-    );
+    b.add_hyperedge(NodeSet::from_iter([0, 1, 2]), NodeSet::from_iter([3, 4, 5]));
     let graph = b.build();
 
     let mut catalog = Catalog::builder(6);
@@ -35,7 +32,10 @@ fn main() {
     let catalog = catalog.build();
 
     println!("Fig. 2 hypergraph:");
-    println!("  connected subgraphs : {}", count_connected_subgraphs(&graph));
+    println!(
+        "  connected subgraphs : {}",
+        count_connected_subgraphs(&graph)
+    );
     println!("  csg-cmp-pairs       : {}", count_ccps(&graph));
     println!(
         "  DPhyp emissions     : {}",

@@ -61,7 +61,9 @@ fn main() {
 
     // Validate: the optimized plan computes the same result as the original operator tree.
     let query = derive_query(&tree, ConflictEncoding::Hyperedges).expect("valid tree");
-    let optimized = Optimizer::default().optimize_tree(&tree).expect("plannable");
+    let optimized = Optimizer::default()
+        .optimize_tree(&tree)
+        .expect("plannable");
     let db = Database::generate(&[60, 80, 40, 30], 42);
     let expected = execute_optree(&tree, &query.graph, &db);
     let actual = execute_plan(&optimized.plan, &query.graph, &db);

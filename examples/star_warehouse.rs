@@ -22,7 +22,16 @@ fn main() {
     }
     let graph = graph.build();
 
-    let dimension_sizes = [25.0, 10_000.0, 200.0, 1_000_000.0, 50.0, 3_650.0, 100.0, 500_000.0];
+    let dimension_sizes = [
+        25.0,
+        10_000.0,
+        200.0,
+        1_000_000.0,
+        50.0,
+        3_650.0,
+        100.0,
+        500_000.0,
+    ];
     let mut catalog = Catalog::builder(DIMENSIONS + 1);
     catalog.set_cardinality(0, 100_000_000.0);
     for (d, &size) in dimension_sizes.iter().enumerate() {

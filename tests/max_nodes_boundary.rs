@@ -1,0 +1,50 @@
+//! The `MAX_NODES = 64` boundary: queries using every representable relation — including bit
+//! 63 and the full-universe mask, the edge cases of the raw-mask slot map — must build, plan
+//! and reconstruct without panicking.
+
+use dphyp::optimize;
+use qo_baselines::{dpsize, goo};
+use qo_bitset::{NodeSet, MAX_NODES};
+use qo_catalog::{Catalog, CoutCost};
+use qo_hypergraph::Hypergraph;
+
+fn chain_64() -> (Hypergraph, Catalog) {
+    let mut b = Hypergraph::builder(MAX_NODES);
+    for i in 0..MAX_NODES - 1 {
+        b.add_simple_edge(i, i + 1);
+    }
+    (
+        b.build(),
+        Catalog::uniform(MAX_NODES, 100.0, MAX_NODES - 1, 0.1),
+    )
+}
+
+#[test]
+fn chain_of_64_relations_plans_end_to_end() {
+    let (g, c) = chain_64();
+    assert_eq!(g.all_nodes(), NodeSet::from_mask(u64::MAX));
+    let result = optimize(&g, &c).expect("64-relation chain is plannable");
+    assert_eq!(result.plan.relations(), g.all_nodes());
+    assert_eq!(result.plan.join_count(), MAX_NODES - 1);
+    // Chain of n relations: (n^3 - n)/6 csg-cmp-pairs, n(n+1)/2 connected sets.
+    let n = MAX_NODES;
+    assert_eq!(result.ccp_count, (n.pow(3) - n) / 6);
+    assert_eq!(result.dp_entries, n * (n + 1) / 2);
+    assert!(result.cost.is_finite());
+}
+
+#[test]
+fn baselines_handle_the_full_64_relation_universe() {
+    let (g, c) = chain_64();
+    let size = dpsize(&g, &c, &CoutCost).expect("DPsize plans the 64-chain");
+    assert_eq!(size.plan.relations(), g.all_nodes());
+    let greedy = goo(&g, &c, &CoutCost).expect("GOO plans the 64-chain");
+    assert_eq!(greedy.plan.relations(), g.all_nodes());
+    assert!(greedy.cost >= size.cost - 1e-9 * size.cost.abs());
+}
+
+#[test]
+fn relation_65_is_rejected_at_the_boundary() {
+    let err = std::panic::catch_unwind(|| Hypergraph::builder(MAX_NODES + 1));
+    assert!(err.is_err(), "65 relations must be rejected");
+}

@@ -242,9 +242,9 @@ impl OpTree {
     pub fn validate(&self) -> Result<(), OpTreeError> {
         // Leaves: distinct ids, ordered left-to-right.
         let leaves = self.leaves();
-        let mut seen = NodeSet::EMPTY;
+        let mut seen: NodeSet = NodeSet::EMPTY;
         let mut previous: Option<NodeId> = None;
-        let mut seen_so_far = NodeSet::EMPTY;
+        let mut seen_so_far: NodeSet = NodeSet::EMPTY;
         for leaf in &leaves {
             let OpTree::Relation {
                 id, lateral_refs, ..

@@ -16,9 +16,9 @@ use qo_hypergraph::{EdgeId, Hypergraph};
 ///
 /// Generic over the cost model so that concrete instantiations inline the cost function, the
 /// same way the DPhyp handler does.
-pub fn dpsize<M: CostModel + ?Sized>(
-    graph: &Hypergraph,
-    catalog: &Catalog,
+pub fn dpsize<M: CostModel<W> + ?Sized, const W: usize>(
+    graph: &Hypergraph<W>,
+    catalog: &Catalog<W>,
     cost_model: &M,
 ) -> Result<BaselineResult, BaselineError> {
     catalog
@@ -28,7 +28,7 @@ pub fn dpsize<M: CostModel + ?Sized>(
     let combiner = JoinCombiner::new(graph, catalog, cost_model);
     let mut table = DpTable::new();
     // classes_by_size[s] lists the sets of size s present in the table.
-    let mut classes_by_size: Vec<Vec<NodeSet>> = vec![Vec::new(); n + 1];
+    let mut classes_by_size: Vec<Vec<NodeSet<W>>> = vec![Vec::new(); n + 1];
     for v in 0..n {
         table.insert_leaf(v, catalog.cardinality(v));
         classes_by_size[1].push(NodeSet::single(v));
@@ -39,7 +39,7 @@ pub fn dpsize<M: CostModel + ?Sized>(
     let mut edge_buf: Vec<EdgeId> = Vec::new();
 
     for size in 2..=n {
-        let mut new_sets: Vec<NodeSet> = Vec::new();
+        let mut new_sets: Vec<NodeSet<W>> = Vec::new();
         for s1 in 1..size {
             let s2 = size - s1;
             if s1 > s2 {
@@ -159,7 +159,7 @@ mod tests {
 
     #[test]
     fn detects_disconnected_graphs() {
-        let mut b = Hypergraph::builder(4);
+        let mut b = Hypergraph::<1>::builder(4);
         b.add_simple_edge(0, 1);
         b.add_simple_edge(2, 3);
         let g = b.build();

@@ -11,9 +11,9 @@ use qo_hypergraph::{EdgeId, Hypergraph};
 /// The tests — do plans for both halves exist, and are the halves connected by a hyperedge —
 /// fail for the vast majority of the `2^|S|` splits on sparse query graphs, which is why DPsub
 /// loses against DPhyp everywhere and against DPsize on large low-density graphs (cycles).
-pub fn dpsub<M: CostModel + ?Sized>(
-    graph: &Hypergraph,
-    catalog: &Catalog,
+pub fn dpsub<M: CostModel<W> + ?Sized, const W: usize>(
+    graph: &Hypergraph<W>,
+    catalog: &Catalog<W>,
     cost_model: &M,
 ) -> Result<BaselineResult, BaselineError> {
     catalog
@@ -40,10 +40,7 @@ pub fn dpsub<M: CostModel + ?Sized>(
         let min = set.min_singleton();
         let rest = set - min;
         for s2 in rest.subsets() {
-            if s2 == rest {
-                // S1 would be the bare minimum element only when rest == s2; that case is still
-                // a valid split (S1 = {min}), keep it.
-            }
+            // When s2 == rest, S1 is the bare minimum element — still a valid split (S1 = {min}).
             let s1 = set - s2;
             debug_assert!(s1.is_superset_of(min));
             pairs_tested += 1;
@@ -137,7 +134,7 @@ mod tests {
 
     #[test]
     fn detects_disconnected_graphs() {
-        let mut b = Hypergraph::builder(3);
+        let mut b = Hypergraph::<1>::builder(3);
         b.add_simple_edge(0, 1);
         let g = b.build();
         let c = Catalog::uniform(3, 10.0, 1, 0.5);

@@ -13,9 +13,9 @@ use qo_hypergraph::{EdgeId, Hypergraph};
 /// Runs greedy operator ordering: repeatedly merges the connected pair of classes whose join has
 /// the smallest estimated output cardinality until a single class covering all relations
 /// remains.
-pub fn goo<M: CostModel + ?Sized>(
-    graph: &Hypergraph,
-    catalog: &Catalog,
+pub fn goo<M: CostModel<W> + ?Sized, const W: usize>(
+    graph: &Hypergraph<W>,
+    catalog: &Catalog<W>,
     cost_model: &M,
 ) -> Result<BaselineResult, BaselineError> {
     catalog
@@ -25,7 +25,7 @@ pub fn goo<M: CostModel + ?Sized>(
     let combiner = JoinCombiner::new(graph, catalog, cost_model);
     // The DpTable doubles as the plan store for reconstruction.
     let mut table = DpTable::new();
-    let mut live: Vec<SubPlanStats> = Vec::with_capacity(n);
+    let mut live: Vec<SubPlanStats<W>> = Vec::with_capacity(n);
     for v in 0..n {
         table.insert_leaf(v, catalog.cardinality(v));
         live.push(SubPlanStats::leaf(v, catalog.cardinality(v)));
@@ -39,7 +39,7 @@ pub fn goo<M: CostModel + ?Sized>(
     let mut best_edges: Vec<EdgeId> = Vec::new();
 
     while live.len() > 1 {
-        let mut best: Option<(usize, usize, Candidate<'static>)> = None;
+        let mut best: Option<(usize, usize, Candidate<'static, W>)> = None;
         for i in 0..live.len() {
             for j in i + 1..live.len() {
                 pairs_tested += 1;
@@ -141,7 +141,7 @@ mod tests {
 
     #[test]
     fn fails_on_disconnected_graphs() {
-        let mut b = Hypergraph::builder(4);
+        let mut b = Hypergraph::<1>::builder(4);
         b.add_simple_edge(0, 1);
         b.add_simple_edge(2, 3);
         let g = b.build();

@@ -25,7 +25,8 @@ use qo_bench::{
 };
 use qo_workloads::{
     chain_query, clique_query, cycle_query, cycle_with_hyperedge_splits, cycle_with_outer_joins,
-    max_splits, star_query, star_with_antijoins, star_with_hyperedge_splits, Workload,
+    max_splits, star_query, star_with_antijoins, star_with_hyperedge_splits, wide_chain_query,
+    Workload,
 };
 use std::env;
 use std::time::Duration;
@@ -186,6 +187,32 @@ fn write_baseline(path: &str) {
             wall_ms
         ));
     }
+
+    // The >64-relation tier: the 96-relation chain runs on the two-word (`W = 2`) node-set
+    // width through the same `optimize` entry point, so the wide path gets a perf trajectory
+    // of its own in the snapshot.
+    let wide = wide_chain_query(96, SEED);
+    let wide_result = optimize(&wide.graph, &wide.catalog).expect("wide baseline plannable");
+    let wide_ms = time_mean_ms(BUDGET, || {
+        optimize(&wide.graph, &wide.catalog)
+            .expect("plannable")
+            .cost
+    });
+    println!(
+        "  {:>10}: {:>9} ccps, {:>7} dp entries, {:>10.3} ms (two-word tier)",
+        wide.name, wide_result.ccp_count, wide_result.dp_entries, wide_ms
+    );
+    workload_rows.push(format!(
+        concat!(
+            "    {{\"name\": \"{}\", \"relations\": {}, \"ccp_count\": {}, ",
+            "\"dp_entries\": {}, \"wall_ms\": {:.4}}}"
+        ),
+        wide.name,
+        wide.relations(),
+        wide_result.ccp_count,
+        wide_result.dp_entries,
+        wide_ms
+    ));
 
     let mut table_rows = Vec::new();
     for w in table_workloads() {

@@ -1,5 +1,6 @@
 //! The [`NodeSet`] bit-set representation of a set of relations.
 
+use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Sub, SubAssign};
 
@@ -9,70 +10,136 @@ use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, S
 /// i.e. `R_i ≺ R_j ⟺ i < j`, exactly as in the paper.
 pub type NodeId = usize;
 
-/// Maximum number of relations representable in a [`NodeSet`].
+/// Maximum number of relations representable in a single-word [`NodeSet64`].
+///
+/// Wider sets raise the cap in steps of 64: `NodeSet<W>` holds up to [`NodeSet::CAPACITY`]
+/// `= 64 * W` relations.
 pub const MAX_NODES: usize = 64;
 
-/// A set of relations, represented as a 64-bit mask.
+/// A set of relations, represented as a `W`-word bit mask (`64 * W` bits).
 ///
-/// Bit `i` is set iff relation `R_i` is a member. All operations are O(1) bit manipulation.
+/// Bit `i` (i.e. bit `i % 64` of word `i / 64`) is set iff relation `R_i` is a member. All
+/// operations are O(`W`) word-parallel bit manipulation; for the default width `W = 1` (the
+/// [`NodeSet64`] alias, which every non-wide layer of the workspace uses) they compile to the
+/// same single-word code as the pre-widening `u64` representation.
 ///
 /// ```
-/// use qo_bitset::NodeSet;
+/// use qo_bitset::{NodeSet, NodeSet128};
 ///
-/// let s = NodeSet::from_iter([1, 3, 4]);
+/// let s: NodeSet = NodeSet::from_iter([1, 3, 4]);
 /// assert_eq!(s.len(), 3);
 /// assert!(s.contains(3));
 /// assert_eq!(s.min_node(), Some(1));
 /// let t = NodeSet::single(3);
 /// assert_eq!((s - t).iter().collect::<Vec<_>>(), vec![1, 4]);
+///
+/// // Two words hold up to 128 relations.
+/// let wide = NodeSet128::from_iter([0, 63, 64, 127]);
+/// assert_eq!(wide.len(), 4);
+/// assert_eq!(wide.max_node(), Some(127));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct NodeSet(u64);
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeSet<const W: usize = 1>([u64; W]);
 
-impl NodeSet {
+/// Single-word node set: up to 64 relations. The workspace-wide default (`NodeSet` without a
+/// width parameter resolves to this type in type positions).
+pub type NodeSet64 = NodeSet<1>;
+
+/// Two-word node set: up to 128 relations, the ">64 relations" workload tier.
+pub type NodeSet128 = NodeSet<2>;
+
+impl<const W: usize> Default for NodeSet<W> {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+impl<const W: usize> NodeSet<W> {
     /// The empty set.
-    pub const EMPTY: NodeSet = NodeSet(0);
+    pub const EMPTY: NodeSet<W> = NodeSet([0; W]);
 
-    /// Creates a set from a raw bit mask.
+    /// Maximum number of relations this width can represent (`64 * W`).
+    pub const CAPACITY: usize = 64 * W;
+
+    /// Creates a set from raw words; word `w` holds the membership bits of relations
+    /// `64w .. 64w + 63`.
     #[inline]
-    pub const fn from_mask(mask: u64) -> Self {
-        NodeSet(mask)
+    pub const fn from_words(words: [u64; W]) -> Self {
+        NodeSet(words)
     }
 
-    /// Returns the raw bit mask.
+    /// The raw words of the set.
+    #[inline]
+    pub const fn words(self) -> [u64; W] {
+        self.0
+    }
+
+    /// Creates a set from a raw 64-bit mask (placed in the lowest word; higher words are zero).
+    #[inline]
+    pub const fn from_mask(mask: u64) -> Self {
+        let mut words = [0; W];
+        words[0] = mask;
+        NodeSet(words)
+    }
+
+    /// Returns the raw bit mask of the lowest word.
+    ///
+    /// For `W = 1` this is the whole set. Wider sets must fit their members in the first 64
+    /// nodes for the mask to be faithful (debug-asserted); use [`NodeSet::words`] otherwise.
     #[inline]
     pub const fn mask(self) -> u64 {
-        self.0
+        let mut i = 1;
+        while i < W {
+            debug_assert!(
+                self.0[i] == 0,
+                "mask() on a set with members beyond node 63"
+            );
+            i += 1;
+        }
+        self.0[0]
     }
 
     /// The singleton set `{node}`.
     ///
     /// # Panics
-    /// Panics if `node >= MAX_NODES`.
+    /// Panics if `node >= CAPACITY`.
     #[inline]
     pub fn single(node: NodeId) -> Self {
-        assert!(node < MAX_NODES, "node id {node} out of range");
-        NodeSet(1u64 << node)
+        assert!(node < Self::CAPACITY, "node id {node} out of range");
+        let mut words = [0; W];
+        words[node / 64] = 1u64 << (node % 64);
+        NodeSet(words)
     }
 
     /// The set `{0, 1, .., n-1}` of the first `n` nodes.
     ///
     /// # Panics
-    /// Panics if `n > MAX_NODES`.
+    /// Panics if `n > CAPACITY`.
     #[inline]
     pub fn first_n(n: usize) -> Self {
-        assert!(n <= MAX_NODES, "{n} exceeds MAX_NODES");
-        if n == MAX_NODES {
-            NodeSet(u64::MAX)
-        } else {
-            NodeSet((1u64 << n) - 1)
+        assert!(
+            n <= Self::CAPACITY,
+            "{n} exceeds the {}-node capacity",
+            Self::CAPACITY
+        );
+        let mut words = [0; W];
+        let mut i = 0;
+        while i * 64 < n {
+            let in_word = n - i * 64;
+            words[i] = if in_word >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << in_word) - 1
+            };
+            i += 1;
         }
+        NodeSet(words)
     }
 
     /// The set of nodes in the half-open range `[lo, hi)`.
     #[inline]
     pub fn range(lo: NodeId, hi: NodeId) -> Self {
-        assert!(lo <= hi && hi <= MAX_NODES);
+        assert!(lo <= hi && hi <= Self::CAPACITY);
         Self::first_n(hi) - Self::first_n(lo)
     }
 
@@ -88,84 +155,165 @@ impl NodeSet {
     /// Is the set empty?
     #[inline]
     pub const fn is_empty(self) -> bool {
-        self.0 == 0
+        let mut i = 0;
+        while i < W {
+            if self.0[i] != 0 {
+                return false;
+            }
+            i += 1;
+        }
+        true
     }
 
     /// Number of elements.
     #[inline]
     pub const fn len(self) -> usize {
-        self.0.count_ones() as usize
+        let mut n = 0;
+        let mut i = 0;
+        while i < W {
+            n += self.0[i].count_ones() as usize;
+            i += 1;
+        }
+        n
     }
 
     /// Is this a singleton set?
     #[inline]
     pub const fn is_singleton(self) -> bool {
-        self.0 != 0 && self.0 & (self.0 - 1) == 0
+        // Exactly one word is a power of two, every other word is zero.
+        let mut seen = false;
+        let mut i = 0;
+        while i < W {
+            let w = self.0[i];
+            if w != 0 {
+                if seen || w & (w - 1) != 0 {
+                    return false;
+                }
+                seen = true;
+            }
+            i += 1;
+        }
+        seen
     }
 
     /// Does the set contain `node`?
     #[inline]
     pub const fn contains(self, node: NodeId) -> bool {
-        node < MAX_NODES && self.0 & (1u64 << node) != 0
+        node < Self::CAPACITY && self.0[node / 64] & (1u64 << (node % 64)) != 0
     }
 
     /// Is `self` a subset of `other` (`self ⊆ other`)?
     #[inline]
-    pub const fn is_subset_of(self, other: NodeSet) -> bool {
-        self.0 & !other.0 == 0
+    pub const fn is_subset_of(self, other: NodeSet<W>) -> bool {
+        let mut i = 0;
+        while i < W {
+            if self.0[i] & !other.0[i] != 0 {
+                return false;
+            }
+            i += 1;
+        }
+        true
     }
 
     /// Is `self` a proper subset of `other` (`self ⊂ other`)?
     #[inline]
-    pub const fn is_proper_subset_of(self, other: NodeSet) -> bool {
-        self.0 != other.0 && self.0 & !other.0 == 0
+    pub const fn is_proper_subset_of(self, other: NodeSet<W>) -> bool {
+        let mut equal = true;
+        let mut i = 0;
+        while i < W {
+            if self.0[i] & !other.0[i] != 0 {
+                return false;
+            }
+            if self.0[i] != other.0[i] {
+                equal = false;
+            }
+            i += 1;
+        }
+        !equal
     }
 
     /// Is `self` a superset of `other`?
     #[inline]
-    pub const fn is_superset_of(self, other: NodeSet) -> bool {
-        other.0 & !self.0 == 0
+    pub const fn is_superset_of(self, other: NodeSet<W>) -> bool {
+        other.is_subset_of(self)
     }
 
     /// Do the sets have no element in common?
     #[inline]
-    pub const fn is_disjoint(self, other: NodeSet) -> bool {
-        self.0 & other.0 == 0
+    pub const fn is_disjoint(self, other: NodeSet<W>) -> bool {
+        let mut i = 0;
+        while i < W {
+            if self.0[i] & other.0[i] != 0 {
+                return false;
+            }
+            i += 1;
+        }
+        true
     }
 
     /// Do the sets share at least one element?
     #[inline]
-    pub const fn intersects(self, other: NodeSet) -> bool {
-        self.0 & other.0 != 0
+    pub const fn intersects(self, other: NodeSet<W>) -> bool {
+        !self.is_disjoint(other)
     }
 
     /// Set union.
     #[inline]
-    pub const fn union(self, other: NodeSet) -> NodeSet {
-        NodeSet(self.0 | other.0)
+    pub const fn union(self, other: NodeSet<W>) -> NodeSet<W> {
+        let mut words = self.0;
+        let mut i = 0;
+        while i < W {
+            words[i] |= other.0[i];
+            i += 1;
+        }
+        NodeSet(words)
     }
 
     /// Set intersection.
     #[inline]
-    pub const fn intersection(self, other: NodeSet) -> NodeSet {
-        NodeSet(self.0 & other.0)
+    pub const fn intersection(self, other: NodeSet<W>) -> NodeSet<W> {
+        let mut words = self.0;
+        let mut i = 0;
+        while i < W {
+            words[i] &= other.0[i];
+            i += 1;
+        }
+        NodeSet(words)
     }
 
     /// Set difference `self \ other`.
     #[inline]
-    pub const fn difference(self, other: NodeSet) -> NodeSet {
-        NodeSet(self.0 & !other.0)
+    pub const fn difference(self, other: NodeSet<W>) -> NodeSet<W> {
+        let mut words = self.0;
+        let mut i = 0;
+        while i < W {
+            words[i] &= !other.0[i];
+            i += 1;
+        }
+        NodeSet(words)
+    }
+
+    /// Symmetric difference.
+    #[inline]
+    pub const fn symmetric_difference(self, other: NodeSet<W>) -> NodeSet<W> {
+        let mut words = self.0;
+        let mut i = 0;
+        while i < W {
+            words[i] ^= other.0[i];
+            i += 1;
+        }
+        NodeSet(words)
     }
 
     /// Adds a node, returning the new set.
     #[inline]
-    pub fn with(self, node: NodeId) -> NodeSet {
+    pub fn with(self, node: NodeId) -> NodeSet<W> {
         self.union(NodeSet::single(node))
     }
 
     /// Removes a node, returning the new set.
     #[inline]
-    pub fn without(self, node: NodeId) -> NodeSet {
+    pub fn without(self, node: NodeId) -> NodeSet<W> {
         self.difference(NodeSet::single(node))
     }
 
@@ -184,48 +332,81 @@ impl NodeSet {
     /// The smallest element, i.e. `min(S)` of the paper, if the set is non-empty.
     #[inline]
     pub const fn min_node(self) -> Option<NodeId> {
-        if self.0 == 0 {
-            None
-        } else {
-            Some(self.0.trailing_zeros() as NodeId)
+        let mut i = 0;
+        while i < W {
+            if self.0[i] != 0 {
+                return Some(i * 64 + self.0[i].trailing_zeros() as usize);
+            }
+            i += 1;
         }
+        None
     }
 
     /// The largest element, if the set is non-empty.
     #[inline]
     pub const fn max_node(self) -> Option<NodeId> {
-        if self.0 == 0 {
-            None
-        } else {
-            Some(63 - self.0.leading_zeros() as NodeId)
+        let mut i = W;
+        while i > 0 {
+            i -= 1;
+            if self.0[i] != 0 {
+                return Some(i * 64 + 63 - self.0[i].leading_zeros() as usize);
+            }
         }
+        None
     }
 
     /// The singleton `min(S)` as a set (empty if `S` is empty), as defined in Sec. 2.3.
     #[inline]
-    pub const fn min_singleton(self) -> NodeSet {
-        NodeSet(self.0 & self.0.wrapping_neg())
+    pub const fn min_singleton(self) -> NodeSet<W> {
+        let mut words = [0; W];
+        let mut i = 0;
+        while i < W {
+            if self.0[i] != 0 {
+                words[i] = self.0[i] & self.0[i].wrapping_neg();
+                return NodeSet(words);
+            }
+            i += 1;
+        }
+        NodeSet(words)
     }
 
     /// `S \ min(S)` — the non-representative rest of a hypernode (written `min̄(S)` in the paper).
     #[inline]
-    pub const fn without_min(self) -> NodeSet {
-        NodeSet(self.0 & (self.0.wrapping_sub(1)))
+    pub const fn without_min(self) -> NodeSet<W> {
+        let mut words = self.0;
+        let mut i = 0;
+        while i < W {
+            if words[i] != 0 {
+                words[i] &= words[i].wrapping_sub(1);
+                break;
+            }
+            i += 1;
+        }
+        NodeSet(words)
     }
 
     /// Mixes the raw mask into a well-distributed 64-bit hash.
     ///
     /// This is the hashing primitive of the planner's DP table: a fixed-cost multiply-xor
     /// finalizer (FxHash-style, based on the SplitMix64 mixer) instead of std's SipHash. Node
-    /// sets are single machine words, so keyed hashing buys nothing here, and the finalizer's
-    /// full avalanche keeps clustered masks (consecutive subsets differ in few bits) spread
-    /// across table slots.
+    /// sets are a handful of machine words, so keyed hashing buys nothing here, and the
+    /// finalizer's full avalanche keeps clustered masks (consecutive subsets differ in few bits)
+    /// spread across table slots. All `W` words are folded in (one mixer round per word); for
+    /// `W = 1` the function is bit-identical to the pre-widening single-word finalizer.
     #[inline]
     pub const fn hash64(self) -> u64 {
-        let mut z = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        let mut z: u64 = 0;
+        let mut i = 0;
+        while i < W {
+            z = z
+                .wrapping_add(self.0[i])
+                .wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            i += 1;
+        }
+        z
     }
 
     /// Index of this set's hash in a power-of-two table of `1 << bits` slots, using the highest
@@ -237,13 +418,13 @@ impl NodeSet {
 
     /// Iterates over elements in ascending node order.
     #[inline]
-    pub fn iter(self) -> NodeSetIter {
+    pub fn iter(self) -> NodeSetIter<W> {
         NodeSetIter { remaining: self.0 }
     }
 
     /// Iterates over elements in descending node order, as required by `Solve` and `EmitCsg`.
     #[inline]
-    pub fn iter_descending(self) -> NodeSetRevIter {
+    pub fn iter_descending(self) -> NodeSetRevIter<W> {
         NodeSetRevIter { remaining: self.0 }
     }
 
@@ -253,18 +434,18 @@ impl NodeSet {
     /// whenever both share the same containing set, which is what bottom-up dynamic programming
     /// over subsets (DPsub) requires.
     #[inline]
-    pub fn subsets(self) -> crate::SubsetIter {
+    pub fn subsets(self) -> crate::SubsetIter<W> {
         crate::SubsetIter::new(self)
     }
 
     /// Iterates over all non-empty *proper* subsets of this set in ascending mask order.
     #[inline]
-    pub fn proper_subsets(self) -> crate::ProperSubsetIter {
+    pub fn proper_subsets(self) -> crate::ProperSubsetIter<W> {
         crate::ProperSubsetIter::new(self)
     }
 }
 
-impl FromIterator<NodeId> for NodeSet {
+impl<const W: usize> FromIterator<NodeId> for NodeSet<W> {
     fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
         let mut s = NodeSet::EMPTY;
         for n in iter {
@@ -274,76 +455,101 @@ impl FromIterator<NodeId> for NodeSet {
     }
 }
 
-impl IntoIterator for NodeSet {
+impl<const W: usize> IntoIterator for NodeSet<W> {
     type Item = NodeId;
-    type IntoIter = NodeSetIter;
+    type IntoIter = NodeSetIter<W>;
 
     fn into_iter(self) -> Self::IntoIter {
         self.iter()
     }
 }
 
-impl BitOr for NodeSet {
-    type Output = NodeSet;
+impl<const W: usize> BitOr for NodeSet<W> {
+    type Output = NodeSet<W>;
     #[inline]
-    fn bitor(self, rhs: NodeSet) -> NodeSet {
+    fn bitor(self, rhs: NodeSet<W>) -> NodeSet<W> {
         self.union(rhs)
     }
 }
 
-impl BitOrAssign for NodeSet {
+impl<const W: usize> BitOrAssign for NodeSet<W> {
     #[inline]
-    fn bitor_assign(&mut self, rhs: NodeSet) {
+    fn bitor_assign(&mut self, rhs: NodeSet<W>) {
         *self = self.union(rhs);
     }
 }
 
-impl BitAnd for NodeSet {
-    type Output = NodeSet;
+impl<const W: usize> BitAnd for NodeSet<W> {
+    type Output = NodeSet<W>;
     #[inline]
-    fn bitand(self, rhs: NodeSet) -> NodeSet {
+    fn bitand(self, rhs: NodeSet<W>) -> NodeSet<W> {
         self.intersection(rhs)
     }
 }
 
-impl BitAndAssign for NodeSet {
+impl<const W: usize> BitAndAssign for NodeSet<W> {
     #[inline]
-    fn bitand_assign(&mut self, rhs: NodeSet) {
+    fn bitand_assign(&mut self, rhs: NodeSet<W>) {
         *self = self.intersection(rhs);
     }
 }
 
-impl BitXor for NodeSet {
-    type Output = NodeSet;
+impl<const W: usize> BitXor for NodeSet<W> {
+    type Output = NodeSet<W>;
     #[inline]
-    fn bitxor(self, rhs: NodeSet) -> NodeSet {
-        NodeSet(self.0 ^ rhs.0)
+    fn bitxor(self, rhs: NodeSet<W>) -> NodeSet<W> {
+        self.symmetric_difference(rhs)
     }
 }
 
-impl BitXorAssign for NodeSet {
+impl<const W: usize> BitXorAssign for NodeSet<W> {
     #[inline]
-    fn bitxor_assign(&mut self, rhs: NodeSet) {
-        self.0 ^= rhs.0;
+    fn bitxor_assign(&mut self, rhs: NodeSet<W>) {
+        *self = self.symmetric_difference(rhs);
     }
 }
 
-impl Sub for NodeSet {
-    type Output = NodeSet;
+impl<const W: usize> Sub for NodeSet<W> {
+    type Output = NodeSet<W>;
     #[inline]
-    fn sub(self, rhs: NodeSet) -> NodeSet {
+    fn sub(self, rhs: NodeSet<W>) -> NodeSet<W> {
         self.difference(rhs)
     }
 }
 
-impl SubAssign for NodeSet {
+impl<const W: usize> SubAssign for NodeSet<W> {
     #[inline]
-    fn sub_assign(&mut self, rhs: NodeSet) {
+    fn sub_assign(&mut self, rhs: NodeSet<W>) {
         *self = self.difference(rhs);
     }
 }
 
-impl fmt::Debug for NodeSet {
+impl<const W: usize> Ord for NodeSet<W> {
+    /// Numeric mask order of the `64 * W`-bit integer (most significant word first), matching
+    /// the single-word ordering the non-commutative operator handling (Sec. 5.4) relies on.
+    /// Derived array ordering would compare the *low* word first and is therefore not used.
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        let mut i = W;
+        while i > 0 {
+            i -= 1;
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl<const W: usize> PartialOrd for NodeSet<W> {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const W: usize> fmt::Debug for NodeSet<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
         let mut first = true;
@@ -358,7 +564,7 @@ impl fmt::Debug for NodeSet {
     }
 }
 
-impl fmt::Display for NodeSet {
+impl<const W: usize> fmt::Display for NodeSet<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Debug::fmt(self, f)
     }
@@ -366,57 +572,63 @@ impl fmt::Display for NodeSet {
 
 /// Ascending iterator over the elements of a [`NodeSet`].
 #[derive(Clone, Debug)]
-pub struct NodeSetIter {
-    remaining: u64,
+pub struct NodeSetIter<const W: usize = 1> {
+    remaining: [u64; W],
 }
 
-impl Iterator for NodeSetIter {
+impl<const W: usize> Iterator for NodeSetIter<W> {
     type Item = NodeId;
 
     #[inline]
     fn next(&mut self) -> Option<NodeId> {
-        if self.remaining == 0 {
-            return None;
+        for i in 0..W {
+            let w = self.remaining[i];
+            if w != 0 {
+                let node = i * 64 + w.trailing_zeros() as usize;
+                self.remaining[i] = w & (w - 1);
+                return Some(node);
+            }
         }
-        let node = self.remaining.trailing_zeros() as NodeId;
-        self.remaining &= self.remaining - 1;
-        Some(node)
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.remaining.count_ones() as usize;
+        let n: usize = self.remaining.iter().map(|w| w.count_ones() as usize).sum();
         (n, Some(n))
     }
 }
 
-impl ExactSizeIterator for NodeSetIter {}
+impl<const W: usize> ExactSizeIterator for NodeSetIter<W> {}
 
 /// Descending iterator over the elements of a [`NodeSet`].
 #[derive(Clone, Debug)]
-pub struct NodeSetRevIter {
-    remaining: u64,
+pub struct NodeSetRevIter<const W: usize = 1> {
+    remaining: [u64; W],
 }
 
-impl Iterator for NodeSetRevIter {
+impl<const W: usize> Iterator for NodeSetRevIter<W> {
     type Item = NodeId;
 
     #[inline]
     fn next(&mut self) -> Option<NodeId> {
-        if self.remaining == 0 {
-            return None;
+        for i in (0..W).rev() {
+            let w = self.remaining[i];
+            if w != 0 {
+                let bit = 63 - w.leading_zeros() as usize;
+                self.remaining[i] = w & !(1u64 << bit);
+                return Some(i * 64 + bit);
+            }
         }
-        let node = 63 - self.remaining.leading_zeros() as NodeId;
-        self.remaining &= !(1u64 << node);
-        Some(node)
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.remaining.count_ones() as usize;
+        let n: usize = self.remaining.iter().map(|w| w.count_ones() as usize).sum();
         (n, Some(n))
     }
 }
 
-impl ExactSizeIterator for NodeSetRevIter {}
+impl<const W: usize> ExactSizeIterator for NodeSetRevIter<W> {}
 
 #[cfg(test)]
 mod tests {
@@ -426,7 +638,7 @@ mod tests {
 
     #[test]
     fn empty_set_basics() {
-        let e = NodeSet::EMPTY;
+        let e = NodeSet64::EMPTY;
         assert!(e.is_empty());
         assert_eq!(e.len(), 0);
         assert_eq!(e.min_node(), None);
@@ -438,7 +650,7 @@ mod tests {
 
     #[test]
     fn singleton_basics() {
-        let s = NodeSet::single(7);
+        let s = NodeSet64::single(7);
         assert!(s.is_singleton());
         assert_eq!(s.len(), 1);
         assert_eq!(s.min_node(), Some(7));
@@ -450,38 +662,59 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn singleton_out_of_range_panics() {
-        let _ = NodeSet::single(64);
+        let _ = NodeSet64::single(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn wide_singleton_out_of_range_panics() {
+        let _ = NodeSet128::single(128);
     }
 
     #[test]
     fn first_n_and_range() {
-        assert_eq!(NodeSet::first_n(0), NodeSet::EMPTY);
+        assert_eq!(NodeSet64::first_n(0), NodeSet::EMPTY);
         assert_eq!(
-            NodeSet::first_n(3).iter().collect::<Vec<_>>(),
+            NodeSet64::first_n(3).iter().collect::<Vec<_>>(),
             vec![0, 1, 2]
         );
-        assert_eq!(NodeSet::first_n(64).len(), 64);
+        assert_eq!(NodeSet64::first_n(64).len(), 64);
         assert_eq!(
-            NodeSet::range(2, 5).iter().collect::<Vec<_>>(),
+            NodeSet64::range(2, 5).iter().collect::<Vec<_>>(),
             vec![2, 3, 4]
         );
-        assert_eq!(NodeSet::range(3, 3), NodeSet::EMPTY);
+        assert_eq!(NodeSet64::range(3, 3), NodeSet::EMPTY);
+    }
+
+    #[test]
+    fn wide_first_n_and_range_cross_word_boundaries() {
+        assert_eq!(NodeSet128::CAPACITY, 128);
+        assert_eq!(NodeSet128::first_n(0), NodeSet::EMPTY);
+        assert_eq!(NodeSet128::first_n(64).len(), 64);
+        assert_eq!(NodeSet128::first_n(65).len(), 65);
+        assert_eq!(NodeSet128::first_n(128).len(), 128);
+        assert_eq!(NodeSet128::first_n(96).max_node(), Some(95));
+        assert_eq!(
+            NodeSet128::range(62, 66).iter().collect::<Vec<_>>(),
+            vec![62, 63, 64, 65]
+        );
+        assert_eq!(NodeSet128::prefix_through(64).len(), 65);
     }
 
     #[test]
     fn prefix_through_matches_paper_definition() {
         // B_v = {w | w ≤ v}
-        assert_eq!(NodeSet::prefix_through(0), NodeSet::single(0));
+        assert_eq!(NodeSet64::prefix_through(0), NodeSet::single(0));
         assert_eq!(
-            NodeSet::prefix_through(3).iter().collect::<Vec<_>>(),
+            NodeSet64::prefix_through(3).iter().collect::<Vec<_>>(),
             vec![0, 1, 2, 3]
         );
     }
 
     #[test]
     fn membership_and_subset_relations() {
-        let s = NodeSet::from_iter([1, 3, 4]);
-        let t = NodeSet::from_iter([1, 3]);
+        let s = NodeSet64::from_iter([1, 3, 4]);
+        let t = NodeSet64::from_iter([1, 3]);
         assert!(s.contains(3));
         assert!(!s.contains(2));
         assert!(!s.contains(100));
@@ -495,9 +728,25 @@ mod tests {
     }
 
     #[test]
+    fn wide_membership_and_subset_relations_across_words() {
+        let s = NodeSet128::from_iter([1, 63, 64, 100]);
+        let t = NodeSet128::from_iter([63, 100]);
+        assert!(s.contains(64));
+        assert!(!s.contains(65));
+        assert!(!s.contains(200));
+        assert!(t.is_subset_of(s));
+        assert!(t.is_proper_subset_of(s));
+        assert!(s.is_superset_of(t));
+        assert!(s.intersects(t));
+        assert!(s.is_disjoint(NodeSet::from_iter([2, 65])));
+        assert!(!s.is_singleton());
+        assert!(NodeSet128::single(127).is_singleton());
+    }
+
+    #[test]
     fn set_algebra() {
-        let a = NodeSet::from_iter([0, 1, 2]);
-        let b = NodeSet::from_iter([2, 3]);
+        let a = NodeSet64::from_iter([0, 1, 2]);
+        let b = NodeSet64::from_iter([2, 3]);
         assert_eq!((a | b).iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
         assert_eq!((a & b).iter().collect::<Vec<_>>(), vec![2]);
         assert_eq!((a - b).iter().collect::<Vec<_>>(), vec![0, 1]);
@@ -516,7 +765,7 @@ mod tests {
 
     #[test]
     fn insert_and_remove() {
-        let mut s = NodeSet::EMPTY;
+        let mut s = NodeSet64::EMPTY;
         s.insert(5);
         s.insert(9);
         assert_eq!(s.len(), 2);
@@ -530,22 +779,40 @@ mod tests {
     #[test]
     fn min_singleton_and_rest() {
         // Paper example: S = {R4, R5, R6}, min(S) = {R4}, min̄(S) = {R5, R6}.
-        let s = NodeSet::from_iter([4, 5, 6]);
+        let s = NodeSet64::from_iter([4, 5, 6]);
         assert_eq!(s.min_singleton(), NodeSet::single(4));
         assert_eq!(s.without_min(), NodeSet::from_iter([5, 6]));
     }
 
     #[test]
+    fn wide_min_max_and_rest_in_the_high_word() {
+        let s = NodeSet128::from_iter([70, 100, 127]);
+        assert_eq!(s.min_node(), Some(70));
+        assert_eq!(s.max_node(), Some(127));
+        assert_eq!(s.min_singleton(), NodeSet::single(70));
+        assert_eq!(s.without_min(), NodeSet::from_iter([100, 127]));
+        let mixed = NodeSet128::from_iter([3, 70]);
+        assert_eq!(mixed.min_singleton(), NodeSet::single(3));
+        assert_eq!(mixed.without_min(), NodeSet::single(70));
+    }
+
+    #[test]
     fn descending_iteration() {
-        let s = NodeSet::from_iter([0, 3, 7, 63]);
+        let s = NodeSet64::from_iter([0, 3, 7, 63]);
         assert_eq!(s.iter_descending().collect::<Vec<_>>(), vec![63, 7, 3, 0]);
+        let w = NodeSet128::from_iter([0, 63, 64, 127]);
+        assert_eq!(
+            w.iter_descending().collect::<Vec<_>>(),
+            vec![127, 64, 63, 0]
+        );
     }
 
     #[test]
     fn debug_format() {
-        let s = NodeSet::from_iter([0, 2]);
+        let s = NodeSet64::from_iter([0, 2]);
         assert_eq!(format!("{s:?}"), "{R0, R2}");
-        assert_eq!(format!("{}", NodeSet::EMPTY), "{}");
+        assert_eq!(format!("{}", NodeSet64::EMPTY), "{}");
+        assert_eq!(format!("{}", NodeSet128::from_iter([1, 64])), "{R1, R64}");
     }
 
     #[test]
@@ -554,18 +821,43 @@ mod tests {
         // the upper bits used for table indexing.
         let mut indexes = BTreeSet::new();
         for mask in 1u64..=256 {
-            indexes.insert(NodeSet::from_mask(mask).hash_index(10));
+            indexes.insert(NodeSet64::from_mask(mask).hash_index(10));
         }
         // 256 keys into 1024 slots: demand a reasonable spread (no catastrophic clustering).
         assert!(indexes.len() > 180, "only {} distinct slots", indexes.len());
         // And determinism.
         assert_eq!(
-            NodeSet::from_mask(0xABCD).hash64(),
-            NodeSet::from_mask(0xABCD).hash64()
+            NodeSet64::from_mask(0xABCD).hash64(),
+            NodeSet64::from_mask(0xABCD).hash64()
         );
         assert_ne!(
-            NodeSet::from_mask(1).hash64(),
-            NodeSet::from_mask(2).hash64()
+            NodeSet64::from_mask(1).hash64(),
+            NodeSet64::from_mask(2).hash64()
+        );
+    }
+
+    #[test]
+    fn wide_hash64_folds_all_words() {
+        // Sets differing only in the high word must hash differently (the low word alone would
+        // collide them), and clustered high-word masks must spread too.
+        assert_ne!(
+            NodeSet128::from_iter([0]).hash64(),
+            NodeSet128::from_iter([0, 64]).hash64()
+        );
+        assert_ne!(
+            NodeSet128::from_iter([64]).hash64(),
+            NodeSet128::from_iter([65]).hash64()
+        );
+        let mut indexes = BTreeSet::new();
+        for i in 64..128 {
+            for j in 0..32 {
+                indexes.insert(NodeSet128::from_iter([i, j]).hash_index(12));
+            }
+        }
+        assert!(
+            indexes.len() > 1500,
+            "only {} distinct slots",
+            indexes.len()
         );
     }
 
@@ -573,8 +865,23 @@ mod tests {
     fn ordering_is_mask_order() {
         // Lexicographic ordering on sets used by the non-commutative operator handling
         // (Sec. 5.4) is implemented as mask order; {R0} < {R1} < {R0,R1} etc.
-        assert!(NodeSet::single(0) < NodeSet::single(1));
-        assert!(NodeSet::single(1) < NodeSet::from_iter([0, 1]));
+        assert!(NodeSet64::single(0) < NodeSet::single(1));
+        assert!(NodeSet64::single(1) < NodeSet::from_iter([0, 1]));
+        // For the wide widths, numeric order compares high words first: any set containing a
+        // high-word member is larger than every low-word-only set.
+        assert!(NodeSet128::single(63) < NodeSet128::single(64));
+        assert!(NodeSet128::from_iter([0, 1, 2, 3]) < NodeSet128::single(64));
+        assert!(NodeSet128::from_iter([64]) < NodeSet128::from_iter([0, 64]));
+    }
+
+    #[test]
+    fn word_accessors_round_trip() {
+        let s = NodeSet128::from_iter([5, 64, 127]);
+        let words = s.words();
+        assert_eq!(words[0], 1 << 5);
+        assert_eq!(words[1], (1 << 0) | (1 << 63));
+        assert_eq!(NodeSet128::from_words(words), s);
+        assert_eq!(NodeSet64::from_mask(0b101).mask(), 0b101);
     }
 
     proptest! {
@@ -607,7 +914,7 @@ mod tests {
 
         #[test]
         fn prop_descending_is_reverse_of_ascending(mask in any::<u64>()) {
-            let s = NodeSet::from_mask(mask);
+            let s = NodeSet64::from_mask(mask);
             let mut asc: Vec<_> = s.iter().collect();
             asc.reverse();
             prop_assert_eq!(asc, s.iter_descending().collect::<Vec<_>>());

@@ -14,24 +14,24 @@ use qo_plan::JoinOp;
 /// input, and so on). The formulas only need to be *deterministic and consistent* for the
 /// reproduction — all enumeration algorithms share them, so plan-quality comparisons are fair.
 #[derive(Clone, Copy)]
-pub struct CardinalityEstimator<'a> {
-    catalog: &'a Catalog,
-    graph: &'a Hypergraph,
+pub struct CardinalityEstimator<'a, const W: usize = 1> {
+    catalog: &'a Catalog<W>,
+    graph: &'a Hypergraph<W>,
 }
 
-impl<'a> CardinalityEstimator<'a> {
+impl<'a, const W: usize> CardinalityEstimator<'a, W> {
     /// Creates an estimator for the given catalog/graph pair.
-    pub fn new(catalog: &'a Catalog, graph: &'a Hypergraph) -> Self {
+    pub fn new(catalog: &'a Catalog<W>, graph: &'a Hypergraph<W>) -> Self {
         CardinalityEstimator { catalog, graph }
     }
 
     /// The catalog this estimator reads statistics from.
-    pub fn catalog(&self) -> &'a Catalog {
+    pub fn catalog(&self) -> &'a Catalog<W> {
         self.catalog
     }
 
     /// The hypergraph this estimator resolves edges against.
-    pub fn graph(&self) -> &'a Hypergraph {
+    pub fn graph(&self) -> &'a Hypergraph<W> {
         self.graph
     }
 
@@ -43,7 +43,7 @@ impl<'a> CardinalityEstimator<'a> {
     /// Independence-model cardinality of the set `s` treated as a pure inner join of all its
     /// relations with all internal predicates applied. Used for sanity checks and as the
     /// canonical class cardinality of inner-join-only queries.
-    pub fn inner_set(&self, s: NodeSet) -> f64 {
+    pub fn inner_set(&self, s: NodeSet<W>) -> f64 {
         let mut card: f64 = s.iter().map(|r| self.catalog.cardinality(r)).product();
         for e in self.graph.edges_within(s) {
             card *= self.catalog.edge_annotation(e).selectivity;
@@ -59,28 +59,36 @@ impl<'a> CardinalityEstimator<'a> {
     /// conjunction assembled by `EmitCsgCmp`).
     pub fn join(&self, op: JoinOp, left_card: f64, right_card: f64, edges: &[EdgeId]) -> f64 {
         let sel = self.catalog.selectivity_product(edges);
-        Self::join_with_selectivity(op, left_card, right_card, sel)
+        join_cardinality(op, left_card, right_card, sel)
     }
 
     /// Same as [`CardinalityEstimator::join`] but with the combined selectivity already
-    /// computed.
+    /// computed. Width-independent; see [`join_cardinality`].
     pub fn join_with_selectivity(op: JoinOp, left_card: f64, right_card: f64, sel: f64) -> f64 {
-        let inner = left_card * right_card * sel;
-        match op.regular_counterpart() {
-            JoinOp::Inner => inner,
-            // An outer join preserves every outer tuple at least once.
-            JoinOp::LeftOuter => inner.max(left_card),
-            JoinOp::FullOuter => inner.max(left_card + right_card),
-            // A semijoin keeps each left tuple at most once; the probability that a left tuple
-            // finds at least one partner is approximated by min(1, sel * |R|).
-            JoinOp::LeftSemi => left_card * (sel * right_card).min(1.0),
-            // The antijoin keeps the complement of the semijoin.
-            JoinOp::LeftAnti => (left_card - left_card * (sel * right_card).min(1.0)).max(0.0),
-            // The nestjoin produces exactly one output tuple per left tuple (binary grouping).
-            JoinOp::LeftNest => left_card,
-            // Dependent operators were mapped to their regular counterpart above.
-            _ => unreachable!("regular_counterpart returned a dependent operator"),
-        }
+        join_cardinality(op, left_card, right_card, sel)
+    }
+}
+
+/// Output cardinality of joining two inputs with the given operator and combined selectivity.
+///
+/// This is the width-independent core of the estimator (it only sees scalar statistics), shared
+/// by every `NodeSet` width the planner is instantiated at.
+pub fn join_cardinality(op: JoinOp, left_card: f64, right_card: f64, sel: f64) -> f64 {
+    let inner = left_card * right_card * sel;
+    match op.regular_counterpart() {
+        JoinOp::Inner => inner,
+        // An outer join preserves every outer tuple at least once.
+        JoinOp::LeftOuter => inner.max(left_card),
+        JoinOp::FullOuter => inner.max(left_card + right_card),
+        // A semijoin keeps each left tuple at most once; the probability that a left tuple
+        // finds at least one partner is approximated by min(1, sel * |R|).
+        JoinOp::LeftSemi => left_card * (sel * right_card).min(1.0),
+        // The antijoin keeps the complement of the semijoin.
+        JoinOp::LeftAnti => (left_card - left_card * (sel * right_card).min(1.0)).max(0.0),
+        // The nestjoin produces exactly one output tuple per left tuple (binary grouping).
+        JoinOp::LeftNest => left_card,
+        // Dependent operators were mapped to their regular counterpart above.
+        _ => unreachable!("regular_counterpart returned a dependent operator"),
     }
 }
 
@@ -133,26 +141,24 @@ mod tests {
     fn left_outer_preserves_left() {
         // Very selective predicate: inner result would be tiny, outer join keeps all 100 left
         // tuples.
-        let card =
-            CardinalityEstimator::join_with_selectivity(JoinOp::LeftOuter, 100.0, 10.0, 1e-6);
+        let card = join_cardinality(JoinOp::LeftOuter, 100.0, 10.0, 1e-6);
         assert_eq!(card, 100.0);
         // Non-selective: behaves like the inner join.
-        let card = CardinalityEstimator::join_with_selectivity(JoinOp::LeftOuter, 100.0, 10.0, 0.5);
+        let card = join_cardinality(JoinOp::LeftOuter, 100.0, 10.0, 0.5);
         assert_eq!(card, 500.0);
     }
 
     #[test]
     fn full_outer_preserves_both() {
-        let card =
-            CardinalityEstimator::join_with_selectivity(JoinOp::FullOuter, 100.0, 40.0, 1e-9);
+        let card = join_cardinality(JoinOp::FullOuter, 100.0, 40.0, 1e-9);
         assert_eq!(card, 140.0);
     }
 
     #[test]
     fn semi_and_anti_partition_the_left_side() {
         let (l, r, sel) = (1000.0, 50.0, 0.004);
-        let semi = CardinalityEstimator::join_with_selectivity(JoinOp::LeftSemi, l, r, sel);
-        let anti = CardinalityEstimator::join_with_selectivity(JoinOp::LeftAnti, l, r, sel);
+        let semi = join_cardinality(JoinOp::LeftSemi, l, r, sel);
+        let anti = join_cardinality(JoinOp::LeftAnti, l, r, sel);
         assert!(semi <= l);
         assert!(anti <= l);
         assert!(
@@ -160,15 +166,15 @@ mod tests {
             "semi + anti must equal the left input"
         );
         // Semijoin never exceeds the left side even for sel = 1.
-        let semi_full = CardinalityEstimator::join_with_selectivity(JoinOp::LeftSemi, l, r, 1.0);
+        let semi_full = join_cardinality(JoinOp::LeftSemi, l, r, 1.0);
         assert_eq!(semi_full, l);
-        let anti_full = CardinalityEstimator::join_with_selectivity(JoinOp::LeftAnti, l, r, 1.0);
+        let anti_full = join_cardinality(JoinOp::LeftAnti, l, r, 1.0);
         assert_eq!(anti_full, 0.0);
     }
 
     #[test]
     fn nestjoin_outputs_one_group_per_left_tuple() {
-        let card = CardinalityEstimator::join_with_selectivity(JoinOp::LeftNest, 77.0, 1e6, 0.5);
+        let card = join_cardinality(JoinOp::LeftNest, 77.0, 1e6, 0.5);
         assert_eq!(card, 77.0);
     }
 
@@ -181,8 +187,8 @@ mod tests {
             (JoinOp::DepLeftAnti, JoinOp::LeftAnti),
             (JoinOp::DepLeftNest, JoinOp::LeftNest),
         ] {
-            let d = CardinalityEstimator::join_with_selectivity(dep, 123.0, 45.0, 0.1);
-            let r = CardinalityEstimator::join_with_selectivity(reg, 123.0, 45.0, 0.1);
+            let d = join_cardinality(dep, 123.0, 45.0, 0.1);
+            let r = join_cardinality(reg, 123.0, 45.0, 0.1);
             assert_eq!(d, r, "{dep:?} vs {reg:?}");
         }
     }

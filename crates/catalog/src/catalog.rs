@@ -8,20 +8,20 @@ use qo_plan::JoinOp;
 /// from (Sec. 5.4: "we associate with each hyperedge the operator from which it was derived"),
 /// and the operator's total eligibility set for the generate-and-test variant of Sec. 5.8.
 #[derive(Clone, Copy, Debug, PartialEq)]
-pub struct EdgeAnnotation {
+pub struct EdgeAnnotation<const W: usize = 1> {
     /// Selectivity of the predicate, in `(0, 1]`.
     pub selectivity: f64,
     /// Operator the edge was derived from. Plain join predicates use [`JoinOp::Inner`].
     pub op: JoinOp,
     /// Relations that must be on the left side before the operator may be applied
     /// (TES ∩ T(left)). Empty means "no constraint beyond the edge's own hypernode".
-    pub tes_left: NodeSet,
+    pub tes_left: NodeSet<W>,
     /// Relations that must be on the right side before the operator may be applied
     /// (TES ∩ T(right)).
-    pub tes_right: NodeSet,
+    pub tes_right: NodeSet<W>,
 }
 
-impl EdgeAnnotation {
+impl<const W: usize> EdgeAnnotation<W> {
     /// Annotation for a plain inner-join predicate with the given selectivity.
     pub fn inner(selectivity: f64) -> Self {
         EdgeAnnotation {
@@ -43,19 +43,19 @@ impl EdgeAnnotation {
     }
 
     /// Attaches an explicit TES split (used by the generate-and-test comparison).
-    pub fn with_tes(mut self, tes_left: NodeSet, tes_right: NodeSet) -> Self {
+    pub fn with_tes(mut self, tes_left: NodeSet<W>, tes_right: NodeSet<W>) -> Self {
         self.tes_left = tes_left;
         self.tes_right = tes_right;
         self
     }
 
     /// The full TES of the operator (left and right requirement combined).
-    pub fn tes(&self) -> NodeSet {
+    pub fn tes(&self) -> NodeSet<W> {
         self.tes_left | self.tes_right
     }
 }
 
-impl Default for EdgeAnnotation {
+impl<const W: usize> Default for EdgeAnnotation<W> {
     fn default() -> Self {
         EdgeAnnotation::inner(1.0)
     }
@@ -67,18 +67,18 @@ impl Default for EdgeAnnotation {
 /// A `Catalog` is always interpreted relative to a [`Hypergraph`] with the same number of nodes
 /// and edges; [`Catalog::validate_for`] checks the correspondence.
 #[derive(Clone, Debug)]
-pub struct Catalog {
+pub struct Catalog<const W: usize = 1> {
     cardinalities: Vec<f64>,
-    lateral_refs: Vec<NodeSet>,
-    edge_annotations: Vec<EdgeAnnotation>,
+    lateral_refs: Vec<NodeSet<W>>,
+    edge_annotations: Vec<EdgeAnnotation<W>>,
     /// Union of all relations that appear in some lateral-reference set; empty for the vast
     /// majority of queries, letting the planner skip the per-pair free-table scans entirely.
-    any_lateral: NodeSet,
+    any_lateral: NodeSet<W>,
 }
 
-impl Catalog {
+impl<const W: usize> Catalog<W> {
     /// Starts building a catalog for `node_count` relations.
-    pub fn builder(node_count: usize) -> CatalogBuilder {
+    pub fn builder(node_count: usize) -> CatalogBuilder<W> {
         CatalogBuilder::new(node_count)
     }
 
@@ -112,7 +112,7 @@ impl Catalog {
 
     /// Relations referenced laterally (freely) by the given relation — non-empty only for
     /// table-valued functions and dependent subqueries (Sec. 5.6).
-    pub fn lateral_refs(&self, relation: NodeId) -> NodeSet {
+    pub fn lateral_refs(&self, relation: NodeId) -> NodeSet<W> {
         self.lateral_refs[relation]
     }
 
@@ -126,7 +126,7 @@ impl Catalog {
 
     /// Union of the lateral references of all relations in `set` that are not satisfied within
     /// `set` itself: `FT(set) \ set`.
-    pub fn free_tables(&self, set: NodeSet) -> NodeSet {
+    pub fn free_tables(&self, set: NodeSet<W>) -> NodeSet<W> {
         if self.any_lateral.is_empty() {
             return NodeSet::EMPTY;
         }
@@ -139,7 +139,7 @@ impl Catalog {
 
     /// Annotation of a hyperedge. Edges beyond the annotated range get the default annotation
     /// (inner join, selectivity 1).
-    pub fn edge_annotation(&self, edge: EdgeId) -> EdgeAnnotation {
+    pub fn edge_annotation(&self, edge: EdgeId) -> EdgeAnnotation<W> {
         self.edge_annotations.get(edge).copied().unwrap_or_default()
     }
 
@@ -153,7 +153,7 @@ impl Catalog {
 
     /// Checks that the catalog matches the graph: same relation count and no annotated edge
     /// beyond the graph's edge count. Returns an error message otherwise.
-    pub fn validate_for(&self, graph: &Hypergraph) -> Result<(), String> {
+    pub fn validate_for(&self, graph: &Hypergraph<W>) -> Result<(), String> {
         if self.relation_count() != graph.node_count() {
             return Err(format!(
                 "catalog covers {} relations but the graph has {}",
@@ -187,13 +187,13 @@ impl Catalog {
 
 /// Builder for [`Catalog`].
 #[derive(Clone, Debug)]
-pub struct CatalogBuilder {
+pub struct CatalogBuilder<const W: usize = 1> {
     cardinalities: Vec<f64>,
-    lateral_refs: Vec<NodeSet>,
-    edge_annotations: Vec<EdgeAnnotation>,
+    lateral_refs: Vec<NodeSet<W>>,
+    edge_annotations: Vec<EdgeAnnotation<W>>,
 }
 
-impl CatalogBuilder {
+impl<const W: usize> CatalogBuilder<W> {
     /// Creates a builder for `node_count` relations, all with a default cardinality of 1000.
     pub fn new(node_count: usize) -> Self {
         CatalogBuilder {
@@ -210,13 +210,13 @@ impl CatalogBuilder {
     }
 
     /// Sets the lateral references of a relation (for table functions / dependent subqueries).
-    pub fn set_lateral_refs(&mut self, relation: NodeId, refs: NodeSet) -> &mut Self {
+    pub fn set_lateral_refs(&mut self, relation: NodeId, refs: NodeSet<W>) -> &mut Self {
         self.lateral_refs[relation] = refs;
         self
     }
 
     /// Annotates the edge with the given id; intermediate edge ids get default annotations.
-    pub fn annotate_edge(&mut self, edge: EdgeId, annotation: EdgeAnnotation) -> &mut Self {
+    pub fn annotate_edge(&mut self, edge: EdgeId, annotation: EdgeAnnotation<W>) -> &mut Self {
         if self.edge_annotations.len() <= edge {
             self.edge_annotations
                 .resize(edge + 1, EdgeAnnotation::default());
@@ -237,7 +237,7 @@ impl CatalogBuilder {
     }
 
     /// Finalizes the catalog.
-    pub fn build(&self) -> Catalog {
+    pub fn build(&self) -> Catalog<W> {
         let any_lateral = self
             .lateral_refs
             .iter()
@@ -262,7 +262,7 @@ mod tests {
 
     #[test]
     fn builder_defaults_and_overrides() {
-        let mut b = Catalog::builder(3);
+        let mut b = Catalog::<1>::builder(3);
         b.set_cardinality(0, 10.0).set_cardinality(2, 500.0);
         let c = b.build();
         assert_eq!(c.relation_count(), 3);
@@ -273,7 +273,7 @@ mod tests {
 
     #[test]
     fn uniform_catalog() {
-        let c = Catalog::uniform(4, 100.0, 3, 0.5);
+        let c = Catalog::<1>::uniform(4, 100.0, 3, 0.5);
         for i in 0..4 {
             assert_eq!(c.cardinality(i), 100.0);
         }
@@ -287,7 +287,7 @@ mod tests {
 
     #[test]
     fn selectivity_product() {
-        let mut b = Catalog::builder(3);
+        let mut b = Catalog::<1>::builder(3);
         b.set_selectivity(0, 0.5).set_selectivity(1, 0.1);
         let c = b.build();
         assert!((c.selectivity_product(&[0, 1]) - 0.05).abs() < 1e-12);
@@ -309,17 +309,17 @@ mod tests {
 
     #[test]
     fn edge_annotation_helpers() {
-        let a = EdgeAnnotation::with_op(0.2, JoinOp::LeftAnti).with_tes(ns(&[0, 1]), ns(&[2]));
+        let a = EdgeAnnotation::<1>::with_op(0.2, JoinOp::LeftAnti).with_tes(ns(&[0, 1]), ns(&[2]));
         assert_eq!(a.op, JoinOp::LeftAnti);
         assert_eq!(a.tes(), ns(&[0, 1, 2]));
-        let d = EdgeAnnotation::default();
+        let d = EdgeAnnotation::<1>::default();
         assert_eq!(d.op, JoinOp::Inner);
         assert_eq!(d.selectivity, 1.0);
     }
 
     #[test]
     fn validation_catches_mismatches() {
-        let mut b = Hypergraph::builder(3);
+        let mut b = Hypergraph::<1>::builder(3);
         b.add_simple_edge(0, 1);
         b.add_simple_edge(1, 2);
         let g = b.build();

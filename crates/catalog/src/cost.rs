@@ -4,17 +4,20 @@ use qo_bitset::NodeSet;
 use qo_plan::JoinOp;
 
 /// Statistics of a sub-plan that a [`CostModel`] may inspect.
+///
+/// Generic over the mask width `W` like every planner-facing type; the default width covers
+/// queries of up to 64 relations.
 #[derive(Clone, Copy, Debug, PartialEq)]
-pub struct SubPlanStats {
+pub struct SubPlanStats<const W: usize = 1> {
     /// Relations produced by the sub-plan.
-    pub set: NodeSet,
+    pub set: NodeSet<W>,
     /// Estimated output cardinality.
     pub cardinality: f64,
     /// Accumulated cost of the sub-plan.
     pub cost: f64,
 }
 
-impl SubPlanStats {
+impl<const W: usize> SubPlanStats<W> {
     /// Stats of a base-relation scan: zero accumulated cost.
     pub fn leaf(relation: usize, cardinality: f64) -> Self {
         SubPlanStats {
@@ -30,14 +33,18 @@ impl SubPlanStats {
 ///
 /// All models must be *monotone* in the input costs (adding cost to an input never makes the
 /// output cheaper); this is what makes dynamic programming over plan classes optimal.
-pub trait CostModel {
+///
+/// The trait carries the mask width so that implementations can inspect the input relation
+/// sets; `dyn CostModel` (i.e. `dyn CostModel<1>`) keeps runtime model selection working on the
+/// single-word tier, and the built-in models implement every width.
+pub trait CostModel<const W: usize = 1> {
     /// Accumulated cost of joining `left` and `right` with `op`, producing `output_cardinality`
     /// tuples.
     fn join_cost(
         &self,
         op: JoinOp,
-        left: &SubPlanStats,
-        right: &SubPlanStats,
+        left: &SubPlanStats<W>,
+        right: &SubPlanStats<W>,
         output_cardinality: f64,
     ) -> f64;
 
@@ -53,12 +60,12 @@ pub trait CostModel {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CoutCost;
 
-impl CostModel for CoutCost {
+impl<const W: usize> CostModel<W> for CoutCost {
     fn join_cost(
         &self,
         _op: JoinOp,
-        left: &SubPlanStats,
-        right: &SubPlanStats,
+        left: &SubPlanStats<W>,
+        right: &SubPlanStats<W>,
         output_cardinality: f64,
     ) -> f64 {
         output_cardinality + left.cost + right.cost
@@ -82,12 +89,12 @@ impl CostModel for CoutCost {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MixedCost;
 
-impl CostModel for MixedCost {
+impl<const W: usize> CostModel<W> for MixedCost {
     fn join_cost(
         &self,
         op: JoinOp,
-        left: &SubPlanStats,
-        right: &SubPlanStats,
+        left: &SubPlanStats<W>,
+        right: &SubPlanStats<W>,
         output_cardinality: f64,
     ) -> f64 {
         let local = if op.is_dependent() {
@@ -119,10 +126,17 @@ mod tests {
 
     #[test]
     fn leaf_stats_have_zero_cost() {
-        let s = SubPlanStats::leaf(3, 500.0);
+        let s = SubPlanStats::<1>::leaf(3, 500.0);
         assert_eq!(s.cost, 0.0);
         assert_eq!(s.cardinality, 500.0);
         assert_eq!(s.set, NodeSet::single(3));
+    }
+
+    #[test]
+    fn wide_leaf_stats_reach_the_high_word() {
+        let s = SubPlanStats::<2>::leaf(100, 7.0);
+        assert_eq!(s.set, NodeSet::single(100));
+        assert_eq!(s.cost, 0.0);
     }
 
     #[test]
@@ -135,7 +149,7 @@ mod tests {
         let lr = stats(&[0, 1], 50.0, 50.0);
         let t = stats(&[2], 10.0, 0.0);
         assert_eq!(m.join_cost(JoinOp::Inner, &lr, &t, 25.0), 75.0);
-        assert_eq!(m.name(), "C_out");
+        assert_eq!(CostModel::<1>::name(&m), "C_out");
     }
 
     #[test]
@@ -147,6 +161,33 @@ mod tests {
             m.join_cost(JoinOp::Inner, &l, &r, 50.0),
             m.join_cost(JoinOp::Inner, &r, &l, 50.0)
         );
+    }
+
+    #[test]
+    fn built_in_models_cost_identically_at_every_width() {
+        // The width only changes the set representation, never the arithmetic.
+        let narrow_l = stats(&[0], 1000.0, 3.0);
+        let narrow_r = stats(&[1], 10.0, 1.0);
+        let wide_l = SubPlanStats::<2> {
+            set: NodeSet::single(0),
+            cardinality: 1000.0,
+            cost: 3.0,
+        };
+        let wide_r = SubPlanStats::<2> {
+            set: NodeSet::single(65),
+            cardinality: 10.0,
+            cost: 1.0,
+        };
+        for op in [JoinOp::Inner, JoinOp::DepJoin] {
+            assert_eq!(
+                CoutCost.join_cost(op, &narrow_l, &narrow_r, 42.0),
+                CoutCost.join_cost(op, &wide_l, &wide_r, 42.0),
+            );
+            assert_eq!(
+                MixedCost.join_cost(op, &narrow_l, &narrow_r, 42.0),
+                MixedCost.join_cost(op, &wide_l, &wide_r, 42.0),
+            );
+        }
     }
 
     #[test]
@@ -164,7 +205,7 @@ mod tests {
             dep > ab,
             "dependent evaluation must be costlier than a hash join here"
         );
-        assert_eq!(m.name(), "mixed(hash/nl)");
+        assert_eq!(CostModel::<1>::name(&m), "mixed(hash/nl)");
     }
 
     #[test]

@@ -14,7 +14,6 @@
 //! inline the cost function straight into `EmitCsgCmp`, which runs once per csg-cmp-pair and is
 //! the planner's measured hot path.
 
-use crate::cardinality::CardinalityEstimator;
 use crate::catalog::Catalog;
 use crate::cost::{CostModel, SubPlanStats};
 pub use crate::table::{BestJoin, Candidate, CandidateJoin, DpTable, EdgeListRef, PlanClass};
@@ -31,15 +30,15 @@ use std::collections::HashSet;
 ///   algorithms use as their connectivity test,
 /// * [`CcpHandler::emit_ccp`] is called exactly once per canonical csg-cmp-pair `(S1, S2)` and
 ///   must register `S1 ∪ S2` so that later `contains` calls see it.
-pub trait CcpHandler {
+pub trait CcpHandler<const W: usize = 1> {
     /// Registers the access plan for a single relation.
     fn init_leaf(&mut self, relation: NodeId);
 
     /// Does a plan class for `set` exist yet?
-    fn contains(&self, set: NodeSet) -> bool;
+    fn contains(&self, set: NodeSet<W>) -> bool;
 
     /// Processes the csg-cmp-pair `(s1, s2)`.
-    fn emit_ccp(&mut self, s1: NodeSet, s2: NodeSet);
+    fn emit_ccp(&mut self, s1: NodeSet<W>, s2: NodeSet<W>);
 
     /// Number of csg-cmp-pairs processed so far.
     fn ccp_count(&self) -> usize;
@@ -53,9 +52,12 @@ pub trait CcpHandler {
 /// lets the compiler inline [`CostModel::join_cost`] into the per-pair hot path. The
 /// `dyn CostModel` default keeps one dynamically-dispatched instantiation available for callers
 /// that select the model at runtime.
-pub struct JoinCombiner<'a, M: CostModel + ?Sized = dyn CostModel> {
-    graph: &'a Hypergraph,
-    catalog: &'a Catalog,
+pub struct JoinCombiner<'a, M: ?Sized = dyn CostModel, const W: usize = 1>
+where
+    M: CostModel<W>,
+{
+    graph: &'a Hypergraph<W>,
+    catalog: &'a Catalog<W>,
     cost_model: &'a M,
     /// When set, every connecting edge's TES must be contained in `S1 ∪ S2` (with the left/right
     /// split respected). This is the generate-and-test approach the paper compares against in
@@ -64,9 +66,9 @@ pub struct JoinCombiner<'a, M: CostModel + ?Sized = dyn CostModel> {
     enforce_tes: bool,
 }
 
-impl<'a, M: CostModel + ?Sized> JoinCombiner<'a, M> {
+impl<'a, M: CostModel<W> + ?Sized, const W: usize> JoinCombiner<'a, M, W> {
     /// Creates a combiner.
-    pub fn new(graph: &'a Hypergraph, catalog: &'a Catalog, cost_model: &'a M) -> Self {
+    pub fn new(graph: &'a Hypergraph<W>, catalog: &'a Catalog<W>, cost_model: &'a M) -> Self {
         JoinCombiner {
             graph,
             catalog,
@@ -82,12 +84,12 @@ impl<'a, M: CostModel + ?Sized> JoinCombiner<'a, M> {
     }
 
     /// The hypergraph joined over.
-    pub fn graph(&self) -> &'a Hypergraph {
+    pub fn graph(&self) -> &'a Hypergraph<W> {
         self.graph
     }
 
     /// The catalog consulted for statistics.
-    pub fn catalog(&self) -> &'a Catalog {
+    pub fn catalog(&self) -> &'a Catalog<W> {
         self.catalog
     }
 
@@ -101,10 +103,10 @@ impl<'a, M: CostModel + ?Sized> JoinCombiner<'a, M> {
     /// to the [`DpTable`] (which interns the list only if the offer is accepted).
     pub fn combine<'e>(
         &self,
-        a: &SubPlanStats,
-        b: &SubPlanStats,
+        a: &SubPlanStats<W>,
+        b: &SubPlanStats<W>,
         edges: &'e [EdgeId],
-    ) -> Option<Candidate<'e>> {
+    ) -> Option<Candidate<'e, W>> {
         debug_assert!(a.set.is_disjoint(b.set));
         debug_assert_eq!(edges, self.graph.connecting_edges(a.set, b.set).as_slice());
         if edges.is_empty() {
@@ -138,7 +140,7 @@ impl<'a, M: CostModel + ?Sized> JoinCombiner<'a, M> {
 
         // Candidate orientations. Non-commutative operators are oriented by their defining
         // hyperedge: the edge's left hypernode belongs to the operator's left input (Sec. 5.4).
-        let mut orientations: [Option<(&SubPlanStats, &SubPlanStats)>; 2] = [None, None];
+        let mut orientations: [Option<(&SubPlanStats<W>, &SubPlanStats<W>)>; 2] = [None, None];
         if op.is_commutative() {
             orientations[0] = Some((a, b));
             orientations[1] = Some((b, a));
@@ -162,7 +164,7 @@ impl<'a, M: CostModel + ?Sized> JoinCombiner<'a, M> {
             (NodeSet::EMPTY, NodeSet::EMPTY)
         };
 
-        let mut best: Option<Candidate<'e>> = None;
+        let mut best: Option<Candidate<'e, W>> = None;
         for (outer, inner) in orientations.into_iter().flatten() {
             if self.enforce_tes && !self.tes_orientation_ok(edges, outer.set, inner.set) {
                 continue;
@@ -190,7 +192,7 @@ impl<'a, M: CostModel + ?Sized> JoinCombiner<'a, M> {
             } else {
                 op
             };
-            let cardinality = CardinalityEstimator::join_with_selectivity(
+            let cardinality = crate::cardinality::join_cardinality(
                 actual_op,
                 outer.cardinality,
                 inner.cardinality,
@@ -218,7 +220,7 @@ impl<'a, M: CostModel + ?Sized> JoinCombiner<'a, M> {
         best
     }
 
-    fn tes_satisfied(&self, edges: &[EdgeId], s1: NodeSet, s2: NodeSet) -> bool {
+    fn tes_satisfied(&self, edges: &[EdgeId], s1: NodeSet<W>, s2: NodeSet<W>) -> bool {
         let union = s1 | s2;
         edges.iter().all(|&e| {
             let tes = self.catalog.edge_annotation(e).tes();
@@ -226,7 +228,7 @@ impl<'a, M: CostModel + ?Sized> JoinCombiner<'a, M> {
         })
     }
 
-    fn tes_orientation_ok(&self, edges: &[EdgeId], outer: NodeSet, inner: NodeSet) -> bool {
+    fn tes_orientation_ok(&self, edges: &[EdgeId], outer: NodeSet<W>, inner: NodeSet<W>) -> bool {
         edges.iter().all(|&e| {
             let ann = self.catalog.edge_annotation(e);
             if ann.op.is_inner() || ann.op.is_commutative() {
@@ -244,17 +246,20 @@ impl<'a, M: CostModel + ?Sized> JoinCombiner<'a, M> {
 /// Generic over the cost model like [`JoinCombiner`]; a concrete `M` makes the whole
 /// pair-processing path — connecting-edge collection into a reused buffer, candidate
 /// construction, cost call, table offer — free of virtual dispatch and allocation.
-pub struct CostBasedHandler<'a, M: CostModel + ?Sized = dyn CostModel> {
-    combiner: JoinCombiner<'a, M>,
-    table: DpTable,
+pub struct CostBasedHandler<'a, M: ?Sized = dyn CostModel, const W: usize = 1>
+where
+    M: CostModel<W>,
+{
+    combiner: JoinCombiner<'a, M, W>,
+    table: DpTable<W>,
     /// Reused connecting-edge buffer; one `emit_ccp` at a time borrows it.
     edge_buf: Vec<EdgeId>,
     ccps: usize,
 }
 
-impl<'a, M: CostModel + ?Sized> CostBasedHandler<'a, M> {
+impl<'a, M: CostModel<W> + ?Sized, const W: usize> CostBasedHandler<'a, M, W> {
     /// Creates a handler over an empty DP table.
-    pub fn new(combiner: JoinCombiner<'a, M>) -> Self {
+    pub fn new(combiner: JoinCombiner<'a, M, W>) -> Self {
         CostBasedHandler {
             combiner,
             table: DpTable::new(),
@@ -264,32 +269,32 @@ impl<'a, M: CostModel + ?Sized> CostBasedHandler<'a, M> {
     }
 
     /// The underlying DP table.
-    pub fn table(&self) -> &DpTable {
+    pub fn table(&self) -> &DpTable<W> {
         &self.table
     }
 
     /// Consumes the handler and returns the DP table.
-    pub fn into_table(self) -> DpTable {
+    pub fn into_table(self) -> DpTable<W> {
         self.table
     }
 
     /// The combiner used by this handler.
-    pub fn combiner(&self) -> &JoinCombiner<'a, M> {
+    pub fn combiner(&self) -> &JoinCombiner<'a, M, W> {
         &self.combiner
     }
 }
 
-impl<M: CostModel + ?Sized> CcpHandler for CostBasedHandler<'_, M> {
+impl<M: CostModel<W> + ?Sized, const W: usize> CcpHandler<W> for CostBasedHandler<'_, M, W> {
     fn init_leaf(&mut self, relation: NodeId) {
         let card = self.combiner.catalog().cardinality(relation);
         self.table.insert_leaf(relation, card);
     }
 
-    fn contains(&self, set: NodeSet) -> bool {
+    fn contains(&self, set: NodeSet<W>) -> bool {
         self.table.contains(set)
     }
 
-    fn emit_ccp(&mut self, s1: NodeSet, s2: NodeSet) {
+    fn emit_ccp(&mut self, s1: NodeSet<W>, s2: NodeSet<W>) {
         self.ccps += 1;
         let (a, b) = match (self.table.get(s1), self.table.get(s2)) {
             (Some(a), Some(b)) => (a.stats(), b.stats()),
@@ -317,26 +322,35 @@ impl<M: CostModel + ?Sized> CcpHandler for CostBasedHandler<'_, M> {
 /// A handler that only records which csg-cmp-pairs were emitted. Used to validate enumeration
 /// algorithms against the brute-force oracle and to measure search-space sizes without paying
 /// for plan construction.
-#[derive(Clone, Debug, Default)]
-pub struct CountingHandler {
-    connected: HashSet<NodeSet>,
-    pairs: Vec<(NodeSet, NodeSet)>,
+#[derive(Clone, Debug)]
+pub struct CountingHandler<const W: usize = 1> {
+    connected: HashSet<NodeSet<W>>,
+    pairs: Vec<(NodeSet<W>, NodeSet<W>)>,
 }
 
-impl CountingHandler {
+impl<const W: usize> Default for CountingHandler<W> {
+    fn default() -> Self {
+        CountingHandler {
+            connected: HashSet::new(),
+            pairs: Vec::new(),
+        }
+    }
+}
+
+impl<const W: usize> CountingHandler<W> {
     /// Creates an empty counting handler.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// All emitted pairs in emission order.
-    pub fn pairs(&self) -> &[(NodeSet, NodeSet)] {
+    pub fn pairs(&self) -> &[(NodeSet<W>, NodeSet<W>)] {
         &self.pairs
     }
 
     /// The emitted pairs in canonical form (`min(S1) ≺ min(S2)`), sorted — directly comparable
     /// with `qo_hypergraph::enumerate_ccps`.
-    pub fn canonical_pairs(&self) -> Vec<(NodeSet, NodeSet)> {
+    pub fn canonical_pairs(&self) -> Vec<(NodeSet<W>, NodeSet<W>)> {
         let mut v: Vec<_> = self
             .pairs
             .iter()
@@ -353,16 +367,16 @@ impl CountingHandler {
     }
 }
 
-impl CcpHandler for CountingHandler {
+impl<const W: usize> CcpHandler<W> for CountingHandler<W> {
     fn init_leaf(&mut self, relation: NodeId) {
         self.connected.insert(NodeSet::single(relation));
     }
 
-    fn contains(&self, set: NodeSet) -> bool {
+    fn contains(&self, set: NodeSet<W>) -> bool {
         self.connected.contains(&set)
     }
 
-    fn emit_ccp(&mut self, s1: NodeSet, s2: NodeSet) {
+    fn emit_ccp(&mut self, s1: NodeSet<W>, s2: NodeSet<W>) {
         self.connected.insert(s1 | s2);
         self.pairs.push((s1, s2));
     }

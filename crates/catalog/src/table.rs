@@ -6,13 +6,16 @@
 //!
 //! * **SipHash + bucket indirection.** Plan classes live in one contiguous arena
 //!   ([`DpTable::classes`] iterates it in insertion order) and are found through a hand-rolled
-//!   open-addressing slot map from the raw 64-bit set mask to a `u32` arena index, hashed with
-//!   the FxHash-style finalizer of [`NodeSet::hash64`]. Lookups touch one flat array with
-//!   linear probing — no SipHash rounds, no `(hash, key, value)` buckets.
+//!   open-addressing slot map from the raw set mask to a `u32` arena index, hashed with the
+//!   FxHash-style finalizer of [`NodeSet::hash64`] (which folds every mask word). Lookups touch
+//!   one flat array with linear probing — no SipHash rounds, no `(hash, key, value)` buckets.
 //! * **Per-offer `Vec<EdgeId>` clones.** The connecting-predicate list of a join is interned
 //!   into a shared arena ([`EdgeListRef`] is an 8-byte handle, hash-consed so equal lists are
 //!   stored once); a rejected [`DpTable::offer`] allocates nothing, and [`PlanClass`] becomes
 //!   `Copy`, which in turn lets every enumeration algorithm read table entries without cloning.
+//!
+//! Every type is generic over the mask width `W` (one word by default): a `DpTable<2>` memoizes
+//! plan classes for queries of up to 128 relations with the same layout and probing scheme.
 
 use crate::cost::SubPlanStats;
 use qo_bitset::{NodeId, NodeSet};
@@ -42,11 +45,11 @@ impl EdgeListRef {
 
 /// The root join of the best plan of a [`PlanClass`].
 #[derive(Clone, Copy, Debug, PartialEq)]
-pub struct BestJoin {
+pub struct BestJoin<const W: usize = 1> {
     /// Relations of the left input class.
-    pub left: NodeSet,
+    pub left: NodeSet<W>,
     /// Relations of the right input class.
-    pub right: NodeSet,
+    pub right: NodeSet<W>,
     /// Operator applied at the root (already turned into its dependent variant if required).
     pub op: JoinOp,
     /// Hyperedge ids whose predicates are evaluated at this join, interned in the owning
@@ -56,23 +59,23 @@ pub struct BestJoin {
 
 /// The best plan known for one set of relations (a "plan class").
 ///
-/// Plan classes are plain 48-byte `Copy` values: enumeration algorithms read them out of the
-/// table by value instead of cloning heap-backed structs.
+/// Plan classes are plain `Copy` values (48 bytes at the default width): enumeration algorithms
+/// read them out of the table by value instead of cloning heap-backed structs.
 #[derive(Clone, Copy, Debug, PartialEq)]
-pub struct PlanClass {
+pub struct PlanClass<const W: usize = 1> {
     /// The relations covered by this class.
-    pub set: NodeSet,
+    pub set: NodeSet<W>,
     /// Estimated output cardinality of the class.
     pub cardinality: f64,
     /// Cost of the best plan found so far.
     pub cost: f64,
     /// How the best plan combines its inputs; `None` for base relations.
-    pub best_join: Option<BestJoin>,
+    pub best_join: Option<BestJoin<W>>,
 }
 
-impl PlanClass {
+impl<const W: usize> PlanClass<W> {
     /// The class viewed as sub-plan statistics (the combiner's input currency).
-    pub fn stats(&self) -> SubPlanStats {
+    pub fn stats(&self) -> SubPlanStats<W> {
         SubPlanStats {
             set: self.set,
             cardinality: self.cardinality,
@@ -84,22 +87,22 @@ impl PlanClass {
 /// A candidate plan class produced by the combiner, not yet memoized: its predicate list still
 /// borrows the caller's connecting-edge buffer and is only interned if the offer is accepted.
 #[derive(Clone, Copy, Debug)]
-pub struct Candidate<'e> {
+pub struct Candidate<'e, const W: usize = 1> {
     /// The relations covered by the candidate.
-    pub set: NodeSet,
+    pub set: NodeSet<W>,
     /// Estimated output cardinality.
     pub cardinality: f64,
     /// Cost of the candidate plan.
     pub cost: f64,
     /// The root join; `None` never occurs for combiner output but keeps the type parallel to
     /// [`PlanClass`].
-    pub join: Option<CandidateJoin<'e>>,
+    pub join: Option<CandidateJoin<'e, W>>,
 }
 
-impl Candidate<'_> {
+impl<const W: usize> Candidate<'_, W> {
     /// The candidate viewed as sub-plan statistics (for chaining combinations without going
     /// through the table).
-    pub fn stats(&self) -> SubPlanStats {
+    pub fn stats(&self) -> SubPlanStats<W> {
         SubPlanStats {
             set: self.set,
             cardinality: self.cardinality,
@@ -110,54 +113,64 @@ impl Candidate<'_> {
 
 /// The root join of a [`Candidate`].
 #[derive(Clone, Copy, Debug)]
-pub struct CandidateJoin<'e> {
+pub struct CandidateJoin<'e, const W: usize = 1> {
     /// Relations of the left input class.
-    pub left: NodeSet,
+    pub left: NodeSet<W>,
     /// Relations of the right input class.
-    pub right: NodeSet,
+    pub right: NodeSet<W>,
     /// Operator applied at the root.
     pub op: JoinOp,
     /// Hyperedge ids whose predicates are evaluated at this join.
     pub predicates: &'e [EdgeId],
 }
 
-/// Open-addressing map from raw non-zero set masks to `u32` arena indexes.
+/// Open-addressing map from non-empty relation-set keys to `u32` arena indexes.
 ///
-/// Mask `0` (the empty relation set, never a valid plan-class key) doubles as the vacancy
-/// sentinel, so a slot is a bare `(u64, u32)` pair and probing is branch-light.
+/// The empty set — never a valid plan-class key — doubles as the vacancy sentinel, so a slot is
+/// a bare `(NodeSet<W>, u32)` pair and probing is branch-light. The convention is confined to
+/// [`SlotMap::is_vacant`]: vacancy means *all* words of the stored key are zero, which keeps
+/// multi-word keys whose low word happens to be zero (e.g. `{R64}`) distinct from vacancies.
 #[derive(Clone, Debug)]
-struct SlotMap {
-    masks: Vec<u64>,
+struct SlotMap<const W: usize> {
+    keys: Vec<NodeSet<W>>,
     slots: Vec<u32>,
     len: usize,
     /// log2 of the table size; kept so indexing can use the well-mixed high hash bits.
     bits: u32,
 }
 
-impl SlotMap {
+impl<const W: usize> SlotMap<W> {
     const INITIAL_BITS: u32 = 6; // 64 slots
 
     fn new() -> Self {
         SlotMap {
-            masks: vec![0; 1 << Self::INITIAL_BITS],
+            keys: vec![NodeSet::EMPTY; 1 << Self::INITIAL_BITS],
             slots: vec![0; 1 << Self::INITIAL_BITS],
             len: 0,
             bits: Self::INITIAL_BITS,
         }
     }
 
+    /// Is this stored key the vacancy sentinel (the empty set, i.e. every word zero)?
     #[inline]
-    fn get(&self, set: NodeSet) -> Option<u32> {
-        let mask = set.mask();
-        debug_assert!(mask != 0, "the empty set is never a plan-class key");
-        let cap_mask = self.masks.len() - 1;
+    fn is_vacant(key: NodeSet<W>) -> bool {
+        key.is_empty()
+    }
+
+    #[inline]
+    fn get(&self, set: NodeSet<W>) -> Option<u32> {
+        debug_assert!(
+            !Self::is_vacant(set),
+            "the empty set is never a plan-class key"
+        );
+        let cap_mask = self.keys.len() - 1;
         let mut i = set.hash_index(self.bits);
         loop {
-            let m = self.masks[i];
-            if m == mask {
+            let k = self.keys[i];
+            if k == set {
                 return Some(self.slots[i]);
             }
-            if m == 0 {
+            if Self::is_vacant(k) {
                 return None;
             }
             i = (i + 1) & cap_mask;
@@ -165,38 +178,41 @@ impl SlotMap {
     }
 
     /// Inserts a new key. The caller guarantees `set` is not present.
-    fn insert(&mut self, set: NodeSet, slot: u32) {
-        debug_assert!(set.mask() != 0, "the empty set is never a plan-class key");
+    fn insert(&mut self, set: NodeSet<W>, slot: u32) {
+        debug_assert!(
+            !Self::is_vacant(set),
+            "the empty set is never a plan-class key"
+        );
         debug_assert!(self.get(set).is_none(), "duplicate slot-map insert");
         // Grow at 3/4 load to keep probe sequences short.
-        if (self.len + 1) * 4 > self.masks.len() * 3 {
+        if (self.len + 1) * 4 > self.keys.len() * 3 {
             self.grow();
         }
-        let cap_mask = self.masks.len() - 1;
+        let cap_mask = self.keys.len() - 1;
         let mut i = set.hash_index(self.bits);
-        while self.masks[i] != 0 {
+        while !Self::is_vacant(self.keys[i]) {
             i = (i + 1) & cap_mask;
         }
-        self.masks[i] = set.mask();
+        self.keys[i] = set;
         self.slots[i] = slot;
         self.len += 1;
     }
 
     fn grow(&mut self) {
-        let old_masks = std::mem::take(&mut self.masks);
+        let old_keys = std::mem::take(&mut self.keys);
         let old_slots = std::mem::take(&mut self.slots);
         self.bits += 1;
         let cap = 1 << self.bits;
-        self.masks = vec![0; cap];
+        self.keys = vec![NodeSet::EMPTY; cap];
         self.slots = vec![0; cap];
         let cap_mask = cap - 1;
-        for (m, s) in old_masks.into_iter().zip(old_slots) {
-            if m != 0 {
-                let mut i = NodeSet::from_mask(m).hash_index(self.bits);
-                while self.masks[i] != 0 {
+        for (k, s) in old_keys.into_iter().zip(old_slots) {
+            if !Self::is_vacant(k) {
+                let mut i = k.hash_index(self.bits);
+                while !Self::is_vacant(self.keys[i]) {
                     i = (i + 1) & cap_mask;
                 }
-                self.masks[i] = m;
+                self.keys[i] = k;
                 self.slots[i] = s;
             }
         }
@@ -293,19 +309,19 @@ impl EdgeListInterner {
 /// enumeration algorithms need: leaf seeding, membership tests, candidate offers and plan
 /// reconstruction.
 #[derive(Clone, Debug)]
-pub struct DpTable {
-    map: SlotMap,
-    classes: Vec<PlanClass>,
+pub struct DpTable<const W: usize = 1> {
+    map: SlotMap<W>,
+    classes: Vec<PlanClass<W>>,
     predicates: EdgeListInterner,
 }
 
-impl Default for DpTable {
+impl<const W: usize> Default for DpTable<W> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl DpTable {
+impl<const W: usize> DpTable<W> {
     /// Creates an empty table.
     pub fn new() -> Self {
         DpTable {
@@ -327,13 +343,13 @@ impl DpTable {
 
     /// Does the table contain a plan for `set`?
     #[inline]
-    pub fn contains(&self, set: NodeSet) -> bool {
+    pub fn contains(&self, set: NodeSet<W>) -> bool {
         !set.is_empty() && self.map.get(set).is_some()
     }
 
     /// The plan class for `set`, if any.
     #[inline]
-    pub fn get(&self, set: NodeSet) -> Option<&PlanClass> {
+    pub fn get(&self, set: NodeSet<W>) -> Option<&PlanClass<W>> {
         if set.is_empty() {
             return None;
         }
@@ -341,7 +357,7 @@ impl DpTable {
     }
 
     /// Iterates over all memoized classes in insertion order.
-    pub fn classes(&self) -> impl Iterator<Item = &PlanClass> {
+    pub fn classes(&self) -> impl Iterator<Item = &PlanClass<W>> {
         self.classes.iter()
     }
 
@@ -352,7 +368,7 @@ impl DpTable {
     }
 
     /// The predicate edge ids of a class's best join (empty for leaf classes).
-    pub fn best_join_predicates(&self, class: &PlanClass) -> &[EdgeId] {
+    pub fn best_join_predicates(&self, class: &PlanClass<W>) -> &[EdgeId] {
         match class.best_join {
             Some(join) => self.edge_list(join.predicates),
             None => &[],
@@ -382,7 +398,7 @@ impl DpTable {
     /// Offers a candidate plan class; it replaces the memoized one if it is cheaper (or if the
     /// set was unknown). Returns `true` if the candidate was accepted. On equal cost the
     /// incumbent wins, so the first plan found at a given cost is kept.
-    pub fn offer(&mut self, candidate: Candidate<'_>) -> bool {
+    pub fn offer(&mut self, candidate: Candidate<'_, W>) -> bool {
         match self.map.get(candidate.set) {
             Some(i) => {
                 if candidate.cost < self.classes[i as usize].cost {
@@ -404,7 +420,7 @@ impl DpTable {
     }
 
     /// Interns an accepted candidate's predicate list and builds its stored class.
-    fn admit(&mut self, candidate: Candidate<'_>) -> PlanClass {
+    fn admit(&mut self, candidate: Candidate<'_, W>) -> PlanClass<W> {
         let best_join = candidate.join.map(|j| BestJoin {
             left: j.left,
             right: j.right,
@@ -420,7 +436,7 @@ impl DpTable {
     }
 
     /// Reconstructs the full plan tree for `set` from the memoized join decisions.
-    pub fn reconstruct(&self, set: NodeSet) -> Option<PlanNode> {
+    pub fn reconstruct(&self, set: NodeSet<W>) -> Option<PlanNode> {
         let class = self.get(set)?;
         match class.best_join {
             None => {
@@ -446,12 +462,17 @@ impl DpTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qo_bitset::NodeSet128;
 
     fn ns(v: &[usize]) -> NodeSet {
         v.iter().copied().collect()
     }
 
-    fn candidate(set: NodeSet, cost: f64, predicates: &[EdgeId]) -> Candidate<'_> {
+    fn candidate<const W: usize>(
+        set: NodeSet<W>,
+        cost: f64,
+        predicates: &[EdgeId],
+    ) -> Candidate<'_, W> {
         let left = set.min_singleton();
         Candidate {
             set,
@@ -468,7 +489,7 @@ mod tests {
 
     #[test]
     fn leaf_insert_get_contains() {
-        let mut t = DpTable::new();
+        let mut t = DpTable::<1>::new();
         assert!(t.is_empty());
         assert!(!t.contains(NodeSet::EMPTY));
         assert!(t.get(NodeSet::EMPTY).is_none());
@@ -484,7 +505,7 @@ mod tests {
 
     #[test]
     fn leaf_reinsertion_resets_the_class() {
-        let mut t = DpTable::new();
+        let mut t = DpTable::<1>::new();
         t.insert_leaf(0, 100.0);
         t.insert_leaf(1, 100.0);
         assert!(t.offer(candidate(ns(&[0, 1]), 42.0, &[7])));
@@ -499,7 +520,7 @@ mod tests {
 
     #[test]
     fn offer_keeps_the_cheapest_and_breaks_ties_for_the_incumbent() {
-        let mut t = DpTable::new();
+        let mut t = DpTable::<1>::new();
         assert!(t.offer(candidate(ns(&[0, 1]), 100.0, &[0])));
         // Cheaper: replaces.
         assert!(t.offer(candidate(ns(&[0, 1]), 10.0, &[1])));
@@ -518,7 +539,7 @@ mod tests {
 
     #[test]
     fn equal_edge_lists_are_interned_once() {
-        let mut t = DpTable::new();
+        let mut t = DpTable::<1>::new();
         assert!(t.offer(candidate(ns(&[0, 1]), 5.0, &[3, 8])));
         assert!(t.offer(candidate(ns(&[0, 2]), 5.0, &[3, 8])));
         assert!(t.offer(candidate(ns(&[1, 2]), 5.0, &[4])));
@@ -536,7 +557,7 @@ mod tests {
     #[test]
     fn slot_map_survives_growth_with_many_classes() {
         // Enough classes to force several slot-map and interner growth steps.
-        let mut t = DpTable::new();
+        let mut t = DpTable::<1>::new();
         for r in 0..16 {
             t.insert_leaf(r, 1.0 + r as f64);
         }
@@ -568,7 +589,7 @@ mod tests {
 
     #[test]
     fn reconstruct_resolves_interned_predicates() {
-        let mut t = DpTable::new();
+        let mut t = DpTable::<1>::new();
         t.insert_leaf(0, 10.0);
         t.insert_leaf(1, 20.0);
         t.insert_leaf(2, 30.0);
@@ -603,12 +624,85 @@ mod tests {
     #[test]
     fn max_nodes_boundary_sets_are_usable_keys() {
         // Bit 63 and the full 64-relation mask must hash, store and compare correctly.
-        let mut t = DpTable::new();
+        let mut t = DpTable::<1>::new();
         t.insert_leaf(63, 5.0);
         assert!(t.contains(NodeSet::single(63)));
         let full = NodeSet::first_n(64);
         assert!(t.offer(candidate(full, 1.0, &[0])));
         assert!(t.contains(full));
         assert_eq!(t.get(full).unwrap().set, full);
+    }
+
+    #[test]
+    fn vacancy_sentinel_is_all_words_zero_not_low_word_zero() {
+        // The empty-adjacent keys of the wide tier: sets whose *low* word is zero (every member
+        // lives in the high word) must not be mistaken for vacant slots, and sets whose high
+        // word is zero must not collide with their single-word twins' storage convention.
+        let mut t = DpTable::<2>::new();
+        let low_word_zero = NodeSet128::single(64); // words [0, 1]
+        let high_word_zero = NodeSet128::single(0); // words [1, 0]
+        let straddling: NodeSet128 = [63, 64].into_iter().collect();
+        t.insert_leaf(64, 11.0);
+        t.insert_leaf(0, 22.0);
+        assert!(
+            t.contains(low_word_zero),
+            "low-word-zero key must be stored"
+        );
+        assert!(t.contains(high_word_zero));
+        assert_eq!(t.get(low_word_zero).unwrap().cardinality, 11.0);
+        assert_eq!(t.get(high_word_zero).unwrap().cardinality, 22.0);
+        assert!(t.offer(candidate(straddling, 3.0, &[0])));
+        assert!(t.contains(straddling));
+        // Lookups of absent empty-adjacent keys terminate at a vacancy instead of cycling.
+        assert!(!t.contains(NodeSet128::single(65)));
+        assert!(!t.contains(NodeSet128::single(1)));
+        assert!(!t.contains(NodeSet128::EMPTY));
+        assert!(t.get(NodeSet128::EMPTY).is_none());
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn wide_slot_map_survives_growth_with_high_word_keys() {
+        // Force growth with keys spread over both words, including many with a zero low word.
+        let mut t = DpTable::<2>::new();
+        for r in 0..128 {
+            t.insert_leaf(r, r as f64 + 1.0);
+        }
+        assert_eq!(t.len(), 128);
+        for r in 0..128 {
+            let c = t.get(NodeSet128::single(r)).expect("leaf survived growth");
+            assert_eq!(c.cardinality, r as f64 + 1.0);
+        }
+        // Pairs straddling the boundary remain addressable too.
+        for r in 0..64 {
+            let pair: NodeSet128 = [r, r + 64].into_iter().collect();
+            assert!(t.offer(candidate(pair, r as f64, &[r])));
+        }
+        for r in 0..64 {
+            let pair: NodeSet128 = [r, r + 64].into_iter().collect();
+            assert_eq!(t.get(pair).expect("pair present").set, pair);
+        }
+    }
+
+    #[test]
+    fn wide_reconstruct_crosses_the_word_boundary() {
+        let mut t = DpTable::<2>::new();
+        t.insert_leaf(63, 10.0);
+        t.insert_leaf(64, 20.0);
+        let pair: NodeSet128 = [63, 64].into_iter().collect();
+        assert!(t.offer(Candidate {
+            set: pair,
+            cardinality: 5.0,
+            cost: 5.0,
+            join: Some(CandidateJoin {
+                left: NodeSet128::single(63),
+                right: NodeSet128::single(64),
+                op: JoinOp::Inner,
+                predicates: &[0],
+            }),
+        }));
+        let plan = t.reconstruct(pair).expect("plan reconstructs");
+        assert_eq!(plan.relations_wide::<2>(), pair);
+        assert_eq!(plan.join_count(), 1);
     }
 }

@@ -23,14 +23,17 @@ use qo_hypergraph::Hypergraph;
 ///
 /// The enumerator borrows the hypergraph and a [`CcpHandler`]; the handler decides what a
 /// csg-cmp-pair *means* (building plans, counting, checking TESs, …).
-pub struct DpHyp<'a, H: CcpHandler> {
-    graph: &'a Hypergraph,
+pub struct DpHyp<'a, H, const W: usize = 1>
+where
+    H: CcpHandler<W>,
+{
+    graph: &'a Hypergraph<W>,
     handler: &'a mut H,
 }
 
-impl<'a, H: CcpHandler> DpHyp<'a, H> {
+impl<'a, H: CcpHandler<W>, const W: usize> DpHyp<'a, H, W> {
     /// Creates an enumerator over `graph` reporting to `handler`.
-    pub fn new(graph: &'a Hypergraph, handler: &'a mut H) -> Self {
+    pub fn new(graph: &'a Hypergraph<W>, handler: &'a mut H) -> Self {
         DpHyp { graph, handler }
     }
 
@@ -53,7 +56,7 @@ impl<'a, H: CcpHandler> DpHyp<'a, H> {
     }
 
     /// `EnumerateCsgRec`: extends the connected set `s1` by subsets of its neighborhood.
-    fn enumerate_csg_rec(&mut self, s1: NodeSet, x: NodeSet) {
+    fn enumerate_csg_rec(&mut self, s1: NodeSet<W>, x: NodeSet<W>) {
         let neighborhood = self.graph.neighborhood(s1, x);
         if neighborhood.is_empty() {
             return;
@@ -73,7 +76,7 @@ impl<'a, H: CcpHandler> DpHyp<'a, H> {
 
     /// `EmitCsg`: for a connected set `s1`, finds all seed nodes of potential complements and
     /// starts their recursive expansion.
-    fn emit_csg(&mut self, s1: NodeSet) {
+    fn emit_csg(&mut self, s1: NodeSet<W>) {
         let min = s1.min_node().expect("EmitCsg called with an empty set");
         let x = s1 | NodeSet::prefix_through(min);
         let neighborhood = self.graph.neighborhood(s1, x);
@@ -96,7 +99,7 @@ impl<'a, H: CcpHandler> DpHyp<'a, H> {
 
     /// `EnumerateCmpRec`: extends the complement `s2` by subsets of its neighborhood, emitting a
     /// csg-cmp-pair whenever the grown complement is connected and linked to `s1`.
-    fn enumerate_cmp_rec(&mut self, s1: NodeSet, s2: NodeSet, x: NodeSet) {
+    fn enumerate_cmp_rec(&mut self, s1: NodeSet<W>, s2: NodeSet<W>, x: NodeSet<W>) {
         let neighborhood = self.graph.neighborhood(s2, x);
         if neighborhood.is_empty() {
             return;
@@ -115,8 +118,9 @@ impl<'a, H: CcpHandler> DpHyp<'a, H> {
 }
 
 /// Convenience: runs DPhyp with a [`CountingHandler`] and returns it. Used by tests, the
-/// search-space statistics of the optimizer and the ablation benchmarks.
-pub fn count_ccps_dphyp(graph: &Hypergraph) -> CountingHandler {
+/// search-space statistics of the optimizer and the ablation benchmarks. Generic over the mask
+/// width like the enumerator itself.
+pub fn count_ccps_dphyp<const W: usize>(graph: &Hypergraph<W>) -> CountingHandler<W> {
     let mut handler = CountingHandler::new();
     DpHyp::new(graph, &mut handler).run();
     handler
@@ -201,7 +205,7 @@ mod tests {
 
     #[test]
     fn single_relation_has_no_pairs() {
-        let g = Hypergraph::builder(1).build();
+        let g = Hypergraph::<1>::builder(1).build();
         let h = count_ccps_dphyp(&g);
         assert_eq!(h.ccp_count(), 0);
     }

@@ -44,14 +44,16 @@
 
 pub mod enumerate;
 mod optimizer;
+mod query;
 
 pub use enumerate::{count_ccps_dphyp, DpHyp};
 pub use optimizer::{
     optimize, CostModelKind, OptimizeError, Optimized, Optimizer, OptimizerOptions,
 };
+pub use query::{optimize_spec, QuerySpec, QuerySpecBuilder, MAX_WIDE_NODES};
 
 pub use qo_algebra::{ConflictEncoding, OpTree, Predicate};
-pub use qo_bitset::{NodeId, NodeSet};
+pub use qo_bitset::{NodeId, NodeSet, NodeSet128, NodeSet64};
 pub use qo_catalog::{Catalog, CostModel, CoutCost, MixedCost};
 pub use qo_hypergraph::{Hyperedge, Hypergraph};
 pub use qo_plan::{JoinOp, PlanNode};

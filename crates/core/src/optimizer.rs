@@ -52,6 +52,14 @@ pub enum OptimizeError {
         /// Size of the largest connected relation set found.
         largest_covered: usize,
     },
+    /// The query has more relations than the widest compiled mask width supports
+    /// (see [`crate::MAX_WIDE_NODES`]).
+    TooManyRelations {
+        /// Relations in the query.
+        count: usize,
+        /// Largest supported relation count.
+        max: usize,
+    },
 }
 
 impl fmt::Display for OptimizeError {
@@ -62,6 +70,10 @@ impl fmt::Display for OptimizeError {
             OptimizeError::NoCompletePlan { largest_covered } => write!(
                 f,
                 "no cross-product-free plan covers all relations (largest connected set: {largest_covered} relations)"
+            ),
+            OptimizeError::TooManyRelations { count, max } => write!(
+                f,
+                "query has {count} relations but the widest compiled node-set width supports {max}"
             ),
         }
     }
@@ -115,10 +127,16 @@ impl Optimizer {
     /// This is the entry point for inner-join queries and for callers that build their
     /// hypergraph themselves (e.g. the benchmark workloads). Non-inner operators are honored if
     /// the catalog's edge annotations carry them.
-    pub fn optimize_hypergraph(
+    ///
+    /// Generic over the mask width `W`: existing single-word callers are unchanged (the width
+    /// is inferred from the graph), and `Hypergraph<2>` queries of up to 128 relations run the
+    /// same monomorphized enumeration over two-word masks. Callers that only have a
+    /// width-agnostic [`crate::QuerySpec`] should use [`Optimizer::optimize_spec`], which picks
+    /// the width once per optimization.
+    pub fn optimize_hypergraph<const W: usize>(
         &self,
-        graph: &Hypergraph,
-        catalog: &Catalog,
+        graph: &Hypergraph<W>,
+        catalog: &Catalog<W>,
     ) -> Result<Optimized, OptimizeError> {
         catalog
             .validate_for(graph)
@@ -152,10 +170,10 @@ impl Optimizer {
     /// Like [`Optimizer::optimize_hypergraph`] but with a caller-provided cost model. Concrete
     /// model types get a fully monomorphized enumeration; `&dyn CostModel` still works for
     /// models chosen at runtime.
-    pub fn optimize_hypergraph_with_model<M: CostModel + ?Sized>(
+    pub fn optimize_hypergraph_with_model<M: CostModel<W> + ?Sized, const W: usize>(
         &self,
-        graph: &Hypergraph,
-        catalog: &Catalog,
+        graph: &Hypergraph<W>,
+        catalog: &Catalog<W>,
         cost_model: &M,
     ) -> Result<Optimized, OptimizeError> {
         catalog
@@ -168,9 +186,9 @@ impl Optimizer {
 
 /// Shared optimization driver used by the facade (and, through re-export, by the benchmark
 /// harness for the generate-and-test comparison). Monomorphized per cost model.
-pub(crate) fn optimize_graph_with<M: CostModel + ?Sized>(
-    graph: &Hypergraph,
-    catalog: &Catalog,
+pub(crate) fn optimize_graph_with<M: CostModel<W> + ?Sized, const W: usize>(
+    graph: &Hypergraph<W>,
+    catalog: &Catalog<W>,
     cost_model: &M,
     enforce_tes: bool,
 ) -> Result<Optimized, OptimizeError> {
@@ -197,8 +215,11 @@ pub(crate) fn optimize_graph_with<M: CostModel + ?Sized>(
 }
 
 /// Convenience shorthand: optimizes an annotated hypergraph with default options and the `C_out`
-/// cost model.
-pub fn optimize(graph: &Hypergraph, catalog: &Catalog) -> Result<Optimized, OptimizeError> {
+/// cost model. Generic over the mask width like [`Optimizer::optimize_hypergraph`].
+pub fn optimize<const W: usize>(
+    graph: &Hypergraph<W>,
+    catalog: &Catalog<W>,
+) -> Result<Optimized, OptimizeError> {
     Optimizer::new(OptimizerOptions::default()).optimize_hypergraph(graph, catalog)
 }
 
@@ -326,7 +347,7 @@ mod tests {
 
     #[test]
     fn reports_missing_complete_plan_for_disconnected_queries() {
-        let mut b = Hypergraph::builder(4);
+        let mut b = Hypergraph::<1>::builder(4);
         b.add_simple_edge(0, 1);
         b.add_simple_edge(2, 3);
         let g = b.build();
@@ -338,7 +359,7 @@ mod tests {
 
     #[test]
     fn rejects_mismatched_catalog() {
-        let mut b = Hypergraph::builder(3);
+        let mut b = Hypergraph::<1>::builder(3);
         b.add_simple_edge(0, 1);
         b.add_simple_edge(1, 2);
         let g = b.build();
@@ -485,7 +506,7 @@ mod tests {
     #[test]
     fn per_edge_operator_annotations_work_without_the_tree_pipeline() {
         // Manually annotate a hypergraph edge with a left outer join.
-        let mut b = Hypergraph::builder(2);
+        let mut b = Hypergraph::<1>::builder(2);
         b.add_simple_edge(0, 1);
         let g = b.build();
         let mut cb = Catalog::builder(2);

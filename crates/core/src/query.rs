@@ -1,0 +1,279 @@
+//! Width-agnostic query descriptions and the once-per-optimization width dispatch.
+//!
+//! Every planner-facing type in the workspace is generic over the node-set width `W` (words of
+//! 64 relations each), but a caller that parses a query does not want to commit to a width in
+//! its own signatures. [`QuerySpec`] stores the query shape with plain relation-id lists, and
+//! [`Optimizer::optimize_spec`](crate::Optimizer::optimize_spec) inspects the node count
+//! **once** per optimization:
+//!
+//! * `n ≤ 64` → instantiate `Hypergraph<1>`/`Catalog<1>` — the hot single-word path, compiled
+//!   to exactly the pre-widening code;
+//! * `64 < n ≤ 128` → instantiate the two-word `W = 2` tier;
+//! * beyond [`MAX_WIDE_NODES`] → a clean [`OptimizeError::TooManyRelations`] error instead of a
+//!   panic deep inside mask construction.
+//!
+//! The dispatch is deliberately *per optimization*, not per operation: after the branch, the
+//! whole enumeration (DPhyp, the DP table, the combiner) runs monomorphized for the chosen
+//! width with no width checks on the per-pair hot path.
+
+use crate::optimizer::{OptimizeError, Optimized, Optimizer};
+use qo_bitset::{NodeId, NodeSet, NodeSet128, NodeSet64};
+use qo_catalog::{Catalog, EdgeAnnotation};
+use qo_hypergraph::{Hyperedge, Hypergraph};
+use qo_plan::JoinOp;
+
+/// Largest relation count any compiled width supports (`W = 2`, two words).
+pub const MAX_WIDE_NODES: usize = NodeSet128::CAPACITY;
+
+/// One hyperedge of a width-agnostic query description.
+#[derive(Clone, Debug, PartialEq)]
+struct SpecEdge {
+    left: Vec<NodeId>,
+    right: Vec<NodeId>,
+    flex: Vec<NodeId>,
+    selectivity: f64,
+    op: JoinOp,
+}
+
+/// A width-agnostic query: relation statistics plus hyperedges, stored as plain id lists.
+///
+/// Build one with [`QuerySpec::builder`], then hand it to
+/// [`Optimizer::optimize_spec`](crate::Optimizer::optimize_spec) (or
+/// [`optimize_spec`](crate::optimize_spec)); the facade chooses the node-set width from the
+/// relation count. The per-width instantiation is also available directly via
+/// [`QuerySpec::instantiate`] for callers that drive the enumeration themselves (e.g. to run a
+/// baseline algorithm on the wide tier).
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    node_count: usize,
+    cardinalities: Vec<f64>,
+    lateral_refs: Vec<Vec<NodeId>>,
+    edges: Vec<SpecEdge>,
+}
+
+impl QuerySpec {
+    /// Starts building a spec over `node_count` relations.
+    pub fn builder(node_count: usize) -> QuerySpecBuilder {
+        QuerySpecBuilder {
+            spec: QuerySpec {
+                node_count,
+                cardinalities: vec![1000.0; node_count],
+                lateral_refs: vec![Vec::new(); node_count],
+                edges: Vec::new(),
+            },
+        }
+    }
+
+    /// Number of relations in the query.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of hyperedges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Materializes the spec at a concrete width.
+    ///
+    /// # Panics
+    /// Panics if the relation count (or any referenced id) exceeds the width's capacity; use
+    /// [`Optimizer::optimize_spec`](crate::Optimizer::optimize_spec) for the checked dispatch.
+    pub fn instantiate<const W: usize>(&self) -> (Hypergraph<W>, Catalog<W>) {
+        let mut gb = Hypergraph::<W>::builder(self.node_count);
+        for e in &self.edges {
+            let left: NodeSet<W> = e.left.iter().copied().collect();
+            let right: NodeSet<W> = e.right.iter().copied().collect();
+            let flex: NodeSet<W> = e.flex.iter().copied().collect();
+            gb.add_edge(Hyperedge::generalized(left, right, flex));
+        }
+        let mut cb = Catalog::<W>::builder(self.node_count);
+        for (r, &card) in self.cardinalities.iter().enumerate() {
+            cb.set_cardinality(r, card);
+        }
+        for (r, refs) in self.lateral_refs.iter().enumerate() {
+            if !refs.is_empty() {
+                cb.set_lateral_refs(r, refs.iter().copied().collect());
+            }
+        }
+        for (id, e) in self.edges.iter().enumerate() {
+            cb.annotate_edge(id, EdgeAnnotation::with_op(e.selectivity, e.op));
+        }
+        (gb.build(), cb.build())
+    }
+}
+
+/// Builder for [`QuerySpec`].
+#[derive(Clone, Debug)]
+pub struct QuerySpecBuilder {
+    spec: QuerySpec,
+}
+
+impl QuerySpecBuilder {
+    /// Sets the cardinality of a relation.
+    pub fn set_cardinality(&mut self, relation: NodeId, cardinality: f64) -> &mut Self {
+        self.spec.cardinalities[relation] = cardinality;
+        self
+    }
+
+    /// Sets the lateral references of a relation (table functions / dependent subqueries).
+    pub fn set_lateral_refs(&mut self, relation: NodeId, refs: &[NodeId]) -> &mut Self {
+        self.spec.lateral_refs[relation] = refs.to_vec();
+        self
+    }
+
+    /// Adds a simple inner-join edge `({a}, {b})` with the given selectivity.
+    pub fn add_simple_edge(&mut self, a: NodeId, b: NodeId, selectivity: f64) -> &mut Self {
+        self.add_edge(&[a], &[b], selectivity, JoinOp::Inner)
+    }
+
+    /// Adds a hyperedge `(left, right)` with the given selectivity and operator.
+    pub fn add_edge(
+        &mut self,
+        left: &[NodeId],
+        right: &[NodeId],
+        selectivity: f64,
+        op: JoinOp,
+    ) -> &mut Self {
+        self.spec.edges.push(SpecEdge {
+            left: left.to_vec(),
+            right: right.to_vec(),
+            flex: Vec::new(),
+            selectivity,
+            op,
+        });
+        self
+    }
+
+    /// Adds a generalized hyperedge `(left, right, flex)` (Def. 6) with the given selectivity.
+    pub fn add_generalized_edge(
+        &mut self,
+        left: &[NodeId],
+        right: &[NodeId],
+        flex: &[NodeId],
+        selectivity: f64,
+    ) -> &mut Self {
+        self.spec.edges.push(SpecEdge {
+            left: left.to_vec(),
+            right: right.to_vec(),
+            flex: flex.to_vec(),
+            selectivity,
+            op: JoinOp::Inner,
+        });
+        self
+    }
+
+    /// Finalizes the spec.
+    pub fn build(&self) -> QuerySpec {
+        self.spec.clone()
+    }
+}
+
+impl Optimizer {
+    /// Optimizes a width-agnostic [`QuerySpec`], dispatching on the node count **once**:
+    /// queries of up to 64 relations run the single-word (`W = 1`) enumeration, larger queries
+    /// up to [`MAX_WIDE_NODES`] run the two-word tier, and anything beyond returns
+    /// [`OptimizeError::TooManyRelations`].
+    pub fn optimize_spec(&self, spec: &QuerySpec) -> Result<Optimized, OptimizeError> {
+        let n = spec.node_count();
+        if n <= NodeSet64::CAPACITY {
+            let (graph, catalog) = spec.instantiate::<1>();
+            self.optimize_hypergraph(&graph, &catalog)
+        } else if n <= NodeSet128::CAPACITY {
+            let (graph, catalog) = spec.instantiate::<2>();
+            self.optimize_hypergraph(&graph, &catalog)
+        } else {
+            Err(OptimizeError::TooManyRelations {
+                count: n,
+                max: MAX_WIDE_NODES,
+            })
+        }
+    }
+}
+
+/// Convenience shorthand: optimizes a width-agnostic spec with default options and the `C_out`
+/// cost model, picking the node-set width from the relation count.
+pub fn optimize_spec(spec: &QuerySpec) -> Result<Optimized, OptimizeError> {
+    Optimizer::default().optimize_spec(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_spec(n: usize) -> QuerySpec {
+        let mut b = QuerySpec::builder(n);
+        for i in 0..n {
+            b.set_cardinality(i, 100.0 + i as f64);
+        }
+        for i in 0..n - 1 {
+            b.add_simple_edge(i, i + 1, 0.01);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn small_specs_run_on_the_single_word_tier() {
+        let spec = chain_spec(20);
+        let result = optimize_spec(&spec).expect("plannable");
+        assert_eq!(result.plan.scan_count(), 20);
+        assert_eq!(result.ccp_count, (20usize.pow(3) - 20) / 6);
+        // Identical to planning the explicitly single-word instantiation.
+        let (g, c) = spec.instantiate::<1>();
+        let narrow = crate::optimize(&g, &c).unwrap();
+        assert_eq!(narrow.cost, result.cost);
+        assert_eq!(narrow.ccp_count, result.ccp_count);
+    }
+
+    #[test]
+    fn wide_specs_dispatch_to_the_two_word_tier() {
+        let n = 80;
+        let result = optimize_spec(&chain_spec(n)).expect("80-relation chain plans");
+        assert_eq!(result.plan.scan_count(), n);
+        assert_eq!(result.plan.join_count(), n - 1);
+        assert_eq!(result.ccp_count, (n.pow(3) - n) / 6);
+        assert_eq!(result.dp_entries, n * (n + 1) / 2);
+        assert!(result.cost.is_finite());
+        // The plan really covers relations beyond node 63.
+        assert!(result.plan.relations_wide::<2>().contains(79));
+    }
+
+    #[test]
+    fn oversized_specs_error_cleanly() {
+        let err = optimize_spec(&chain_spec(MAX_WIDE_NODES + 1)).unwrap_err();
+        assert_eq!(
+            err,
+            OptimizeError::TooManyRelations {
+                count: MAX_WIDE_NODES + 1,
+                max: MAX_WIDE_NODES
+            }
+        );
+        assert!(err.to_string().contains("129 relations"));
+    }
+
+    #[test]
+    fn boundary_counts_choose_the_narrowest_sufficient_width() {
+        // 64 relations stay on the single-word tier; 65 require the wide one. Both must plan.
+        for n in [64usize, 65] {
+            let result = optimize_spec(&chain_spec(n)).expect("boundary chain plans");
+            assert_eq!(result.plan.join_count(), n - 1);
+        }
+    }
+
+    #[test]
+    fn specs_carry_operators_and_laterals() {
+        // R0 ⟕ R1 via spec annotation round-trips through instantiation.
+        let mut b = QuerySpec::builder(2);
+        b.set_cardinality(0, 50.0).set_cardinality(1, 500.0);
+        b.add_edge(&[0], &[1], 0.001, JoinOp::LeftOuter);
+        let result = optimize_spec(&b.build()).unwrap();
+        assert_eq!(result.plan.operators(), vec![JoinOp::LeftOuter]);
+
+        let mut b = QuerySpec::builder(2);
+        b.set_cardinality(0, 100.0).set_cardinality(1, 5.0);
+        b.set_lateral_refs(1, &[0]);
+        b.add_simple_edge(0, 1, 1.0);
+        let result = optimize_spec(&b.build()).unwrap();
+        assert_eq!(result.plan.operators(), vec![JoinOp::DepJoin]);
+    }
+}

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 ///
 /// Runs a memoized recursion over the subsets of `s`; intended for moderate set sizes
 /// (`|s| ≲ 20`), which covers every workload of the paper.
-pub fn is_connected(graph: &Hypergraph, s: NodeSet) -> bool {
+pub fn is_connected<const W: usize>(graph: &Hypergraph<W>, s: NodeSet<W>) -> bool {
     if s.is_empty() {
         return false;
     }
@@ -27,7 +27,11 @@ pub fn is_connected(graph: &Hypergraph, s: NodeSet) -> bool {
     is_connected_memo(graph, s, &mut memo)
 }
 
-fn is_connected_memo(graph: &Hypergraph, s: NodeSet, memo: &mut HashMap<NodeSet, bool>) -> bool {
+fn is_connected_memo<const W: usize>(
+    graph: &Hypergraph<W>,
+    s: NodeSet<W>,
+    memo: &mut HashMap<NodeSet<W>, bool>,
+) -> bool {
     if s.is_singleton() {
         return true;
     }
@@ -55,7 +59,7 @@ fn is_connected_memo(graph: &Hypergraph, s: NodeSet, memo: &mut HashMap<NodeSet,
 }
 
 /// Is the whole graph connected?
-pub fn is_graph_connected(graph: &Hypergraph) -> bool {
+pub fn is_graph_connected<const W: usize>(graph: &Hypergraph<W>) -> bool {
     is_connected(graph, graph.all_nodes())
 }
 
@@ -67,7 +71,7 @@ pub fn is_graph_connected(graph: &Hypergraph) -> bool {
 /// connectivity: every Def.-3-connected set lies within one component, but a single component is
 /// not necessarily Def.-3 connected. Components are the right granularity for the cross-product
 /// repair edges described in Sec. 2.1 of the paper.
-pub fn components(graph: &Hypergraph) -> Vec<NodeSet> {
+pub fn components<const W: usize>(graph: &Hypergraph<W>) -> Vec<NodeSet<W>> {
     let all = graph.all_nodes();
     let mut unassigned = all;
     let mut out = Vec::new();
@@ -101,7 +105,9 @@ pub fn components(graph: &Hypergraph) -> Vec<NodeSet> {
 /// selectivity 1.
 ///
 /// Returns the repaired graph and the ids of the added edges (empty if nothing had to change).
-pub fn make_connected(graph: &Hypergraph) -> (Hypergraph, Vec<crate::EdgeId>) {
+pub fn make_connected<const W: usize>(
+    graph: &Hypergraph<W>,
+) -> (Hypergraph<W>, Vec<crate::EdgeId>) {
     let comps = components(graph);
     if comps.len() <= 1 {
         return (graph.clone(), Vec::new());
@@ -208,7 +214,7 @@ mod tests {
 
     #[test]
     fn components_of_disconnected_graph() {
-        let mut b = Hypergraph::builder(5);
+        let mut b = Hypergraph::<1>::builder(5);
         b.add_simple_edge(0, 1);
         b.add_simple_edge(3, 4);
         let g = b.build();
@@ -219,7 +225,7 @@ mod tests {
 
     #[test]
     fn make_connected_adds_repair_edges() {
-        let mut b = Hypergraph::builder(5);
+        let mut b = Hypergraph::<1>::builder(5);
         b.add_simple_edge(0, 1);
         b.add_simple_edge(3, 4);
         let g = b.build();

@@ -14,7 +14,7 @@ use crate::graph::Hypergraph;
 use qo_bitset::NodeSet;
 
 /// Enumerates all connected subsets (csgs) of the graph in ascending mask order.
-pub fn enumerate_connected_subgraphs(graph: &Hypergraph) -> Vec<NodeSet> {
+pub fn enumerate_connected_subgraphs<const W: usize>(graph: &Hypergraph<W>) -> Vec<NodeSet<W>> {
     let all = graph.all_nodes();
     let n = graph.node_count();
     // connected[mask] for masks over the full node set; indexed by mask as usize.
@@ -58,7 +58,7 @@ pub fn enumerate_connected_subgraphs(graph: &Hypergraph) -> Vec<NodeSet> {
 }
 
 /// Number of connected subsets of the graph.
-pub fn count_connected_subgraphs(graph: &Hypergraph) -> usize {
+pub fn count_connected_subgraphs<const W: usize>(graph: &Hypergraph<W>) -> usize {
     enumerate_connected_subgraphs(graph).len()
 }
 
@@ -67,7 +67,7 @@ pub fn count_connected_subgraphs(graph: &Hypergraph) -> usize {
 ///
 /// Each returned pair satisfies: `S1` and `S2` are disjoint, both induce connected subgraphs,
 /// and at least one hyperedge connects them.
-pub fn enumerate_ccps(graph: &Hypergraph) -> Vec<(NodeSet, NodeSet)> {
+pub fn enumerate_ccps<const W: usize>(graph: &Hypergraph<W>) -> Vec<(NodeSet<W>, NodeSet<W>)> {
     let csgs = enumerate_connected_subgraphs(graph);
     let mut out = Vec::new();
     for &s1 in &csgs {
@@ -91,7 +91,7 @@ pub fn enumerate_ccps(graph: &Hypergraph) -> Vec<(NodeSet, NodeSet)> {
 /// Number of canonical csg-cmp-pairs — the lower bound on cost-function calls of any dynamic
 /// programming join enumeration (each canonical pair corresponds to one commutative pair of
 /// plans considered together, as done by `EmitCsgCmp`).
-pub fn count_ccps(graph: &Hypergraph) -> usize {
+pub fn count_ccps<const W: usize>(graph: &Hypergraph<W>) -> usize {
     enumerate_ccps(graph).len()
 }
 

@@ -19,19 +19,22 @@ pub type EdgeId = usize;
 ///
 /// The edge is undirected: `(u, v, w)` and `(v, u, w)` describe the same predicate. The
 /// [`Hypergraph`](crate::Hypergraph) takes care of traversing it in both directions.
+///
+/// The width parameter `W` (defaulting to the single-word [`qo_bitset::NodeSet64`]) matches the
+/// width of the graph the edge belongs to.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Hyperedge {
-    left: NodeSet,
-    right: NodeSet,
-    flex: NodeSet,
+pub struct Hyperedge<const W: usize = 1> {
+    left: NodeSet<W>,
+    right: NodeSet<W>,
+    flex: NodeSet<W>,
 }
 
-impl Hyperedge {
+impl<const W: usize> Hyperedge<W> {
     /// Creates a new hyperedge `(left, right)` with no flexible nodes.
     ///
     /// # Panics
     /// Panics if either side is empty or the sides are not disjoint.
-    pub fn new(left: NodeSet, right: NodeSet) -> Self {
+    pub fn new(left: NodeSet<W>, right: NodeSet<W>) -> Self {
         Self::generalized(left, right, NodeSet::EMPTY)
     }
 
@@ -44,7 +47,7 @@ impl Hyperedge {
     ///
     /// # Panics
     /// Panics if `left` or `right` is empty, or if the three sets are not pairwise disjoint.
-    pub fn generalized(left: NodeSet, right: NodeSet, flex: NodeSet) -> Self {
+    pub fn generalized(left: NodeSet<W>, right: NodeSet<W>, flex: NodeSet<W>) -> Self {
         assert!(!left.is_empty(), "hyperedge with empty left hypernode");
         assert!(!right.is_empty(), "hyperedge with empty right hypernode");
         assert!(
@@ -60,25 +63,25 @@ impl Hyperedge {
 
     /// The left hypernode `u`.
     #[inline]
-    pub fn left(&self) -> NodeSet {
+    pub fn left(&self) -> NodeSet<W> {
         self.left
     }
 
     /// The right hypernode `v`.
     #[inline]
-    pub fn right(&self) -> NodeSet {
+    pub fn right(&self) -> NodeSet<W> {
         self.right
     }
 
     /// The flexible node set `w` (empty for ordinary hyperedges).
     #[inline]
-    pub fn flex(&self) -> NodeSet {
+    pub fn flex(&self) -> NodeSet<W> {
         self.flex
     }
 
     /// All nodes referenced by the edge: `u ∪ v ∪ w`.
     #[inline]
-    pub fn all_nodes(&self) -> NodeSet {
+    pub fn all_nodes(&self) -> NodeSet<W> {
         self.left | self.right | self.flex
     }
 
@@ -96,7 +99,7 @@ impl Hyperedge {
 
     /// Returns the edge with left and right hypernodes swapped.
     #[inline]
-    pub fn reversed(&self) -> Hyperedge {
+    pub fn reversed(&self) -> Hyperedge<W> {
         Hyperedge {
             left: self.right,
             right: self.left,
@@ -109,7 +112,7 @@ impl Hyperedge {
     /// That is: one hypernode is contained in `s1`, the other in `s2`, and all flexible nodes
     /// are contained in `s1 ∪ s2`.
     #[inline]
-    pub fn connects(&self, s1: NodeSet, s2: NodeSet) -> bool {
+    pub fn connects(&self, s1: NodeSet<W>, s2: NodeSet<W>) -> bool {
         if !self.flex.is_subset_of(s1 | s2) {
             return false;
         }
@@ -122,7 +125,7 @@ impl Hyperedge {
     /// (`v ∪ (w \ origin)`, cf. Sec. 6). Returns `None` if neither hypernode is contained in
     /// `origin`, or if the target side intersects `origin`.
     #[inline]
-    pub fn target_from(&self, origin: NodeSet) -> Option<NodeSet> {
+    pub fn target_from(&self, origin: NodeSet<W>) -> Option<NodeSet<W>> {
         let (from, to) = if self.left.is_subset_of(origin) {
             (self.left, self.right)
         } else if self.right.is_subset_of(origin) {
@@ -139,7 +142,7 @@ impl Hyperedge {
     }
 }
 
-impl fmt::Debug for Hyperedge {
+impl<const W: usize> fmt::Debug for Hyperedge<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.flex.is_empty() {
             write!(f, "({:?} — {:?})", self.left, self.right)
@@ -153,7 +156,7 @@ impl fmt::Debug for Hyperedge {
     }
 }
 
-impl fmt::Display for Hyperedge {
+impl<const W: usize> fmt::Display for Hyperedge<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Debug::fmt(self, f)
     }
@@ -162,7 +165,7 @@ impl fmt::Display for Hyperedge {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qo_bitset::NodeSet;
+    use qo_bitset::{NodeSet, NodeSet128};
 
     fn ns(v: &[usize]) -> NodeSet {
         v.iter().copied().collect()
@@ -170,7 +173,7 @@ mod tests {
 
     #[test]
     fn simple_edge_properties() {
-        let e = Hyperedge::simple(1, 2);
+        let e = Hyperedge::<1>::simple(1, 2);
         assert!(e.is_simple());
         assert!(!e.is_generalized());
         assert_eq!(e.left(), NodeSet::single(1));
@@ -192,6 +195,16 @@ mod tests {
     }
 
     #[test]
+    fn wide_edge_across_the_word_boundary() {
+        let wns = |v: &[usize]| -> NodeSet128 { v.iter().copied().collect() };
+        let e = Hyperedge::new(wns(&[60, 61]), wns(&[64, 100]));
+        assert!(e.connects(wns(&[60, 61, 5]), wns(&[64, 100, 127])));
+        assert!(!e.connects(wns(&[60]), wns(&[64, 100])));
+        assert_eq!(e.target_from(wns(&[60, 61])), Some(wns(&[64, 100])));
+        assert!(Hyperedge::<2>::simple(63, 64).is_simple());
+    }
+
+    #[test]
     fn reversed_edge_swaps_sides() {
         let e = Hyperedge::new(ns(&[0]), ns(&[1, 2]));
         let r = e.reversed();
@@ -209,7 +222,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty left")]
     fn empty_left_hypernode_panics() {
-        let _ = Hyperedge::new(NodeSet::EMPTY, ns(&[1]));
+        let _ = Hyperedge::new(NodeSet::<1>::EMPTY, ns(&[1]));
     }
 
     #[test]
@@ -245,7 +258,7 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = Hyperedge::simple(0, 1);
+        let e = Hyperedge::<1>::simple(0, 1);
         assert_eq!(format!("{e}"), "({R0} — {R1})");
         let g = Hyperedge::generalized(ns(&[0]), ns(&[2]), ns(&[1]));
         assert!(format!("{g}").contains("flex"));

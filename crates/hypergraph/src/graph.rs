@@ -1,7 +1,7 @@
 //! The [`Hypergraph`] type and its builder.
 
 use crate::edge::{EdgeId, Hyperedge};
-use qo_bitset::{NodeId, NodeSet, MAX_NODES};
+use qo_bitset::{NodeId, NodeSet};
 use std::fmt;
 
 /// A query hypergraph: `n` relations (nodes `R0 .. R{n-1}`) plus a set of hyperedges.
@@ -9,6 +9,10 @@ use std::fmt;
 /// Nodes are totally ordered by their index (`R_i ≺ R_j ⟺ i < j`), which is the ordering the
 /// enumeration algorithms rely on. Simple edges are additionally indexed into per-node neighbor
 /// masks so that the hot neighborhood computation does not have to scan them.
+///
+/// The const parameter `W` is the mask width in 64-bit words (default one word, up to 64
+/// relations); a `Hypergraph<2>` holds up to 128 relations. The width is fixed when the builder
+/// is created, so every mask operation inside the enumeration is monomorphized for it.
 ///
 /// ```
 /// use qo_hypergraph::{Hypergraph, Hyperedge};
@@ -24,7 +28,7 @@ use std::fmt;
 ///     NodeSet::from_iter([0, 1, 2]),
 ///     NodeSet::from_iter([3, 4, 5]),
 /// ));
-/// let g = b.build();
+/// let g: Hypergraph = b.build();
 /// assert_eq!(g.node_count(), 6);
 /// assert_eq!(g.edge_count(), 5);
 /// // Neighborhood of S = {R0,R1,R2} with X = S: only the representative R3 of {R3,R4,R5}.
@@ -32,20 +36,20 @@ use std::fmt;
 /// assert_eq!(g.neighborhood(s, s), NodeSet::single(3));
 /// ```
 #[derive(Clone)]
-pub struct Hypergraph {
+pub struct Hypergraph<const W: usize = 1> {
     node_count: usize,
-    edges: Vec<Hyperedge>,
+    edges: Vec<Hyperedge<W>>,
     /// For every node, the union of the opposite endpoints of all *simple* edges incident to it.
-    simple_neighbors: Vec<NodeSet>,
+    simple_neighbors: Vec<NodeSet<W>>,
     /// Ids of all non-simple (complex or generalized) edges.
     complex_edges: Vec<EdgeId>,
     /// Ids of all simple edges, per node (used when collecting connecting edges / predicates).
     simple_edges_per_node: Vec<Vec<EdgeId>>,
 }
 
-impl Hypergraph {
+impl<const W: usize> Hypergraph<W> {
     /// Starts building a hypergraph over `node_count` relations.
-    pub fn builder(node_count: usize) -> HypergraphBuilder {
+    pub fn builder(node_count: usize) -> HypergraphBuilder<W> {
         HypergraphBuilder::new(node_count)
     }
 
@@ -57,7 +61,7 @@ impl Hypergraph {
 
     /// The set of all relations `V`.
     #[inline]
-    pub fn all_nodes(&self) -> NodeSet {
+    pub fn all_nodes(&self) -> NodeSet<W> {
         NodeSet::first_n(self.node_count)
     }
 
@@ -69,7 +73,7 @@ impl Hypergraph {
 
     /// All hyperedges with their ids.
     #[inline]
-    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Hyperedge)> {
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Hyperedge<W>)> {
         self.edges.iter().enumerate()
     }
 
@@ -78,7 +82,7 @@ impl Hypergraph {
     /// # Panics
     /// Panics if `id` is out of range.
     #[inline]
-    pub fn edge(&self, id: EdgeId) -> &Hyperedge {
+    pub fn edge(&self, id: EdgeId) -> &Hyperedge<W> {
         &self.edges[id]
     }
 
@@ -96,14 +100,14 @@ impl Hypergraph {
 
     /// The union of simple-edge neighbors of a single node.
     #[inline]
-    pub fn simple_neighbors(&self, node: NodeId) -> NodeSet {
+    pub fn simple_neighbors(&self, node: NodeId) -> NodeSet<W> {
         self.simple_neighbors[node]
     }
 
     /// The union of simple-edge neighbors of all nodes in `s` (not yet filtered by any
     /// exclusion set).
     #[inline]
-    pub fn simple_neighbors_of_set(&self, s: NodeSet) -> NodeSet {
+    pub fn simple_neighbors_of_set(&self, s: NodeSet<W>) -> NodeSet<W> {
         let mut n = NodeSet::EMPTY;
         for node in s {
             n |= self.simple_neighbors[node];
@@ -112,7 +116,7 @@ impl Hypergraph {
     }
 
     /// Is there at least one hyperedge connecting `s1` and `s2` (Def. 4 / Def. 7)?
-    pub fn has_connecting_edge(&self, s1: NodeSet, s2: NodeSet) -> bool {
+    pub fn has_connecting_edge(&self, s1: NodeSet<W>, s2: NodeSet<W>) -> bool {
         // Fast path: any simple edge from s1 into s2.
         if self.simple_neighbors_of_set(s1).intersects(s2) {
             return true;
@@ -124,7 +128,7 @@ impl Hypergraph {
 
     /// All edge ids connecting `s1` and `s2`. These are the predicates that `EmitCsgCmp`
     /// conjoins into the join predicate of the new plan.
-    pub fn connecting_edges(&self, s1: NodeSet, s2: NodeSet) -> Vec<EdgeId> {
+    pub fn connecting_edges(&self, s1: NodeSet<W>, s2: NodeSet<W>) -> Vec<EdgeId> {
         let mut out = Vec::new();
         self.connecting_edges_into(s1, s2, &mut out);
         out
@@ -132,7 +136,7 @@ impl Hypergraph {
 
     /// Like [`Hypergraph::connecting_edges`], but clears and fills a caller-provided buffer so
     /// the planner's hot path (one call per emitted csg-cmp-pair) does not allocate.
-    pub fn connecting_edges_into(&self, s1: NodeSet, s2: NodeSet, out: &mut Vec<EdgeId>) {
+    pub fn connecting_edges_into(&self, s1: NodeSet<W>, s2: NodeSet<W>, out: &mut Vec<EdgeId>) {
         out.clear();
         // Simple edges incident to the smaller side.
         let (probe, _other) = if s1.len() <= s2.len() {
@@ -158,7 +162,7 @@ impl Hypergraph {
 
     /// All edge ids whose referenced nodes are fully contained in `s` (used by cardinality
     /// estimation: these are the predicates already applied within a plan class `s`).
-    pub fn edges_within(&self, s: NodeSet) -> Vec<EdgeId> {
+    pub fn edges_within(&self, s: NodeSet<W>) -> Vec<EdgeId> {
         self.edges()
             .filter(|(_, e)| e.all_nodes().is_subset_of(s))
             .map(|(id, _)| id)
@@ -166,7 +170,7 @@ impl Hypergraph {
     }
 }
 
-impl fmt::Debug for Hypergraph {
+impl<const W: usize> fmt::Debug for Hypergraph<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Hypergraph over {} relations:", self.node_count)?;
         for (id, e) in self.edges() {
@@ -177,21 +181,23 @@ impl fmt::Debug for Hypergraph {
 }
 
 /// Builder for [`Hypergraph`].
-pub struct HypergraphBuilder {
+pub struct HypergraphBuilder<const W: usize = 1> {
     node_count: usize,
-    edges: Vec<Hyperedge>,
+    edges: Vec<Hyperedge<W>>,
 }
 
-impl HypergraphBuilder {
+impl<const W: usize> HypergraphBuilder<W> {
     /// Creates a builder for a graph over `node_count` relations.
     ///
     /// # Panics
-    /// Panics if `node_count` is zero or exceeds [`MAX_NODES`].
+    /// Panics if `node_count` is zero or exceeds the width's capacity
+    /// ([`NodeSet::CAPACITY`] `= 64 * W` relations).
     pub fn new(node_count: usize) -> Self {
         assert!(node_count > 0, "a hypergraph needs at least one relation");
         assert!(
-            node_count <= MAX_NODES,
-            "at most {MAX_NODES} relations are supported"
+            node_count <= NodeSet::<W>::CAPACITY,
+            "at most {} relations are supported at width {W} (got {node_count})",
+            NodeSet::<W>::CAPACITY,
         );
         HypergraphBuilder {
             node_count,
@@ -203,7 +209,7 @@ impl HypergraphBuilder {
     ///
     /// # Panics
     /// Panics if the edge references nodes outside the graph.
-    pub fn add_edge(&mut self, edge: Hyperedge) -> EdgeId {
+    pub fn add_edge(&mut self, edge: Hyperedge<W>) -> EdgeId {
         assert!(
             edge.all_nodes()
                 .is_subset_of(NodeSet::first_n(self.node_count)),
@@ -220,7 +226,7 @@ impl HypergraphBuilder {
     }
 
     /// Adds a hyperedge between two hypernodes; returns its id.
-    pub fn add_hyperedge(&mut self, left: NodeSet, right: NodeSet) -> EdgeId {
+    pub fn add_hyperedge(&mut self, left: NodeSet<W>, right: NodeSet<W>) -> EdgeId {
         self.add_edge(Hyperedge::new(left, right))
     }
 
@@ -230,7 +236,7 @@ impl HypergraphBuilder {
     }
 
     /// Finalizes the graph, computing the per-node simple-edge indexes.
-    pub fn build(self) -> Hypergraph {
+    pub fn build(self) -> Hypergraph<W> {
         let mut simple_neighbors = vec![NodeSet::EMPTY; self.node_count];
         let mut simple_edges_per_node = vec![Vec::new(); self.node_count];
         let mut complex_edges = Vec::new();
@@ -259,6 +265,7 @@ impl HypergraphBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qo_bitset::NodeSet128;
 
     fn ns(v: &[usize]) -> NodeSet {
         v.iter().copied().collect()
@@ -316,16 +323,48 @@ mod tests {
     }
 
     #[test]
+    fn wide_graphs_accept_more_than_64_relations() {
+        // A 96-relation chain fits in a two-word graph; the 64-relation cap only applies to the
+        // single-word width.
+        let mut b = Hypergraph::<2>::builder(96);
+        for i in 0..95 {
+            b.add_simple_edge(i, i + 1);
+        }
+        let g = b.build();
+        assert_eq!(g.node_count(), 96);
+        assert_eq!(g.all_nodes().len(), 96);
+        // Adjacency across the word boundary works like everywhere else.
+        assert!(g.has_connecting_edge(NodeSet128::single(63), NodeSet128::single(64)));
+        assert!(!g.has_connecting_edge(NodeSet128::single(63), NodeSet128::single(65)));
+        assert_eq!(
+            g.connecting_edges(NodeSet128::first_n(64), NodeSet128::range(64, 96)),
+            vec![63]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 relations")]
+    fn narrow_builder_rejects_more_than_64_nodes() {
+        let _ = Hypergraph::<1>::builder(65);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 128 relations")]
+    fn wide_builder_rejects_more_than_128_nodes() {
+        let _ = Hypergraph::<2>::builder(129);
+    }
+
+    #[test]
     #[should_panic(expected = "outside the graph")]
     fn edge_outside_graph_panics() {
-        let mut b = Hypergraph::builder(2);
+        let mut b = Hypergraph::<1>::builder(2);
         b.add_simple_edge(0, 5);
     }
 
     #[test]
     #[should_panic(expected = "at least one relation")]
     fn zero_nodes_panics() {
-        let _ = Hypergraph::builder(0);
+        let _ = Hypergraph::<1>::builder(0);
     }
 
     #[test]

@@ -14,14 +14,14 @@
 use crate::graph::Hypergraph;
 use qo_bitset::NodeSet;
 
-impl Hypergraph {
+impl<const W: usize> Hypergraph<W> {
     /// Computes the neighborhood `N(S, X)` of `s` under the exclusion set `x`.
     ///
     /// The returned set contains only representative (minimum) nodes of reachable hypernodes;
     /// hypernodes with more than one element must be completed by the caller when it expands the
     /// set (the enumeration algorithms do this implicitly through the connectivity check against
     /// the DP table, exactly as described in the paper).
-    pub fn neighborhood(&self, s: NodeSet, x: NodeSet) -> NodeSet {
+    pub fn neighborhood(&self, s: NodeSet<W>, x: NodeSet<W>) -> NodeSet<W> {
         let forbidden = s | x;
         // Simple edges: all endpoints adjacent to S that are not forbidden.
         let mut n = self.simple_neighbors_of_set(s) - forbidden;
@@ -31,7 +31,7 @@ impl Hypergraph {
         }
 
         // Complex and generalized edges: collect candidate hypernodes E↓'(S, X).
-        let mut candidates: Vec<NodeSet> = Vec::new();
+        let mut candidates: Vec<NodeSet<W>> = Vec::new();
         for &eid in self.complex_edge_ids() {
             let edge = self.edge(eid);
             let Some(target) = edge.target_from(s) else {

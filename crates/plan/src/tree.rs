@@ -68,11 +68,27 @@ impl PlanNode {
         }
     }
 
-    /// The set of relations produced by this plan.
+    /// The set of relations produced by this plan (single-word view, up to 64 relations).
+    ///
+    /// Plans over wider node sets must use [`PlanNode::relations_wide`] with a sufficient `W`;
+    /// this method panics if the plan references a relation beyond node 63.
     pub fn relations(&self) -> NodeSet {
+        self.relations_wide::<1>()
+    }
+
+    /// The set of relations produced by this plan, at an arbitrary mask width.
+    ///
+    /// The plan tree itself is width-agnostic (it stores plain relation ids), so the caller
+    /// picks the width its query tier needs: `relations_wide::<2>()` covers 128 relations.
+    ///
+    /// # Panics
+    /// Panics if a relation id does not fit the requested width.
+    pub fn relations_wide<const W: usize>(&self) -> NodeSet<W> {
         match self {
             PlanNode::Scan { relation, .. } => NodeSet::single(*relation),
-            PlanNode::Join { left, right, .. } => left.relations() | right.relations(),
+            PlanNode::Join { left, right, .. } => {
+                left.relations_wide::<W>() | right.relations_wide::<W>()
+            }
         }
     }
 
@@ -180,8 +196,36 @@ impl PlanNode {
         }
     }
 
+    /// The sorted relation ids of this plan. Width-free (plain ids, no mask), so it works for
+    /// plans of any query-size tier.
+    pub fn relation_ids(&self) -> Vec<NodeId> {
+        fn collect(node: &PlanNode, out: &mut Vec<NodeId>) {
+            match node {
+                PlanNode::Scan { relation, .. } => out.push(*relation),
+                PlanNode::Join { left, right, .. } => {
+                    collect(left, out);
+                    collect(right, out);
+                }
+            }
+        }
+        let mut ids = Vec::new();
+        collect(self, &mut ids);
+        ids.sort_unstable();
+        ids
+    }
+
     /// Renders the plan as an indented tree, one operator per line.
     pub fn pretty(&self) -> String {
+        // Width-free `{R0, R1, ..}` rendering of a join's relation set: plans from the wide
+        // (>64-relation) tier must pretty-print too, so masks are avoided here.
+        fn relation_set(node: &PlanNode) -> String {
+            let ids: Vec<String> = node
+                .relation_ids()
+                .iter()
+                .map(|r| format!("R{r}"))
+                .collect();
+            format!("{{{}}}", ids.join(", "))
+        }
         fn rec(node: &PlanNode, depth: usize, out: &mut String) {
             let indent = "  ".repeat(depth);
             match node {
@@ -202,9 +246,9 @@ impl PlanNode {
                     cost,
                 } => {
                     out.push_str(&format!(
-                        "{indent}{} {:?} preds {:?} (card {:.1}, cost {:.1})\n",
+                        "{indent}{} {} preds {:?} (card {:.1}, cost {:.1})\n",
                         op.symbol(),
-                        node.relations(),
+                        relation_set(node),
                         predicates,
                         cardinality,
                         cost
@@ -323,10 +367,24 @@ mod tests {
         );
         let pretty = p.pretty();
         assert!(pretty.contains("⟕"));
+        assert!(pretty.contains("{R0, R1, R2}"));
         assert!(pretty.contains("scan R2"));
         assert!(pretty.contains("preds [7]"));
         assert_eq!(p.compact(), "((R0 ⋈ R1) ⟕ R2)");
         assert_eq!(format!("{p}"), p.compact());
+    }
+
+    #[test]
+    fn pretty_renders_plans_beyond_the_single_word_tier() {
+        // Plans of the >64-relation tier store plain relation ids; every rendering path must be
+        // width-free (a mask-based one would panic on ids >= 64).
+        let p = ijoin(ijoin(scan(63), scan(64)), scan(100));
+        assert_eq!(p.relation_ids(), vec![63, 64, 100]);
+        let pretty = p.pretty();
+        assert!(pretty.contains("{R63, R64, R100}"));
+        assert!(pretty.contains("scan R100"));
+        assert_eq!(p.compact(), "((R63 ⋈ R64) ⋈ R100)");
+        assert_eq!(p.relations_wide::<2>().len(), 3);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!   increasing number of antijoins (Fig. 8a) and a cycle query with an increasing number of
 //!   outer joins (Fig. 8b) ([`non_inner`]),
 //! * random connected hypergraphs and operator trees used by the property-based tests
-//!   ([`random`]).
+//!   ([`random`]),
+//! * the >64-relation tier: 96- and 128-relation chain/star/cycle families over two-word node
+//!   sets ([`wide`]).
 //!
 //! All generators are deterministic: statistics are derived from a seeded RNG so that repeated
 //! benchmark runs measure the same queries.
@@ -19,10 +21,15 @@ pub mod graphs;
 pub mod non_inner;
 pub mod random;
 pub mod splits;
+pub mod wide;
 
-pub use graphs::{chain_query, clique_query, cycle_query, star_query, Workload};
+pub use graphs::{
+    chain_query, chain_query_w, clique_query, clique_query_w, cycle_query, cycle_query_w,
+    star_query, star_query_w, Workload, Workload128,
+};
 pub use non_inner::{cycle_with_outer_joins, star_with_antijoins};
 pub use random::{random_catalog, random_hypergraph, random_left_deep_tree};
 pub use splits::{cycle_with_hyperedge_splits, max_splits, star_with_hyperedge_splits};
+pub use wide::{wide_chain_query, wide_cycle_query, wide_star_query, WIDE_SIZES};
 
-pub use qo_bitset::{NodeId, NodeSet};
+pub use qo_bitset::{NodeId, NodeSet, NodeSet128};

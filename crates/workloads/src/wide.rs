@@ -1,0 +1,92 @@
+//! The >64-relation workload tier: 96- and 128-relation chain, star and cycle families over
+//! two-word node sets ([`Workload128`]).
+//!
+//! These are the first workloads that exercise the `W = 2` instantiation of the whole planner
+//! stack (masks, subset walks, the DP-table slot map, the enumerators). The families mirror the
+//! single-word generators exactly — same topology, same seeded statistics — just beyond the
+//! 64-relation cap of the single-word [`qo_bitset::NodeSet64`].
+//!
+//! A note on feasibility: the chain and cycle families are fully plannable by the DP algorithms
+//! at these sizes (a 96-relation chain has `(96³ − 96)/6 ≈ 147k` csg-cmp-pairs, a 96-cycle
+//! ≈ 434k). The star families at 96+ relations are *structurally* out of reach of any exact DP
+//! — a star with `n` relations has `(n−1)·2^(n−2)` csg-cmp-pairs, ≈ 10^30 at `n = 96` — so on
+//! stars only the greedy baseline (GOO, `O(n³)`) is applicable; this is the same wall the paper
+//! hits at 20 relations, just further out.
+
+use crate::graphs::{chain_query_w, cycle_query_w, star_query_w, Workload128};
+
+/// The canonical sizes of the wide tier.
+pub const WIDE_SIZES: [usize; 2] = [96, 128];
+
+/// A wide chain query (`65 ≤ n ≤ 128` relations).
+pub fn wide_chain_query(n: usize, seed: u64) -> Workload128 {
+    assert!(
+        (65..=128).contains(&n),
+        "wide chains cover 65..=128 relations, got {n}"
+    );
+    chain_query_w::<2>(n, seed)
+}
+
+/// A wide cycle query (`65 ≤ n ≤ 128` relations).
+pub fn wide_cycle_query(n: usize, seed: u64) -> Workload128 {
+    assert!(
+        (65..=128).contains(&n),
+        "wide cycles cover 65..=128 relations, got {n}"
+    );
+    cycle_query_w::<2>(n, seed)
+}
+
+/// A wide star query (`64 ≤ satellites ≤ 127`, i.e. 65–128 relations).
+///
+/// Plannable by greedy algorithms only; see the module docs for why exact DP cannot reach
+/// stars of this size.
+pub fn wide_star_query(satellites: usize, seed: u64) -> Workload128 {
+    assert!(
+        (64..=127).contains(&satellites),
+        "wide stars cover 64..=127 satellites, got {satellites}"
+    );
+    star_query_w::<2>(satellites, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qo_hypergraph::connectivity;
+
+    #[test]
+    fn wide_families_cover_96_and_128_relations() {
+        for n in WIDE_SIZES {
+            let chain = wide_chain_query(n, 3);
+            assert_eq!(chain.relations(), n);
+            assert_eq!(chain.graph.edge_count(), n - 1);
+            let cycle = wide_cycle_query(n, 3);
+            assert_eq!(cycle.relations(), n);
+            assert_eq!(cycle.graph.edge_count(), n);
+            let star = wide_star_query(n - 1, 3);
+            assert_eq!(star.relations(), n);
+            assert_eq!(star.graph.edge_count(), n - 1);
+            for w in [&chain, &cycle, &star] {
+                assert!(w.catalog.validate_for(&w.graph).is_ok(), "{}", w.name);
+                assert_eq!(w.graph.all_nodes().len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_chains_are_connected_in_the_def3_sense() {
+        // The memoized Def.-3 oracle is exponential in general but linear on chains' connected
+        // prefixes; keep it to a modest prefix of the 96-chain.
+        let w = wide_chain_query(96, 9);
+        let prefix: qo_bitset::NodeSet128 = (60..70).collect();
+        assert!(connectivity::is_connected(&w.graph, prefix));
+        let gap: qo_bitset::NodeSet128 = [60, 62].into_iter().collect();
+        assert!(!connectivity::is_connected(&w.graph, gap));
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        assert!(std::panic::catch_unwind(|| wide_chain_query(64, 1)).is_err());
+        assert!(std::panic::catch_unwind(|| wide_chain_query(129, 1)).is_err());
+        assert!(std::panic::catch_unwind(|| wide_star_query(16, 1)).is_err());
+    }
+}

@@ -13,7 +13,7 @@ use qo_hypergraph::{count_ccps, count_connected_subgraphs};
 fn main() {
     // The hypergraph of Fig. 2: two simple chains R0–R1–R2 and R3–R4–R5 glued by the hyperedge
     // ({R0,R1,R2}, {R3,R4,R5}).
-    let mut b = Hypergraph::builder(6);
+    let mut b = Hypergraph::<1>::builder(6);
     b.add_simple_edge(0, 1);
     b.add_simple_edge(1, 2);
     b.add_simple_edge(3, 4);
@@ -49,7 +49,7 @@ fn main() {
 
     // A generalized hyperedge (u, v, w): the predicate R0.a + R1.b = R2.c can place R1 on either
     // side of the join (Sec. 6). Modeled as ({R0}, {R2}, flex {R1}).
-    let mut b = Hypergraph::builder(3);
+    let mut b = Hypergraph::<1>::builder(3);
     b.add_simple_edge(0, 1);
     b.add_simple_edge(1, 2);
     b.add_edge(Hyperedge::generalized(

@@ -12,7 +12,7 @@ fn main() {
     // 1. Describe the query graph: five relations joined in a chain
     //    orders — lineitems — parts — suppliers — nations.
     let names = ["orders", "lineitems", "parts", "suppliers", "nations"];
-    let mut graph = Hypergraph::builder(5);
+    let mut graph = Hypergraph::<1>::builder(5);
     for i in 0..4 {
         graph.add_simple_edge(i, i + 1);
     }

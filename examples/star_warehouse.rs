@@ -16,7 +16,7 @@ use qo_hypergraph::Hypergraph;
 fn main() {
     const DIMENSIONS: usize = 8;
     // Node 0 is the fact table; 1..=8 are dimensions of wildly different sizes.
-    let mut graph = Hypergraph::builder(DIMENSIONS + 1);
+    let mut graph = Hypergraph::<1>::builder(DIMENSIONS + 1);
     for d in 1..=DIMENSIONS {
         graph.add_simple_edge(0, d);
     }

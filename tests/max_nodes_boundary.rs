@@ -44,7 +44,12 @@ fn baselines_handle_the_full_64_relation_universe() {
 }
 
 #[test]
-fn relation_65_is_rejected_at_the_boundary() {
-    let err = std::panic::catch_unwind(|| Hypergraph::builder(MAX_NODES + 1));
-    assert!(err.is_err(), "65 relations must be rejected");
+fn relation_65_is_rejected_at_the_single_word_boundary() {
+    let err = std::panic::catch_unwind(|| Hypergraph::<1>::builder(MAX_NODES + 1));
+    assert!(err.is_err(), "65 relations must be rejected at width 1");
+    // The two-word width accepts it (and rejects only past its own capacity).
+    let ok = std::panic::catch_unwind(|| Hypergraph::<2>::builder(MAX_NODES + 1));
+    assert!(ok.is_ok(), "65 relations fit the two-word width");
+    let err = std::panic::catch_unwind(|| Hypergraph::<2>::builder(2 * MAX_NODES + 1));
+    assert!(err.is_err(), "129 relations must be rejected at width 2");
 }

@@ -9,7 +9,7 @@
 //! * `--full` also runs the baseline algorithms at the largest query sizes (DPsize/DPsub on the
 //!   16-relation stars take from seconds to minutes per point, exactly as in the paper).
 //! * `--experiment <id>` restricts the run to one experiment; ids: `e1`, `fig5a`, `fig5b`, `e4`,
-//!   `fig6a`, `fig6b`, `fig7`, `fig8a`, `fig8b`, `ccp`, `table`.
+//!   `fig6a`, `fig6b`, `fig7`, `fig8a`, `fig8b`, `ccp`, `table`, `adaptive`.
 //! * `--baseline [path]` skips the experiment tables and instead writes a machine-readable
 //!   snapshot (`BENCH_baseline.json` by default): ccp counts and wall-clock per graph family
 //!   plus the arena-vs-HashMap DP-table comparison, so future changes have a perf trajectory.
@@ -17,16 +17,16 @@
 //! Absolute numbers depend on the machine; the claims to check are the *relative* ones (who
 //! wins, by how much, and how the curves move with the workload parameter).
 
-use dphyp::ConflictEncoding;
+use dphyp::{AdaptiveOptimizer, AdaptiveOptions, ConflictEncoding, PlanTier, QuerySpec};
 use qo_algebra::derive_query;
 use qo_bench::{
     compare_tables, format_ms, run_algorithm, run_tree_pipeline, time_mean_ms, time_once,
     Algorithm, TableComparison,
 };
 use qo_workloads::{
-    chain_query, clique_query, cycle_query, cycle_with_hyperedge_splits, cycle_with_outer_joins,
-    max_splits, star_query, star_with_antijoins, star_with_hyperedge_splits, wide_chain_query,
-    Workload,
+    chain_query, chain_spec, clique_query, cycle_query, cycle_with_hyperedge_splits,
+    cycle_with_outer_joins, huge_star_spec, max_splits, star_query, star_spec, star_with_antijoins,
+    star_with_hyperedge_splits, wide_chain_query, Workload,
 };
 use std::env;
 use std::time::Duration;
@@ -125,6 +125,90 @@ fn main() {
     if want("table") {
         table_comparison();
     }
+    if want("adaptive") {
+        adaptive_tiers();
+    }
+}
+
+/// The adaptive-driver experiment rows: one named workload spec per (budget, expected tier).
+/// `ample_budget = None` means the driver's default budget. Shared by the printed experiment
+/// and the baseline snapshot.
+fn adaptive_rows() -> Vec<(&'static str, QuerySpec, Option<usize>)> {
+    vec![
+        // Small queries with ample budgets: the exact tier must win and match plain DPhyp.
+        ("chain-20", chain_spec(20, SEED), None),
+        ("star-20", star_spec(19, SEED), Some(5_000_000)),
+        // The same star under the default budget: forced into the IDP tier.
+        ("star-20", star_spec(19, SEED), None),
+        // The 96-relation star (95·2^94 pairs): the driver's motivating example.
+        ("star-96", huge_star_spec(SEED), None),
+        // Budget 1: even IDP's smallest block does not fit — greedy is the last resort.
+        ("star-96", huge_star_spec(SEED), Some(1)),
+    ]
+}
+
+/// Runs one adaptive row and returns (tier, wall-ms, exact-tier ccps, cost).
+fn run_adaptive_row(spec: &QuerySpec, budget: Option<usize>) -> (PlanTier, f64, usize, f64) {
+    let options = match budget {
+        Some(ccp_budget) => AdaptiveOptions {
+            ccp_budget,
+            ..Default::default()
+        },
+        None => AdaptiveOptions::default(),
+    };
+    let driver = AdaptiveOptimizer::new(options);
+    let (t, r) = time_once(|| driver.optimize_spec(spec).expect("plannable"));
+    assert_eq!(
+        r.plan.scan_count(),
+        spec.node_count(),
+        "adaptive plan must cover every relation"
+    );
+    (
+        r.tier,
+        t.as_secs_f64() * 1e3,
+        r.telemetry.exact_ccps,
+        r.cost,
+    )
+}
+
+/// A2: the adaptive optimization driver — exact under an ample budget (costs asserted
+/// bit-identical to plain DPhyp), automatic IDP fallback on the over-budget stars, greedy as
+/// the last resort. The star-96 row is the query PR 2 had to route to GOO by hand.
+fn adaptive_tiers() {
+    println!("== A2: adaptive driver (budgeted DPhyp -> IDP-k -> GOO) ==");
+    println!(
+        "{:>10} {:>10} {:>8} {:>12} {:>12} {:>16}",
+        "workload", "budget", "tier", "exact ccps", "wall (ms)", "vs plain DPhyp"
+    );
+    for (name, spec, budget) in adaptive_rows() {
+        let (tier, wall_ms, exact_ccps, cost) = run_adaptive_row(&spec, budget);
+        let verdict = if tier == PlanTier::Exact {
+            // The exact tier must be bit-identical to the unbudgeted optimizer.
+            let plain = dphyp::optimize_spec(&spec).expect("plannable");
+            assert_eq!(cost, plain.cost, "{name}: exact tier diverged from DPhyp");
+            "cost identical"
+        } else {
+            "(exact infeasible)"
+        };
+        if name == "star-96" {
+            assert_ne!(tier, PlanTier::Exact, "no exact enumeration can finish");
+            assert!(
+                wall_ms < 30_000.0,
+                "star-96 must stay under the wall-clock ceiling, took {wall_ms:.0} ms"
+            );
+        }
+        let budget_col = budget.map_or("default".to_string(), |b| b.to_string());
+        println!(
+            "{:>10} {:>10} {:>8} {:>12} {:>12.3} {:>16}",
+            name,
+            budget_col,
+            tier.to_string(),
+            exact_ccps,
+            wall_ms,
+            verdict
+        );
+    }
+    println!();
 }
 
 /// The 20-relation workloads used for the DP-table comparison and the baseline snapshot.
@@ -214,6 +298,21 @@ fn write_baseline(path: &str) {
         wide_ms
     ));
 
+    // Adaptive-tier trajectory: which tier answers each workload/budget pair and how fast.
+    let mut adaptive_json_rows = Vec::new();
+    for (name, spec, budget) in adaptive_rows() {
+        let (tier, wall_ms, exact_ccps, _) = run_adaptive_row(&spec, budget);
+        let budget_col = budget.map_or("default".to_string(), |b| b.to_string());
+        println!("  {name:>10} (budget {budget_col:>9}): tier {tier:>7}, {wall_ms:>10.3} ms");
+        adaptive_json_rows.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"budget\": \"{}\", \"tier\": \"{}\", ",
+                "\"exact_ccps\": {}, \"wall_ms\": {:.4}}}"
+            ),
+            name, budget_col, tier, exact_ccps, wall_ms
+        ));
+    }
+
     let mut table_rows = Vec::new();
     for w in table_workloads() {
         let cmp: TableComparison = compare_tables(&w.graph, &w.catalog, BUDGET);
@@ -238,9 +337,11 @@ fn write_baseline(path: &str) {
     }
 
     let json = format!(
-        "{{\n  \"schema_version\": 1,\n  \"generated_by\": \"reproduce --baseline\",\n  \
-         \"seed\": {SEED},\n  \"workloads\": [\n{}\n  ],\n  \"dp_table_comparison\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema_version\": 2,\n  \"generated_by\": \"reproduce --baseline\",\n  \
+         \"seed\": {SEED},\n  \"workloads\": [\n{}\n  ],\n  \"adaptive_tiers\": [\n{}\n  ],\n  \
+         \"dp_table_comparison\": [\n{}\n  ]\n}}\n",
         workload_rows.join(",\n"),
+        adaptive_json_rows.join(",\n"),
         table_rows.join(",\n"),
     );
     std::fs::write(path, json).expect("baseline file is writable");

@@ -167,7 +167,7 @@ pub fn compare_tables(graph: &Hypergraph, catalog: &Catalog, budget: Duration) -
     let run_arena = || {
         let combiner = qo_catalog::JoinCombiner::new(graph, catalog, &CoutCost);
         let mut h = qo_catalog::CostBasedHandler::new(combiner);
-        DpHyp::new(graph, &mut h).run();
+        let _ = DpHyp::new(graph, &mut h).run();
         let ccps = h.ccp_count();
         let table = h.into_table();
         let cost = table.get(all).expect("complete plan").cost;
@@ -175,7 +175,7 @@ pub fn compare_tables(graph: &Hypergraph, catalog: &Catalog, budget: Duration) -
     };
     let run_hashmap = || {
         let mut h = HashMapReferenceHandler::new(graph, catalog, &CoutCost);
-        DpHyp::new(graph, &mut h).run();
+        let _ = DpHyp::new(graph, &mut h).run();
         let cost = h.cost_of(all).expect("complete plan");
         (cost, h.ccp_count(), h.dp_entries())
     };

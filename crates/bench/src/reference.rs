@@ -14,7 +14,7 @@
 //! asserts that.
 
 use qo_bitset::{NodeId, NodeSet};
-use qo_catalog::{Catalog, CcpHandler, CostModel, SubPlanStats};
+use qo_catalog::{Catalog, CcpHandler, CostModel, EmitSignal, SubPlanStats};
 use qo_hypergraph::{EdgeId, Hypergraph};
 use qo_plan::JoinOp;
 use std::collections::HashMap;
@@ -129,9 +129,10 @@ impl CcpHandler for HashMapReferenceHandler<'_> {
         self.classes.contains_key(&set)
     }
 
-    fn emit_ccp(&mut self, s1: NodeSet, s2: NodeSet) {
+    fn emit_ccp(&mut self, s1: NodeSet, s2: NodeSet) -> EmitSignal {
         self.ccps += 1;
         self.combine_and_offer(s1, s2);
+        EmitSignal::Continue
     }
 
     fn ccp_count(&self) -> usize {
@@ -150,7 +151,7 @@ mod tests {
     fn reference_agrees_with_the_production_optimizer() {
         for w in [chain_query(10, 7), star_query(7, 7)] {
             let mut reference = HashMapReferenceHandler::new(&w.graph, &w.catalog, &CoutCost);
-            DpHyp::new(&w.graph, &mut reference).run();
+            let _ = DpHyp::new(&w.graph, &mut reference).run();
             let production = dphyp::optimize(&w.graph, &w.catalog).expect("plannable");
             assert_eq!(reference.ccp_count(), production.ccp_count);
             assert_eq!(reference.dp_entries(), production.dp_entries);

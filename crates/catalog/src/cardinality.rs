@@ -63,7 +63,7 @@ impl<'a, const W: usize> CardinalityEstimator<'a, W> {
     }
 
     /// Same as [`CardinalityEstimator::join`] but with the combined selectivity already
-    /// computed. Width-independent; see [`join_cardinality`].
+    /// computed. Width-independent; delegates to the crate-internal `join_cardinality` core.
     pub fn join_with_selectivity(op: JoinOp, left_card: f64, right_card: f64, sel: f64) -> f64 {
         join_cardinality(op, left_card, right_card, sel)
     }

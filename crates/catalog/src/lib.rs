@@ -16,8 +16,10 @@
 //!   lists,
 //! * [`planner`]: the [`CcpHandler`] trait through which the enumeration algorithms report
 //!   csg-cmp-pairs, the cost-based handler that implements the paper's `EmitCsgCmp`
-//!   (monomorphized over the cost model), and a counting handler used for search-space
-//!   statistics.
+//!   (monomorphized over the cost model), a counting handler used for search-space
+//!   statistics, and the [`BudgetedHandler`] decorator that aborts an enumeration from inside
+//!   `EmitCsgCmp` once a csg-cmp-pair budget is exhausted (the adaptive driver's early-exit
+//!   signal, see [`EmitSignal`]).
 
 mod cardinality;
 mod catalog;
@@ -28,7 +30,9 @@ pub mod table;
 pub use cardinality::CardinalityEstimator;
 pub use catalog::{Catalog, CatalogBuilder, EdgeAnnotation};
 pub use cost::{CostModel, CoutCost, MixedCost, SubPlanStats};
-pub use planner::{CcpHandler, CostBasedHandler, CountingHandler, JoinCombiner};
+pub use planner::{
+    BudgetedHandler, CcpHandler, CostBasedHandler, CountingHandler, EmitSignal, JoinCombiner,
+};
 pub use table::{BestJoin, Candidate, CandidateJoin, DpTable, EdgeListRef, PlanClass};
 
 pub use qo_bitset::{NodeId, NodeSet};

@@ -22,6 +22,30 @@ use qo_hypergraph::{EdgeId, Hypergraph};
 use qo_plan::JoinOp;
 use std::collections::HashSet;
 
+/// Flow signal returned by [`CcpHandler::emit_ccp`]: should the enumeration keep going?
+///
+/// This is the early-exit channel of the budgeted optimization driver: a handler that has
+/// exhausted its csg-cmp-pair budget (see [`BudgetedHandler`]) answers [`EmitSignal::Abort`]
+/// *from inside* `EmitCsgCmp`, and the enumerator unwinds immediately instead of finishing an
+/// enumeration whose pair count may be astronomically large (a 96-relation star has `95·2^94`
+/// pairs). Handlers without a budget simply always return [`EmitSignal::Continue`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use = "enumeration must unwind when the handler aborts"]
+pub enum EmitSignal {
+    /// Keep enumerating.
+    Continue,
+    /// Stop: the handler accepts no further pairs (e.g. its ccp budget is exhausted).
+    Abort,
+}
+
+impl EmitSignal {
+    /// Is this the abort signal?
+    #[inline]
+    pub fn is_abort(self) -> bool {
+        self == EmitSignal::Abort
+    }
+}
+
 /// Interface through which enumeration algorithms report their progress.
 ///
 /// The contract mirrors the paper's use of the DP table:
@@ -29,7 +53,9 @@ use std::collections::HashSet;
 /// * [`CcpHandler::contains`] answers "does the DP table have an entry for this set", which the
 ///   algorithms use as their connectivity test,
 /// * [`CcpHandler::emit_ccp`] is called exactly once per canonical csg-cmp-pair `(S1, S2)` and
-///   must register `S1 ∪ S2` so that later `contains` calls see it.
+///   must register `S1 ∪ S2` so that later `contains` calls see it. Its [`EmitSignal`] return
+///   value lets the handler abort the enumeration early; once a handler has answered
+///   [`EmitSignal::Abort`] the algorithm must not emit further pairs.
 pub trait CcpHandler<const W: usize = 1> {
     /// Registers the access plan for a single relation.
     fn init_leaf(&mut self, relation: NodeId);
@@ -37,8 +63,8 @@ pub trait CcpHandler<const W: usize = 1> {
     /// Does a plan class for `set` exist yet?
     fn contains(&self, set: NodeSet<W>) -> bool;
 
-    /// Processes the csg-cmp-pair `(s1, s2)`.
-    fn emit_ccp(&mut self, s1: NodeSet<W>, s2: NodeSet<W>);
+    /// Processes the csg-cmp-pair `(s1, s2)` and reports whether enumeration may continue.
+    fn emit_ccp(&mut self, s1: NodeSet<W>, s2: NodeSet<W>) -> EmitSignal;
 
     /// Number of csg-cmp-pairs processed so far.
     fn ccp_count(&self) -> usize;
@@ -294,7 +320,7 @@ impl<M: CostModel<W> + ?Sized, const W: usize> CcpHandler<W> for CostBasedHandle
         self.table.contains(set)
     }
 
-    fn emit_ccp(&mut self, s1: NodeSet<W>, s2: NodeSet<W>) {
+    fn emit_ccp(&mut self, s1: NodeSet<W>, s2: NodeSet<W>) -> EmitSignal {
         self.ccps += 1;
         let (a, b) = match (self.table.get(s1), self.table.get(s2)) {
             (Some(a), Some(b)) => (a.stats(), b.stats()),
@@ -303,7 +329,7 @@ impl<M: CostModel<W> + ?Sized, const W: usize> CcpHandler<W> for CostBasedHandle
                     false,
                     "emit_ccp called before both classes exist: {s1:?}, {s2:?}"
                 );
-                return;
+                return EmitSignal::Continue;
             }
         };
         self.combiner
@@ -312,6 +338,7 @@ impl<M: CostModel<W> + ?Sized, const W: usize> CcpHandler<W> for CostBasedHandle
         if let Some(candidate) = self.combiner.combine(&a, &b, &self.edge_buf) {
             self.table.offer(candidate);
         }
+        EmitSignal::Continue
     }
 
     fn ccp_count(&self) -> usize {
@@ -376,13 +403,84 @@ impl<const W: usize> CcpHandler<W> for CountingHandler<W> {
         self.connected.contains(&set)
     }
 
-    fn emit_ccp(&mut self, s1: NodeSet<W>, s2: NodeSet<W>) {
+    fn emit_ccp(&mut self, s1: NodeSet<W>, s2: NodeSet<W>) -> EmitSignal {
         self.connected.insert(s1 | s2);
         self.pairs.push((s1, s2));
+        EmitSignal::Continue
     }
 
     fn ccp_count(&self) -> usize {
         self.pairs.len()
+    }
+}
+
+/// Decorates any [`CcpHandler`] with a csg-cmp-pair budget: the wrapped handler processes at
+/// most `budget` pairs, and the first pair beyond the budget answers [`EmitSignal::Abort`]
+/// *without* being forwarded.
+///
+/// The boundary is deliberately exclusive of the abort: a budget exactly equal to the true pair
+/// count of a query lets the enumeration complete (the budget-th pair is still processed; only
+/// a would-be `budget + 1`-th aborts), so "budget = known ccp count" never falls back
+/// spuriously. This is the budget state behind the adaptive optimization driver in the `dphyp`
+/// crate, which reacts to [`BudgetedHandler::aborted`] by re-planning with iterative dynamic
+/// programming or greedy operator ordering.
+#[derive(Clone, Debug)]
+pub struct BudgetedHandler<H, const W: usize = 1> {
+    inner: H,
+    budget: usize,
+    aborted: bool,
+}
+
+impl<H: CcpHandler<W>, const W: usize> BudgetedHandler<H, W> {
+    /// Wraps `inner`, allowing it to process at most `budget` csg-cmp-pairs.
+    pub fn new(inner: H, budget: usize) -> Self {
+        BudgetedHandler {
+            inner,
+            budget,
+            aborted: false,
+        }
+    }
+
+    /// The configured pair budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Did the enumeration hit the budget and abort?
+    pub fn aborted(&self) -> bool {
+        self.aborted
+    }
+
+    /// A shared reference to the wrapped handler.
+    pub fn inner(&self) -> &H {
+        &self.inner
+    }
+
+    /// Unwraps the budgeted decoration.
+    pub fn into_inner(self) -> H {
+        self.inner
+    }
+}
+
+impl<H: CcpHandler<W>, const W: usize> CcpHandler<W> for BudgetedHandler<H, W> {
+    fn init_leaf(&mut self, relation: NodeId) {
+        self.inner.init_leaf(relation);
+    }
+
+    fn contains(&self, set: NodeSet<W>) -> bool {
+        self.inner.contains(set)
+    }
+
+    fn emit_ccp(&mut self, s1: NodeSet<W>, s2: NodeSet<W>) -> EmitSignal {
+        if self.inner.ccp_count() >= self.budget {
+            self.aborted = true;
+            return EmitSignal::Abort;
+        }
+        self.inner.emit_ccp(s1, s2)
+    }
+
+    fn ccp_count(&self) -> usize {
+        self.inner.ccp_count()
     }
 }
 
@@ -437,10 +535,10 @@ mod tests {
         for r in 0..3 {
             h.init_leaf(r);
         }
-        h.emit_ccp(ns(&[0]), ns(&[1]));
-        h.emit_ccp(ns(&[1]), ns(&[2]));
-        h.emit_ccp(ns(&[0, 1]), ns(&[2]));
-        h.emit_ccp(ns(&[0]), ns(&[1, 2]));
+        let _ = h.emit_ccp(ns(&[0]), ns(&[1]));
+        let _ = h.emit_ccp(ns(&[1]), ns(&[2]));
+        let _ = h.emit_ccp(ns(&[0, 1]), ns(&[2]));
+        let _ = h.emit_ccp(ns(&[0]), ns(&[1, 2]));
         assert_eq!(h.ccp_count(), 4);
         let table = h.into_table();
         let plan = table.reconstruct(ns(&[0, 1, 2])).expect("full plan");
@@ -466,7 +564,7 @@ mod tests {
         for r in 0..3 {
             h.init_leaf(r);
         }
-        h.emit_ccp(ns(&[0]), ns(&[1]));
+        assert_eq!(h.emit_ccp(ns(&[0]), ns(&[1])), EmitSignal::Continue);
         assert!(h.contains(ns(&[0, 1])));
     }
 
@@ -673,11 +771,42 @@ mod tests {
         h.init_leaf(2);
         assert!(h.contains(ns(&[1])));
         assert!(!h.contains(ns(&[0, 1])));
-        h.emit_ccp(ns(&[1]), ns(&[0]));
+        let _ = h.emit_ccp(ns(&[1]), ns(&[0]));
         assert!(h.contains(ns(&[0, 1])));
-        h.emit_ccp(ns(&[0, 1]), ns(&[2]));
+        let _ = h.emit_ccp(ns(&[0, 1]), ns(&[2]));
         assert_eq!(h.ccp_count(), 2);
         let canon = h.canonical_pairs();
         assert_eq!(canon, vec![(ns(&[0]), ns(&[1])), (ns(&[0, 1]), ns(&[2]))]);
+    }
+
+    #[test]
+    fn budgeted_handler_aborts_strictly_beyond_the_budget() {
+        let mut h = BudgetedHandler::new(CountingHandler::<1>::new(), 2);
+        for r in 0..4 {
+            h.init_leaf(r);
+        }
+        assert_eq!(h.budget(), 2);
+        // Pairs 1 and 2 are within the budget and forwarded to the wrapped handler.
+        assert_eq!(h.emit_ccp(ns(&[0]), ns(&[1])), EmitSignal::Continue);
+        assert_eq!(h.emit_ccp(ns(&[0, 1]), ns(&[2])), EmitSignal::Continue);
+        assert!(!h.aborted(), "budget == emitted pairs must not abort");
+        assert!(h.contains(ns(&[0, 1, 2])));
+        // The budget + 1-th pair aborts and is NOT forwarded.
+        assert_eq!(h.emit_ccp(ns(&[0, 1, 2]), ns(&[3])), EmitSignal::Abort);
+        assert!(h.aborted());
+        assert_eq!(h.ccp_count(), 2);
+        assert!(!h.contains(ns(&[0, 1, 2, 3])));
+        assert_eq!(h.inner().pairs().len(), 2);
+        assert_eq!(h.into_inner().ccp_count(), 2);
+    }
+
+    #[test]
+    fn zero_budget_aborts_on_the_first_pair() {
+        let mut h = BudgetedHandler::new(CountingHandler::<1>::new(), 0);
+        h.init_leaf(0);
+        h.init_leaf(1);
+        assert_eq!(h.emit_ccp(ns(&[0]), ns(&[1])), EmitSignal::Abort);
+        assert!(h.aborted());
+        assert_eq!(h.ccp_count(), 0);
     }
 }

@@ -1,0 +1,470 @@
+//! The adaptive optimization driver: budgeted exact DPhyp with tiered fallbacks.
+//!
+//! Exact DP enumerates one csg-cmp-pair per cost-function call, so the pair count *is* the
+//! optimization time — and it explodes on dense query shapes (a star with `n` relations has
+//! `(n−1)·2^(n−2)` pairs, ≈ `10^30` at `n = 96`). A production planner cannot hand such queries
+//! back to the caller; it must degrade gracefully. The driver runs three tiers:
+//!
+//! 1. **Exact** — DPhyp under a csg-cmp-pair budget. The budget is enforced *inside* the
+//!    enumeration: the [`qo_catalog::BudgetedHandler`] answers
+//!    [`Abort`](qo_catalog::EmitSignal::Abort) from `EmitCsgCmp` once the budget is spent and
+//!    [`DpHyp`] unwinds immediately, so an over-budget query costs at most `budget` pair
+//!    emissions, never the full (possibly astronomical) enumeration.
+//! 2. **IDP** — [`qo_baselines::idp`], iterative dynamic programming with block size `k`. The
+//!    driver shrinks `k` until one block round's worst case (`3^k` subset-splits) fits the same
+//!    budget, so a *round* never exceeds it; total fallback work is `rounds × 3^k` (at most
+//!    `⌈n/(k−1)⌉` rounds), i.e. a small multiple of the budget rather than a hard cap —
+//!    [`BudgetTelemetry::fallback_cost_calls`] reports what was actually spent.
+//! 3. **Greedy** — [`qo_baselines::goo`] as the last resort when even a 2-block DP would not
+//!    fit (budget < 9) or IDP could not complete a plan.
+//!
+//! [`OptimizeResult`] reports which tier produced the plan and the budget telemetry (pairs
+//! spent in the exact tier, whether it aborted, the effective `k`). Width dispatch works like
+//! [`Optimizer::optimize_spec`](crate::Optimizer::optimize_spec): hand the driver a
+//! width-agnostic [`QuerySpec`] and it instantiates the narrowest sufficient node-set width.
+//!
+//! ```
+//! use dphyp::{optimize_adaptive, AdaptiveOptimizer, AdaptiveOptions, PlanTier, QuerySpec};
+//!
+//! // A 40-relation star: 39·2^38 ≈ 10^13 csg-cmp-pairs — hopeless for exact enumeration.
+//! let mut b = QuerySpec::builder(40);
+//! for i in 1..40 {
+//!     b.add_simple_edge(0, i, 0.01);
+//! }
+//! let star = b.build();
+//! let driver = AdaptiveOptimizer::new(AdaptiveOptions {
+//!     ccp_budget: 50_000, // the default is 1M; a small budget keeps the example fast
+//!     ..Default::default()
+//! });
+//! let result = driver.optimize_spec(&star).unwrap();
+//! assert_ne!(result.tier, PlanTier::Exact); // the driver fell back automatically …
+//! assert_eq!(result.plan.scan_count(), 40); // … and still produced a complete plan.
+//! assert!(result.telemetry.exact_aborted);
+//!
+//! // Queries whose pair count fits the budget stay exact — bit-identical to plain DPhyp.
+//! let mut b = QuerySpec::builder(20);
+//! for i in 0..19 {
+//!     b.add_simple_edge(i, i + 1, 0.01);
+//! }
+//! let chain = b.build();
+//! let result = optimize_adaptive(&chain).unwrap();
+//! assert_eq!(result.tier, PlanTier::Exact);
+//! assert_eq!(result.telemetry.exact_ccps, (20 * 20 * 20 - 20) / 6);
+//! ```
+
+use crate::enumerate::DpHyp;
+use crate::optimizer::{CostModelKind, OptimizeError};
+use crate::query::QuerySpec;
+use qo_baselines::{goo, idp, BaselineError, BaselineResult, MAX_IDP_BLOCK_SIZE};
+use qo_catalog::{
+    BudgetedHandler, Catalog, CcpHandler, CostBasedHandler, CostModel, CoutCost, JoinCombiner,
+    MixedCost,
+};
+use qo_hypergraph::Hypergraph;
+use qo_plan::PlanNode;
+use std::fmt;
+
+/// Options of the [`AdaptiveOptimizer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptiveOptions {
+    /// Maximum csg-cmp-pairs the exact tier may process before the enumeration is aborted and
+    /// the driver falls back. A budget exactly equal to a query's true pair count still
+    /// completes exactly (the abort fires strictly *beyond* the budget).
+    pub ccp_budget: usize,
+    /// Upper bound on the IDP block size `k`; the effective `k` additionally shrinks until one
+    /// block round (`3^k` splits) fits `ccp_budget`. Must be ≤ [`MAX_IDP_BLOCK_SIZE`].
+    pub idp_block_size: usize,
+    /// Cost model shared by all tiers.
+    pub cost_model: CostModelKind,
+}
+
+impl Default for AdaptiveOptions {
+    /// One million pairs (≈ 100 ms of enumeration on current hardware — chain/cycle queries of
+    /// 100+ relations stay exact, 20+-relation stars fall back) and blocks of up to 10.
+    fn default() -> Self {
+        AdaptiveOptions {
+            ccp_budget: 1_000_000,
+            idp_block_size: 10,
+            cost_model: CostModelKind::Cout,
+        }
+    }
+}
+
+/// Which tier of the adaptive driver produced the final plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanTier {
+    /// Exact DPhyp completed within the budget; the plan is optimal.
+    Exact,
+    /// Iterative dynamic programming (IDP-k): optimal within each block, greedy across blocks.
+    Idp,
+    /// Greedy operator ordering: valid, no optimality guarantee.
+    Greedy,
+}
+
+impl fmt::Display for PlanTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlanTier::Exact => "exact",
+            PlanTier::Idp => "idp",
+            PlanTier::Greedy => "greedy",
+        })
+    }
+}
+
+/// Budget telemetry of one adaptive optimization.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BudgetTelemetry {
+    /// The configured csg-cmp-pair budget.
+    pub ccp_budget: usize,
+    /// Pairs the exact tier processed before completing or aborting (≤ `ccp_budget`).
+    pub exact_ccps: usize,
+    /// Did the exact tier hit the budget and abort?
+    pub exact_aborted: bool,
+    /// Effective IDP block size, shrunk to fit the budget (`0` when the IDP tier did not run).
+    pub idp_k: usize,
+    /// Cost-function calls made by the fallback tier (`0` in the exact tier).
+    pub fallback_cost_calls: usize,
+}
+
+/// The result of an adaptive optimization: the plan, which tier produced it, and the budget
+/// telemetry.
+#[derive(Clone, Debug)]
+pub struct OptimizeResult {
+    /// The best plan the winning tier found.
+    pub plan: PlanNode,
+    /// Its cost under the configured cost model.
+    pub cost: f64,
+    /// Its estimated output cardinality.
+    pub cardinality: f64,
+    /// The tier that produced the plan.
+    pub tier: PlanTier,
+    /// How the budget was spent.
+    pub telemetry: BudgetTelemetry,
+    /// DP-table entries materialized by the winning tier.
+    pub dp_entries: usize,
+}
+
+/// The tiered driver: budgeted exact DPhyp, then IDP-k, then GOO.
+///
+/// See the [module documentation](self) for the tier semantics and a usage example.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AdaptiveOptimizer {
+    options: AdaptiveOptions,
+}
+
+impl AdaptiveOptimizer {
+    /// Creates a driver with the given options.
+    pub fn new(options: AdaptiveOptions) -> Self {
+        AdaptiveOptimizer { options }
+    }
+
+    /// The options this driver runs with.
+    pub fn options(&self) -> &AdaptiveOptions {
+        &self.options
+    }
+
+    /// Optimizes a width-agnostic [`QuerySpec`], picking node-set width *and* algorithm tier:
+    /// the width is dispatched once per optimization through the same ladder as
+    /// [`Optimizer::optimize_spec`](crate::Optimizer::optimize_spec), and within the chosen
+    /// width the driver walks the tiers until one produces a plan.
+    pub fn optimize_spec(&self, spec: &QuerySpec) -> Result<OptimizeResult, OptimizeError> {
+        crate::query::with_width_dispatch(
+            spec,
+            |graph, catalog| self.optimize_hypergraph(graph, catalog),
+            |graph, catalog| self.optimize_hypergraph(graph, catalog),
+        )?
+    }
+
+    /// Runs the tiered driver over an already-instantiated hypergraph and catalog.
+    pub fn optimize_hypergraph<const W: usize>(
+        &self,
+        graph: &Hypergraph<W>,
+        catalog: &Catalog<W>,
+    ) -> Result<OptimizeResult, OptimizeError> {
+        match self.options.cost_model {
+            CostModelKind::Cout => self.drive(graph, catalog, &CoutCost),
+            CostModelKind::Mixed => self.drive(graph, catalog, &MixedCost),
+        }
+    }
+
+    fn drive<M: CostModel<W>, const W: usize>(
+        &self,
+        graph: &Hypergraph<W>,
+        catalog: &Catalog<W>,
+        cost_model: &M,
+    ) -> Result<OptimizeResult, OptimizeError> {
+        catalog
+            .validate_for(graph)
+            .map_err(OptimizeError::InvalidCatalog)?;
+
+        // Tier 1: exact DPhyp under the pair budget.
+        let combiner = JoinCombiner::new(graph, catalog, cost_model);
+        let mut handler =
+            BudgetedHandler::new(CostBasedHandler::new(combiner), self.options.ccp_budget);
+        let _ = DpHyp::new(graph, &mut handler).run();
+        let exact_ccps = handler.ccp_count();
+        let exact_aborted = handler.aborted();
+        let mut telemetry = BudgetTelemetry {
+            ccp_budget: self.options.ccp_budget,
+            exact_ccps,
+            exact_aborted,
+            idp_k: 0,
+            fallback_cost_calls: 0,
+        };
+        if !exact_aborted {
+            let table = handler.into_inner().into_table();
+            let all = graph.all_nodes();
+            let Some(class) = table.get(all) else {
+                let largest_covered = table.classes().map(|c| c.set.len()).max().unwrap_or(0);
+                return Err(OptimizeError::NoCompletePlan { largest_covered });
+            };
+            let plan = table
+                .reconstruct(all)
+                .expect("class for the full relation set must reconstruct");
+            return Ok(OptimizeResult {
+                cost: class.cost,
+                cardinality: class.cardinality,
+                plan,
+                tier: PlanTier::Exact,
+                telemetry,
+                dp_entries: table.len(),
+            });
+        }
+
+        // Tier 2: IDP with the block size shrunk until one round's worst case (3^k splits)
+        // fits the same budget.
+        if let Some(k) = self.effective_idp_k() {
+            telemetry.idp_k = k;
+            match idp(graph, catalog, cost_model, k) {
+                Ok(r) => return Ok(finish_fallback(r, PlanTier::Idp, telemetry)),
+                // A plan IDP cannot complete (pathological hyperedge connectivity) may still be
+                // reachable by GOO's exhaustive pair scan — fall through.
+                Err(BaselineError::NoCompletePlan) => {}
+                Err(BaselineError::InvalidCatalog(m)) => {
+                    unreachable!("catalog validated above: {m}")
+                }
+            }
+        }
+
+        // Tier 3: greedy operator ordering.
+        match goo(graph, catalog, cost_model) {
+            Ok(r) => Ok(finish_fallback(r, PlanTier::Greedy, telemetry)),
+            Err(BaselineError::NoCompletePlan) => {
+                Err(OptimizeError::NoCompletePlan { largest_covered: 0 })
+            }
+            Err(BaselineError::InvalidCatalog(m)) => unreachable!("catalog validated above: {m}"),
+        }
+    }
+
+    /// Largest block size `k ≤ idp_block_size` whose single-round worst case (`3^k`
+    /// subset-splits) fits the ccp budget, or `None` if not even `k = 2` fits.
+    fn effective_idp_k(&self) -> Option<usize> {
+        let cap = self.options.idp_block_size.min(MAX_IDP_BLOCK_SIZE);
+        (2..=cap)
+            .take_while(|&k| 3usize.pow(k as u32) <= self.options.ccp_budget)
+            .last()
+    }
+}
+
+fn finish_fallback(r: BaselineResult, tier: PlanTier, mut t: BudgetTelemetry) -> OptimizeResult {
+    t.fallback_cost_calls = r.cost_calls;
+    OptimizeResult {
+        plan: r.plan,
+        cost: r.cost,
+        cardinality: r.cardinality,
+        tier,
+        telemetry: t,
+        dp_entries: r.dp_entries,
+    }
+}
+
+/// Convenience shorthand: adaptively optimizes a width-agnostic spec with [`AdaptiveOptions`]
+/// defaults (1M-pair budget, IDP blocks of up to 10, `C_out`).
+pub fn optimize_adaptive(spec: &QuerySpec) -> Result<OptimizeResult, OptimizeError> {
+    AdaptiveOptimizer::default().optimize_spec(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimize_spec;
+    use qo_plan::JoinOp;
+
+    fn chain_spec(n: usize) -> QuerySpec {
+        let mut b = QuerySpec::builder(n);
+        for i in 0..n {
+            b.set_cardinality(i, 100.0 + i as f64);
+        }
+        for i in 0..n - 1 {
+            b.add_simple_edge(i, i + 1, 0.01);
+        }
+        b.build()
+    }
+
+    fn star_spec(satellites: usize) -> QuerySpec {
+        let n = satellites + 1;
+        let mut b = QuerySpec::builder(n);
+        b.set_cardinality(0, 50_000.0);
+        for i in 1..n {
+            b.set_cardinality(i, 10.0 * i as f64);
+            b.add_simple_edge(0, i, 0.003);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn ample_budget_is_bit_identical_to_plain_dphyp() {
+        for spec in [chain_spec(20), star_spec(11)] {
+            let exact = optimize_spec(&spec).unwrap();
+            let adaptive = optimize_adaptive(&spec).unwrap();
+            assert_eq!(adaptive.tier, PlanTier::Exact);
+            assert_eq!(adaptive.cost, exact.cost, "costs must be bit-identical");
+            assert_eq!(adaptive.cardinality, exact.cardinality);
+            assert_eq!(adaptive.telemetry.exact_ccps, exact.ccp_count);
+            assert_eq!(adaptive.dp_entries, exact.dp_entries);
+            assert!(!adaptive.telemetry.exact_aborted);
+            assert_eq!(adaptive.telemetry.idp_k, 0);
+        }
+    }
+
+    #[test]
+    fn budget_equal_to_true_ccp_count_stays_exact() {
+        let spec = chain_spec(12);
+        let true_ccps = optimize_spec(&spec).unwrap().ccp_count;
+        let at_budget = AdaptiveOptimizer::new(AdaptiveOptions {
+            ccp_budget: true_ccps,
+            ..Default::default()
+        })
+        .optimize_spec(&spec)
+        .unwrap();
+        assert_eq!(
+            at_budget.tier,
+            PlanTier::Exact,
+            "budget == ccp count must not fall back (off-by-one)"
+        );
+        assert_eq!(at_budget.telemetry.exact_ccps, true_ccps);
+        // One pair less, and the driver must degrade.
+        let below = AdaptiveOptimizer::new(AdaptiveOptions {
+            ccp_budget: true_ccps - 1,
+            ..Default::default()
+        })
+        .optimize_spec(&spec)
+        .unwrap();
+        assert_ne!(below.tier, PlanTier::Exact);
+        assert!(below.telemetry.exact_aborted);
+        assert_eq!(below.telemetry.exact_ccps, true_ccps - 1);
+    }
+
+    #[test]
+    fn tiny_budgets_still_return_valid_greedy_plans() {
+        let spec = star_spec(9);
+        for budget in [0usize, 1] {
+            let r = AdaptiveOptimizer::new(AdaptiveOptions {
+                ccp_budget: budget,
+                ..Default::default()
+            })
+            .optimize_spec(&spec)
+            .unwrap();
+            assert_eq!(r.tier, PlanTier::Greedy, "budget {budget}");
+            assert_eq!(r.plan.scan_count(), 10);
+            assert_eq!(r.plan.join_count(), 9);
+            assert!(r.telemetry.exact_ccps <= budget);
+            assert!(r.telemetry.exact_aborted);
+            assert_eq!(
+                r.telemetry.idp_k, 0,
+                "no IDP round fits a budget of {budget}"
+            );
+            assert!(r.telemetry.fallback_cost_calls > 0);
+        }
+    }
+
+    #[test]
+    fn over_budget_stars_fall_back_to_idp() {
+        // star-17: 16 · 2^15 = 524288 pairs; budget 10k forces the fallback, 3^8 < 10k keeps
+        // IDP feasible at k = 8.
+        let spec = star_spec(16);
+        let r = AdaptiveOptimizer::new(AdaptiveOptions {
+            ccp_budget: 10_000,
+            ..Default::default()
+        })
+        .optimize_spec(&spec)
+        .unwrap();
+        assert_eq!(r.tier, PlanTier::Idp);
+        assert_eq!(r.telemetry.idp_k, 8);
+        assert_eq!(r.telemetry.exact_ccps, 10_000);
+        assert_eq!(r.plan.scan_count(), 17);
+        // The fallback plan cannot beat the true optimum.
+        let exact = optimize_spec(&spec).unwrap();
+        assert!(r.cost >= exact.cost - 1e-9);
+    }
+
+    #[test]
+    fn effective_block_size_shrinks_with_the_budget() {
+        let k_for = |budget| {
+            AdaptiveOptimizer::new(AdaptiveOptions {
+                ccp_budget: budget,
+                ..Default::default()
+            })
+            .effective_idp_k()
+        };
+        assert_eq!(k_for(0), None);
+        assert_eq!(k_for(8), None); // 3^2 = 9 > 8
+        assert_eq!(k_for(9), Some(2));
+        assert_eq!(k_for(100), Some(4)); // 3^4 = 81 ≤ 100 < 3^5
+        assert_eq!(k_for(1_000_000), Some(10)); // capped by idp_block_size
+    }
+
+    #[test]
+    fn width_dispatch_covers_wide_specs_and_rejects_oversized_ones() {
+        // An 80-relation chain is cheap even exactly — runs on the two-word tier.
+        let r = optimize_adaptive(&chain_spec(80)).unwrap();
+        assert_eq!(r.tier, PlanTier::Exact);
+        assert_eq!(r.plan.scan_count(), 80);
+        let err = optimize_adaptive(&chain_spec(200)).unwrap_err();
+        assert!(matches!(err, OptimizeError::TooManyRelations { .. }));
+    }
+
+    #[test]
+    fn adaptive_honors_the_cost_model_choice() {
+        let spec = chain_spec(6);
+        let cout = AdaptiveOptimizer::new(AdaptiveOptions::default())
+            .optimize_spec(&spec)
+            .unwrap();
+        let mixed = AdaptiveOptimizer::new(AdaptiveOptions {
+            cost_model: CostModelKind::Mixed,
+            ..Default::default()
+        })
+        .optimize_spec(&spec)
+        .unwrap();
+        assert_eq!(cout.tier, PlanTier::Exact);
+        assert_eq!(mixed.tier, PlanTier::Exact);
+        assert_ne!(cout.cost, mixed.cost, "models cost plans differently");
+        assert!(cout.plan.operators().iter().all(|o| *o == JoinOp::Inner));
+    }
+
+    #[test]
+    fn disconnected_specs_error_in_every_tier() {
+        let mut b = QuerySpec::builder(4);
+        b.add_simple_edge(0, 1, 0.1);
+        b.add_simple_edge(2, 3, 0.1);
+        let spec = b.build();
+        // Exact tier reports the largest covered set.
+        let err = optimize_adaptive(&spec).unwrap_err();
+        assert!(matches!(err, OptimizeError::NoCompletePlan { .. }));
+        // Forced-fallback path must error too, not loop or panic.
+        let err = AdaptiveOptimizer::new(AdaptiveOptions {
+            ccp_budget: 0,
+            ..Default::default()
+        })
+        .optimize_spec(&spec)
+        .unwrap_err();
+        assert!(matches!(err, OptimizeError::NoCompletePlan { .. }));
+    }
+
+    #[test]
+    fn tier_display_names_are_stable() {
+        assert_eq!(PlanTier::Exact.to_string(), "exact");
+        assert_eq!(PlanTier::Idp.to_string(), "idp");
+        assert_eq!(PlanTier::Greedy.to_string(), "greedy");
+    }
+}

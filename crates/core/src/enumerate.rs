@@ -16,8 +16,17 @@
 //! connectivity primitives of `qo-hypergraph` already resolve their flexible node sets.
 
 use qo_bitset::NodeSet;
-use qo_catalog::{CcpHandler, CountingHandler};
+use qo_catalog::{CcpHandler, CountingHandler, EmitSignal};
 use qo_hypergraph::Hypergraph;
+
+/// Unwinds the enumeration when a handler call answered [`EmitSignal::Abort`].
+macro_rules! propagate {
+    ($signal:expr) => {
+        if $signal.is_abort() {
+            return EmitSignal::Abort;
+        }
+    };
+}
 
 /// The DPhyp enumerator.
 ///
@@ -43,77 +52,87 @@ impl<'a, H: CcpHandler<W>, const W: usize> DpHyp<'a, H, W> {
     /// decreasing order, emits the csg-cmp-pairs whose first component is `{v}` and recursively
     /// expands `{v}` into larger connected subgraphs. The prefix `B_v = {w | w ≤ v}` is
     /// forbidden during the expansion to avoid duplicate enumerations.
-    pub fn run(&mut self) {
+    ///
+    /// Returns [`EmitSignal::Continue`] when every csg-cmp-pair was enumerated, or
+    /// [`EmitSignal::Abort`] when the handler cut the enumeration short (e.g. a
+    /// [`qo_catalog::BudgetedHandler`] whose pair budget ran out) — the handler's DP state is
+    /// then a valid but partial memo. Handlers without a budget never abort, so plain callers
+    /// can ignore the signal with `let _ = …`.
+    pub fn run(&mut self) -> EmitSignal {
         let n = self.graph.node_count();
         for v in 0..n {
             self.handler.init_leaf(v);
         }
         for v in (0..n).rev() {
             let single = NodeSet::single(v);
-            self.emit_csg(single);
-            self.enumerate_csg_rec(single, NodeSet::prefix_through(v));
+            propagate!(self.emit_csg(single));
+            propagate!(self.enumerate_csg_rec(single, NodeSet::prefix_through(v)));
         }
+        EmitSignal::Continue
     }
 
     /// `EnumerateCsgRec`: extends the connected set `s1` by subsets of its neighborhood.
-    fn enumerate_csg_rec(&mut self, s1: NodeSet<W>, x: NodeSet<W>) {
+    fn enumerate_csg_rec(&mut self, s1: NodeSet<W>, x: NodeSet<W>) -> EmitSignal {
         let neighborhood = self.graph.neighborhood(s1, x);
         if neighborhood.is_empty() {
-            return;
+            return EmitSignal::Continue;
         }
         // First emit (smaller sets first — required for DP validity), then recurse.
         for n in neighborhood.subsets() {
             let grown = s1 | n;
             if self.handler.contains(grown) {
-                self.emit_csg(grown);
+                propagate!(self.emit_csg(grown));
             }
         }
         let x_extended = x | neighborhood;
         for n in neighborhood.subsets() {
-            self.enumerate_csg_rec(s1 | n, x_extended);
+            propagate!(self.enumerate_csg_rec(s1 | n, x_extended));
         }
+        EmitSignal::Continue
     }
 
     /// `EmitCsg`: for a connected set `s1`, finds all seed nodes of potential complements and
     /// starts their recursive expansion.
-    fn emit_csg(&mut self, s1: NodeSet<W>) {
+    fn emit_csg(&mut self, s1: NodeSet<W>) -> EmitSignal {
         let min = s1.min_node().expect("EmitCsg called with an empty set");
         let x = s1 | NodeSet::prefix_through(min);
         let neighborhood = self.graph.neighborhood(s1, x);
         if neighborhood.is_empty() {
-            return;
+            return EmitSignal::Continue;
         }
         for v in neighborhood.iter_descending() {
             let s2 = NodeSet::single(v);
             if self.graph.has_connecting_edge(s1, s2) {
-                self.handler.emit_ccp(s1, s2);
+                propagate!(self.handler.emit_ccp(s1, s2));
             }
             // While the seed {v} may not yet be connected to s1 (it may only be the
             // representative of a larger hypernode), it can often be *extended* to a valid
             // complement. Forbid the neighbors that are still to be processed at this level to
             // avoid duplicate complements.
             let forbidden = x | (NodeSet::prefix_through(v) & neighborhood);
-            self.enumerate_cmp_rec(s1, s2, forbidden);
+            propagate!(self.enumerate_cmp_rec(s1, s2, forbidden));
         }
+        EmitSignal::Continue
     }
 
     /// `EnumerateCmpRec`: extends the complement `s2` by subsets of its neighborhood, emitting a
     /// csg-cmp-pair whenever the grown complement is connected and linked to `s1`.
-    fn enumerate_cmp_rec(&mut self, s1: NodeSet<W>, s2: NodeSet<W>, x: NodeSet<W>) {
+    fn enumerate_cmp_rec(&mut self, s1: NodeSet<W>, s2: NodeSet<W>, x: NodeSet<W>) -> EmitSignal {
         let neighborhood = self.graph.neighborhood(s2, x);
         if neighborhood.is_empty() {
-            return;
+            return EmitSignal::Continue;
         }
         for n in neighborhood.subsets() {
             let grown = s2 | n;
             if self.handler.contains(grown) && self.graph.has_connecting_edge(s1, grown) {
-                self.handler.emit_ccp(s1, grown);
+                propagate!(self.handler.emit_ccp(s1, grown));
             }
         }
         let x_extended = x | neighborhood;
         for n in neighborhood.subsets() {
-            self.enumerate_cmp_rec(s1, s2 | n, x_extended);
+            propagate!(self.enumerate_cmp_rec(s1, s2 | n, x_extended));
         }
+        EmitSignal::Continue
     }
 }
 
@@ -122,7 +141,7 @@ impl<'a, H: CcpHandler<W>, const W: usize> DpHyp<'a, H, W> {
 /// width like the enumerator itself.
 pub fn count_ccps_dphyp<const W: usize>(graph: &Hypergraph<W>) -> CountingHandler<W> {
     let mut handler = CountingHandler::new();
-    DpHyp::new(graph, &mut handler).run();
+    let _ = DpHyp::new(graph, &mut handler).run();
     handler
 }
 
@@ -326,7 +345,7 @@ mod tests {
         // handler would panic in debug builds. Verify explicitly on a mid-size graph.
         let g = cycle(7);
         let mut handler = CountingHandler::new();
-        DpHyp::new(&g, &mut handler).run();
+        let _ = DpHyp::new(&g, &mut handler).run();
         let mut known: BTreeSet<NodeSet> = (0..7).map(NodeSet::single).collect();
         for &(a, b) in handler.pairs() {
             assert!(

@@ -41,11 +41,20 @@
 //!   `qo-algebra`.
 //! * The TES generate-and-test variant the paper compares against in Fig. 8a is available via
 //!   [`OptimizerOptions::conflict_encoding`] = [`ConflictEncoding::TesTest`].
+//! * [`adaptive::AdaptiveOptimizer`] is the production driver on top: it runs the exact
+//!   enumeration under a csg-cmp-pair budget and degrades to IDP-k and greedy ordering when a
+//!   query's search space (e.g. a 96-relation star, `95·2^94` pairs) cannot be enumerated
+//!   exactly, reporting the chosen tier and the spent budget in [`OptimizeResult`].
 
+pub mod adaptive;
 pub mod enumerate;
 mod optimizer;
 mod query;
 
+pub use adaptive::{
+    optimize_adaptive, AdaptiveOptimizer, AdaptiveOptions, BudgetTelemetry, OptimizeResult,
+    PlanTier,
+};
 pub use enumerate::{count_ccps_dphyp, DpHyp};
 pub use optimizer::{
     optimize, CostModelKind, OptimizeError, Optimized, Optimizer, OptimizerOptions,

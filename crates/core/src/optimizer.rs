@@ -194,7 +194,7 @@ pub(crate) fn optimize_graph_with<M: CostModel<W> + ?Sized, const W: usize>(
 ) -> Result<Optimized, OptimizeError> {
     let combiner = JoinCombiner::new(graph, catalog, cost_model).with_tes_enforcement(enforce_tes);
     let mut handler = CostBasedHandler::new(combiner);
-    DpHyp::new(graph, &mut handler).run();
+    let _ = DpHyp::new(graph, &mut handler).run(); // unbudgeted handlers never abort
     let ccp_count = handler.ccp_count();
     let table = handler.into_table();
     let all = graph.all_nodes();
@@ -486,7 +486,7 @@ mod tests {
     fn counting_and_optimizing_agree_on_search_space_size() {
         let (g, c) = chain_graph(&[10.0, 20.0, 30.0, 40.0, 50.0], &[0.1, 0.1, 0.1, 0.1]);
         let mut counter = CountingHandler::new();
-        DpHyp::new(&g, &mut counter).run();
+        let _ = DpHyp::new(&g, &mut counter).run();
         let result = optimize(&g, &c).unwrap();
         assert_eq!(counter.ccp_count(), result.ccp_count);
     }

@@ -42,7 +42,26 @@ struct SpecEdge {
 /// [`optimize_spec`](crate::optimize_spec)); the facade chooses the node-set width from the
 /// relation count. The per-width instantiation is also available directly via
 /// [`QuerySpec::instantiate`] for callers that drive the enumeration themselves (e.g. to run a
-/// baseline algorithm on the wide tier).
+/// baseline algorithm on the wide tier), and the adaptive driver
+/// ([`crate::optimize_adaptive`]) consumes the same spec when the enumeration algorithm should
+/// be picked automatically too.
+///
+/// ```
+/// use dphyp::{optimize_spec, QuerySpec};
+///
+/// // An 80-relation chain: wider than one 64-bit mask word, so the facade
+/// // silently dispatches to the two-word (W = 2) tier.
+/// let mut b = QuerySpec::builder(80);
+/// for i in 0..80 {
+///     b.set_cardinality(i, 1_000.0);
+/// }
+/// for i in 0..79 {
+///     b.add_simple_edge(i, i + 1, 0.01);
+/// }
+/// let result = optimize_spec(&b.build()).unwrap();
+/// assert_eq!(result.plan.join_count(), 79);
+/// assert_eq!(result.ccp_count, (80 * 80 * 80 - 80) / 6);
+/// ```
 #[derive(Clone, Debug)]
 pub struct QuerySpec {
     node_count: usize,
@@ -169,25 +188,42 @@ impl QuerySpecBuilder {
     }
 }
 
+/// The single place encoding the width ladder: instantiates `spec` at the narrowest
+/// sufficient node-set width and runs the matching continuation (`n ≤ 64` → `narrow`,
+/// `n ≤ 128` → `wide`), or returns [`OptimizeError::TooManyRelations`] beyond
+/// [`MAX_WIDE_NODES`]. Every spec-consuming entry point (the exact [`Optimizer`] facade, the
+/// adaptive driver) dispatches through here so a future width tier is added exactly once.
+pub(crate) fn with_width_dispatch<R>(
+    spec: &QuerySpec,
+    narrow: impl FnOnce(&Hypergraph<1>, &Catalog<1>) -> R,
+    wide: impl FnOnce(&Hypergraph<2>, &Catalog<2>) -> R,
+) -> Result<R, OptimizeError> {
+    let n = spec.node_count();
+    if n <= NodeSet64::CAPACITY {
+        let (graph, catalog) = spec.instantiate::<1>();
+        Ok(narrow(&graph, &catalog))
+    } else if n <= NodeSet128::CAPACITY {
+        let (graph, catalog) = spec.instantiate::<2>();
+        Ok(wide(&graph, &catalog))
+    } else {
+        Err(OptimizeError::TooManyRelations {
+            count: n,
+            max: MAX_WIDE_NODES,
+        })
+    }
+}
+
 impl Optimizer {
     /// Optimizes a width-agnostic [`QuerySpec`], dispatching on the node count **once**:
     /// queries of up to 64 relations run the single-word (`W = 1`) enumeration, larger queries
     /// up to [`MAX_WIDE_NODES`] run the two-word tier, and anything beyond returns
     /// [`OptimizeError::TooManyRelations`].
     pub fn optimize_spec(&self, spec: &QuerySpec) -> Result<Optimized, OptimizeError> {
-        let n = spec.node_count();
-        if n <= NodeSet64::CAPACITY {
-            let (graph, catalog) = spec.instantiate::<1>();
-            self.optimize_hypergraph(&graph, &catalog)
-        } else if n <= NodeSet128::CAPACITY {
-            let (graph, catalog) = spec.instantiate::<2>();
-            self.optimize_hypergraph(&graph, &catalog)
-        } else {
-            Err(OptimizeError::TooManyRelations {
-                count: n,
-                max: MAX_WIDE_NODES,
-            })
-        }
+        with_width_dispatch(
+            spec,
+            |graph, catalog| self.optimize_hypergraph(graph, catalog),
+            |graph, catalog| self.optimize_hypergraph(graph, catalog),
+        )?
     }
 }
 

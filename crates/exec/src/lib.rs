@@ -16,6 +16,26 @@
 //! left row together with the group count. These simplifications are documented substitutions;
 //! they preserve exactly the property the tests need: two plans are equivalent iff they compute
 //! the same multiset of rows.
+//!
+//! ```
+//! use qo_exec::{execute_plan, results_equal, Database};
+//! use qo_catalog::Catalog;
+//! use qo_hypergraph::Hypergraph;
+//!
+//! // Plan a 3-relation chain, then execute the optimized plan over synthetic data.
+//! let mut b = Hypergraph::builder(3);
+//! b.add_simple_edge(0, 1);
+//! b.add_simple_edge(1, 2);
+//! let graph = b.build();
+//! let catalog = Catalog::uniform(3, 100.0, 2, 0.1);
+//! let plan = dphyp::optimize(&graph, &catalog).unwrap().plan;
+//!
+//! let db = Database::generate(&[30, 40, 50], 42);
+//! let rows = execute_plan(&plan, &graph, &db);
+//! // Every row binds a key for each of the three relations.
+//! assert!(rows.iter().all(|r| (0..3).all(|rel| r.key(rel).is_some())));
+//! assert!(results_equal(&rows, &rows));
+//! ```
 
 mod database;
 mod executor;

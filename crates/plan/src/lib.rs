@@ -11,7 +11,28 @@
 //! * [`PlanShape`] helpers and a pretty printer for plans.
 //!
 //! The crate deliberately knows nothing about hypergraphs or statistics; those live in
-//! `qo-hypergraph` and `qo-catalog`.
+//! `qo-hypergraph` and `qo-catalog`. Plans are plain trees that every enumeration algorithm in
+//! the workspace (exact, iterative and greedy alike) produces through the shared
+//! reconstruction machinery, and that `qo-exec` can run over synthetic data:
+//!
+//! ```
+//! use qo_plan::{JoinOp, PlanNode, PlanShape};
+//!
+//! // (R0 ⋈ R1) ⟕ R2, assembled the way the DP-table reconstruction does.
+//! let base = PlanNode::join(
+//!     JoinOp::Inner,
+//!     PlanNode::scan(0, 1_000.0),
+//!     PlanNode::scan(1, 50.0),
+//!     vec![0],   // predicate (hyperedge) ids applied at this join
+//!     500.0,     // estimated output cardinality
+//!     500.0,     // cost
+//! );
+//! let plan = PlanNode::join(JoinOp::LeftOuter, base, PlanNode::scan(2, 10.0), vec![1], 500.0, 1_000.0);
+//! assert_eq!(plan.scan_count(), 3);
+//! assert_eq!(plan.shape(), PlanShape::LeftDeep);
+//! assert_eq!(plan.operators(), vec![JoinOp::LeftOuter, JoinOp::Inner]); // pre-order
+//! assert!(plan.pretty().contains("scan R2"));
+//! ```
 
 mod operator;
 mod tree;

@@ -12,12 +12,26 @@
 //! * random connected hypergraphs and operator trees used by the property-based tests
 //!   ([`random`]),
 //! * the >64-relation tier: 96- and 128-relation chain/star/cycle families over two-word node
-//!   sets ([`wide`]).
+//!   sets ([`wide`]),
+//! * width-agnostic [`dphyp::QuerySpec`] families for the adaptive optimization driver,
+//!   including the huge star/clique instances that force its fallback tiers ([`huge`]).
 //!
 //! All generators are deterministic: statistics are derived from a seeded RNG so that repeated
-//! benchmark runs measure the same queries.
+//! benchmark runs measure the same queries:
+//!
+//! ```
+//! use qo_workloads::{chain_query, huge::huge_star_spec};
+//!
+//! let w = chain_query(8, 42);
+//! assert_eq!(w.name, "chain-8");
+//! assert_eq!(dphyp::optimize(&w.graph, &w.catalog).unwrap().ccp_count, 84);
+//!
+//! // The 96-relation star feeds the adaptive driver's fallback tiers.
+//! assert_eq!(huge_star_spec(42).node_count(), 96);
+//! ```
 
 pub mod graphs;
+pub mod huge;
 pub mod non_inner;
 pub mod random;
 pub mod splits;
@@ -26,6 +40,10 @@ pub mod wide;
 pub use graphs::{
     chain_query, chain_query_w, clique_query, clique_query_w, cycle_query, cycle_query_w,
     star_query, star_query_w, Workload, Workload128,
+};
+pub use huge::{
+    chain_spec, clique_spec, cycle_spec, huge_chain_spec, huge_clique_spec, huge_star_spec,
+    star_spec,
 };
 pub use non_inner::{cycle_with_outer_joins, star_with_antijoins};
 pub use random::{random_catalog, random_hypergraph, random_left_deep_tree};

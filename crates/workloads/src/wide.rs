@@ -9,9 +9,11 @@
 //! A note on feasibility: the chain and cycle families are fully plannable by the DP algorithms
 //! at these sizes (a 96-relation chain has `(96³ − 96)/6 ≈ 147k` csg-cmp-pairs, a 96-cycle
 //! ≈ 434k). The star families at 96+ relations are *structurally* out of reach of any exact DP
-//! — a star with `n` relations has `(n−1)·2^(n−2)` csg-cmp-pairs, ≈ 10^30 at `n = 96` — so on
-//! stars only the greedy baseline (GOO, `O(n³)`) is applicable; this is the same wall the paper
-//! hits at 20 relations, just further out.
+//! — a star with `n` relations has `(n−1)·2^(n−2)` csg-cmp-pairs, ≈ 10^30 at `n = 96` — the
+//! same wall the paper hits at 20 relations, just further out. That makes the wide stars the
+//! motivating workload of the adaptive driver (`dphyp::AdaptiveOptimizer`), which detects the
+//! blow-up through its ccp budget and degrades to IDP/greedy automatically; see the
+//! [`huge`](crate::huge) spec families that feed it.
 
 use crate::graphs::{chain_query_w, cycle_query_w, star_query_w, Workload128};
 
@@ -38,8 +40,8 @@ pub fn wide_cycle_query(n: usize, seed: u64) -> Workload128 {
 
 /// A wide star query (`64 ≤ satellites ≤ 127`, i.e. 65–128 relations).
 ///
-/// Plannable by greedy algorithms only; see the module docs for why exact DP cannot reach
-/// stars of this size.
+/// Out of reach of exact DP (see the module docs); plan it through the adaptive driver or a
+/// greedy/IDP baseline directly.
 pub fn wide_star_query(satellites: usize, seed: u64) -> Workload128 {
     assert!(
         (64..=127).contains(&satellites),

@@ -1,0 +1,152 @@
+//! Cross-crate integration tests of the adaptive optimization driver: the budget boundary, the
+//! tier ladder (exact → IDP → greedy), and the 96-relation star that motivated it.
+
+use dphyp::{
+    optimize_adaptive, optimize_spec, AdaptiveOptimizer, AdaptiveOptions, PlanTier, QuerySpec,
+};
+use qo_workloads::{chain_spec, huge_star_spec, star_spec};
+
+const SEED: u64 = 2008;
+
+fn with_budget(budget: usize) -> AdaptiveOptimizer {
+    AdaptiveOptimizer::new(AdaptiveOptions {
+        ccp_budget: budget,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn ample_budget_is_bit_identical_to_plain_dphyp_on_the_paper_families() {
+    // chain-20 (1330 pairs) fits the default budget; star-14 (13·2^12 pairs) needs an explicit
+    // ample budget. Both must reproduce the exact optimizer bit for bit — same cost, same
+    // cardinality, same enumeration effort. (The release-mode `reproduce --experiment adaptive`
+    // harness asserts the same property on the full-size star-20.)
+    for (spec, ample) in [
+        (chain_spec(20, SEED), 1_000_000usize),
+        (star_spec(13, SEED), 1_000_000),
+    ] {
+        let exact = optimize_spec(&spec).expect("plannable");
+        let adaptive = with_budget(ample).optimize_spec(&spec).expect("plannable");
+        assert_eq!(adaptive.tier, PlanTier::Exact);
+        assert_eq!(adaptive.cost, exact.cost, "cost must be bit-identical");
+        assert_eq!(adaptive.cardinality, exact.cardinality);
+        assert_eq!(adaptive.telemetry.exact_ccps, exact.ccp_count);
+        assert_eq!(adaptive.dp_entries, exact.dp_entries);
+    }
+}
+
+#[test]
+fn budget_exactly_equal_to_the_true_ccp_count_stays_exact() {
+    // No off-by-one: the budget-th pair must still be processed, only a further one aborts.
+    let spec = star_spec(10, SEED);
+    let true_ccps = optimize_spec(&spec).unwrap().ccp_count;
+    assert_eq!(true_ccps, 10 * (1 << 9), "star-11 closed form");
+
+    let at_budget = with_budget(true_ccps).optimize_spec(&spec).unwrap();
+    assert_eq!(at_budget.tier, PlanTier::Exact);
+    assert!(!at_budget.telemetry.exact_aborted);
+    assert_eq!(at_budget.telemetry.exact_ccps, true_ccps);
+
+    let one_short = with_budget(true_ccps - 1).optimize_spec(&spec).unwrap();
+    assert_ne!(one_short.tier, PlanTier::Exact);
+    assert!(one_short.telemetry.exact_aborted);
+    assert_eq!(one_short.telemetry.exact_ccps, true_ccps - 1);
+    // The fallback still covers every relation.
+    assert_eq!(one_short.plan.scan_count(), 11);
+}
+
+#[test]
+fn zero_and_one_budgets_return_valid_greedy_plans() {
+    for budget in [0usize, 1] {
+        for spec in [chain_spec(10, SEED), star_spec(9, SEED)] {
+            let n = spec.node_count();
+            let r = with_budget(budget).optimize_spec(&spec).unwrap();
+            assert_eq!(r.tier, PlanTier::Greedy, "budget {budget}");
+            assert_eq!(r.plan.scan_count(), n);
+            assert_eq!(r.plan.join_count(), n - 1);
+            assert!(r.cost.is_finite() && r.cost > 0.0);
+            assert!(r.telemetry.exact_aborted);
+            assert_eq!(r.telemetry.idp_k, 0);
+        }
+    }
+}
+
+#[test]
+fn the_96_relation_star_plans_without_manual_algorithm_selection() {
+    // PR 2's wall: 95·2^94 csg-cmp-pairs make the 96-star structurally out of reach of exact
+    // DP, and the harness had to route it to GOO by hand. The adaptive driver now absorbs it
+    // through the same QuerySpec entry point as every other query. A reduced budget keeps the
+    // debug-mode test fast while exercising the identical abort + fallback path as the default
+    // budget (the release-mode reproduce harness runs the default-budget version).
+    let spec = huge_star_spec(SEED);
+    assert_eq!(spec.node_count(), 96);
+    let r = with_budget(20_000).optimize_spec(&spec).expect("plannable");
+    assert_ne!(r.tier, PlanTier::Exact, "no exact enumeration can finish");
+    assert_eq!(r.tier, PlanTier::Idp);
+    assert_eq!(r.plan.scan_count(), 96);
+    assert_eq!(r.plan.join_count(), 95);
+    assert!(r.telemetry.exact_aborted);
+    assert_eq!(r.telemetry.exact_ccps, 20_000, "budget was honored exactly");
+    assert!(r.telemetry.idp_k >= 2);
+}
+
+#[test]
+fn default_budget_enforces_a_hard_ceiling_on_enumeration_work() {
+    // The default options must (a) leave moderate exact queries alone and (b) bound the exact
+    // tier's work on explosive ones to the budget, not the true pair count.
+    let chain = optimize_adaptive(&chain_spec(20, SEED)).unwrap();
+    assert_eq!(chain.tier, PlanTier::Exact);
+    let defaults = AdaptiveOptions::default();
+    assert!(chain.telemetry.exact_ccps <= defaults.ccp_budget);
+
+    let star = optimize_adaptive(&star_spec(24, SEED)).unwrap();
+    assert_ne!(star.tier, PlanTier::Exact, "star-25 has ~100M pairs");
+    assert_eq!(star.telemetry.exact_ccps, defaults.ccp_budget);
+    assert_eq!(star.plan.scan_count(), 25);
+}
+
+#[test]
+fn fallback_plans_are_valid_and_never_beat_the_exact_optimum() {
+    let spec = star_spec(12, SEED);
+    let exact = optimize_spec(&spec).unwrap();
+    for budget in [0usize, 10, 100, 1_000, 10_000] {
+        let r = with_budget(budget).optimize_spec(&spec).unwrap();
+        assert_eq!(r.plan.scan_count(), 13, "budget {budget}");
+        assert!(
+            r.cost >= exact.cost - 1e-9,
+            "budget {budget}: fallback cost {} below exact optimum {}",
+            r.cost,
+            exact.cost
+        );
+    }
+    // And an ample budget reaches the optimum itself.
+    let ample = with_budget(usize::MAX).optimize_spec(&spec).unwrap();
+    assert_eq!(ample.cost, exact.cost);
+}
+
+#[test]
+fn wide_tier_specs_flow_through_the_same_entry_point() {
+    // 96 relations dispatch to the two-word width inside the adaptive facade.
+    let spec = chain_spec(96, SEED);
+    let r = optimize_adaptive(&spec).unwrap();
+    assert_eq!(r.tier, PlanTier::Exact, "147k pairs fit the default budget");
+    assert_eq!(r.plan.scan_count(), 96);
+    let exact = optimize_spec(&spec).unwrap();
+    assert_eq!(r.cost, exact.cost);
+}
+
+#[test]
+fn handcrafted_specs_and_generated_specs_behave_identically() {
+    // The driver must not depend on workload-generator specifics: a hand-built spec with the
+    // same shape falls through the same tiers.
+    let mut b = QuerySpec::builder(20);
+    b.set_cardinality(0, 100_000.0);
+    for i in 1..20 {
+        b.set_cardinality(i, 40.0 * i as f64);
+        b.add_simple_edge(0, i, 0.005);
+    }
+    let spec = b.build();
+    let r = with_budget(5_000).optimize_spec(&spec).unwrap();
+    assert_eq!(r.tier, PlanTier::Idp);
+    assert_eq!(r.plan.scan_count(), 20);
+}

@@ -38,6 +38,15 @@ fn umbrella_reexports_are_usable() {
 }
 
 #[test]
+fn adaptive_entry_point_is_reachable_through_the_umbrella() {
+    let spec = umbrella::workloads::star_spec(6, 1);
+    let r = umbrella::dphyp::optimize_adaptive(&spec).expect("plannable");
+    assert_eq!(r.tier, umbrella::dphyp::PlanTier::Exact);
+    assert_eq!(r.plan.scan_count(), 7);
+    assert_eq!(r.telemetry.ccp_budget, 1_000_000);
+}
+
+#[test]
 fn operator_tree_entry_point_works_end_to_end() {
     let tree = OpTree::op(
         JoinOp::LeftOuter,

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Doc-link checker: fails if any tracked markdown file contains a relative
+# link to a file that does not exist, so cross-references between README.md,
+# ARCHITECTURE.md and ROADMAP.md cannot rot. External (http/mailto) links,
+# pure #anchors and fenced code blocks are ignored, and an optional link
+# title (`[x](file.md "title")`) is stripped before the existence check.
+# Run from the repository root; CI runs it as part of the docs job.
+set -u
+
+status=0
+# Tracked *.md in a git checkout; fall back to find for exported trees.
+files=$(git ls-files '*.md' 2>/dev/null)
+if [ -z "$files" ]; then
+    files=$(find . -name '*.md' -not -path './target/*' -not -path './.git/*')
+fi
+
+for f in $files; do
+    dir=$(dirname "$f")
+    # Strip fenced code blocks, then capture the (...) target of every [...](...)
+    # link; targets may contain spaces, so read line-wise instead of word-splitting.
+    while IFS= read -r target; do
+        [ -z "$target" ] && continue
+        case "$target" in
+        http://* | https://* | mailto:*) continue ;;
+        esac
+        path="${target%%#*}" # strip an anchor suffix
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "dead link in $f: ($target) -> $dir/$path does not exist"
+            status=1
+        fi
+    done < <(
+        awk '/^[[:space:]]*```/ { fence = !fence; next } !fence' "$f" |
+            grep -oE '\]\([^)]+\)' |
+            sed -E 's/^\]\(//; s/\)$//; s/[[:space:]]+"[^"]*"$//'
+    )
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "markdown links OK"
+fi
+exit $status

@@ -9,7 +9,7 @@
 //! * `--full` also runs the baseline algorithms at the largest query sizes (DPsize/DPsub on the
 //!   16-relation stars take from seconds to minutes per point, exactly as in the paper).
 //! * `--experiment <id>` restricts the run to one experiment; ids: `e1`, `fig5a`, `fig5b`, `e4`,
-//!   `fig6a`, `fig6b`, `fig7`, `fig8a`, `fig8b`, `ccp`, `table`, `adaptive`.
+//!   `fig6a`, `fig6b`, `fig7`, `fig8a`, `fig8b`, `ccp`, `table`, `adaptive`, `ingest`.
 //! * `--baseline [path]` skips the experiment tables and instead writes a machine-readable
 //!   snapshot (`BENCH_baseline.json` by default): ccp counts and wall-clock per graph family
 //!   plus the arena-vs-HashMap DP-table comparison, so future changes have a perf trajectory.
@@ -128,6 +128,80 @@ fn main() {
     if want("adaptive") {
         adaptive_tiers();
     }
+    if want("ingest") {
+        ingest_corpus();
+    }
+}
+
+/// Runs one ingested corpus query through the adaptive driver (with the query's own options
+/// overlaid on the defaults) and returns its telemetry row.
+fn run_ingest_row(q: &qo_workloads::corpus::IngestQuery) -> IngestRow {
+    let (t, r) = time_once(|| q.plan().expect("corpus query plannable"));
+    assert_eq!(
+        r.plan.scan_count(),
+        q.relation_count(),
+        "{}: ingested plan must cover every declared relation",
+        q.name
+    );
+    IngestRow {
+        relations: q.relation_count(),
+        edges: q.spec.edge_count(),
+        budget: q.adaptive_options().ccp_budget,
+        tier: r.tier,
+        exact_ccps: r.telemetry.exact_ccps,
+        wall_ms: t.as_secs_f64() * 1e3,
+        cost: r.cost,
+    }
+}
+
+struct IngestRow {
+    relations: usize,
+    edges: usize,
+    budget: usize,
+    tier: PlanTier,
+    exact_ccps: usize,
+    wall_ms: f64,
+    cost: f64,
+}
+
+/// I1: the embedded `.jg` corpus (30 JOB-style and TPC-DS-flavored join graphs) planned end
+/// to end — parse, lower, adaptive driver — with per-query tier/budget/ccp telemetry. This is
+/// the non-synthetic workload surface: stars and snowflakes with complex-predicate
+/// hyperedges, non-inner joins and per-query budgets.
+fn ingest_corpus() {
+    use qo_workloads::corpus::corpus;
+    println!("== I1: embedded .jg corpus planned end to end (parse -> lower -> adaptive) ==");
+    println!(
+        "{:>18} {:>5} {:>6} {:>10} {:>8} {:>12} {:>10} {:>14}",
+        "query", "rels", "edges", "budget", "tier", "exact ccps", "wall (ms)", "plan cost"
+    );
+    let mut tier_counts = [0usize; 3];
+    let queries = corpus();
+    let total = queries.len();
+    for q in queries {
+        let row = run_ingest_row(&q);
+        tier_counts[match row.tier {
+            PlanTier::Exact => 0,
+            PlanTier::Idp => 1,
+            PlanTier::Greedy => 2,
+        }] += 1;
+        println!(
+            "{:>18} {:>5} {:>6} {:>10} {:>8} {:>12} {:>10.3} {:>14.3e}",
+            q.name,
+            row.relations,
+            row.edges,
+            row.budget,
+            row.tier.to_string(),
+            row.exact_ccps,
+            row.wall_ms,
+            row.cost
+        );
+    }
+    println!(
+        "tiers: {} exact, {} idp, {} greedy (of {total})",
+        tier_counts[0], tier_counts[1], tier_counts[2]
+    );
+    println!();
 }
 
 /// The adaptive-driver experiment rows: one named workload spec per (budget, expected tier).
@@ -313,6 +387,24 @@ fn write_baseline(path: &str) {
         ));
     }
 
+    // Ingest trajectory: the embedded .jg corpus planned end to end, one row per query.
+    let mut ingest_json_rows = Vec::new();
+    for q in qo_workloads::corpus::corpus() {
+        let row = run_ingest_row(&q);
+        println!(
+            "  {:>18}: {:>2} rels, tier {:>7}, {:>10.3} ms",
+            q.name, row.relations, row.tier, row.wall_ms
+        );
+        ingest_json_rows.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"relations\": {}, \"edges\": {}, ",
+                "\"ccp_budget\": {}, \"tier\": \"{}\", \"exact_ccps\": {}, ",
+                "\"wall_ms\": {:.4}}}"
+            ),
+            q.name, row.relations, row.edges, row.budget, row.tier, row.exact_ccps, row.wall_ms
+        ));
+    }
+
     let mut table_rows = Vec::new();
     for w in table_workloads() {
         let cmp: TableComparison = compare_tables(&w.graph, &w.catalog, BUDGET);
@@ -337,11 +429,12 @@ fn write_baseline(path: &str) {
     }
 
     let json = format!(
-        "{{\n  \"schema_version\": 2,\n  \"generated_by\": \"reproduce --baseline\",\n  \
+        "{{\n  \"schema_version\": 3,\n  \"generated_by\": \"reproduce --baseline\",\n  \
          \"seed\": {SEED},\n  \"workloads\": [\n{}\n  ],\n  \"adaptive_tiers\": [\n{}\n  ],\n  \
-         \"dp_table_comparison\": [\n{}\n  ]\n}}\n",
+         \"ingest\": [\n{}\n  ],\n  \"dp_table_comparison\": [\n{}\n  ]\n}}\n",
         workload_rows.join(",\n"),
         adaptive_json_rows.join(",\n"),
+        ingest_json_rows.join(",\n"),
         table_rows.join(",\n"),
     );
     std::fs::write(path, json).expect("baseline file is writable");

@@ -5,11 +5,13 @@
 //! `(n−1)·2^(n−2)` pairs, ≈ `10^30` at `n = 96`). A production planner cannot hand such queries
 //! back to the caller; it must degrade gracefully. The driver runs three tiers:
 //!
-//! 1. **Exact** — DPhyp under a csg-cmp-pair budget. The budget is enforced *inside* the
-//!    enumeration: the [`qo_catalog::BudgetedHandler`] answers
-//!    [`Abort`](qo_catalog::EmitSignal::Abort) from `EmitCsgCmp` once the budget is spent and
-//!    [`DpHyp`] unwinds immediately, so an over-budget query costs at most `budget` pair
-//!    emissions, never the full (possibly astronomical) enumeration.
+//! 1. **Exact** — DPhyp under a csg-cmp-pair budget and an optional wall-clock budget
+//!    ([`AdaptiveOptions::time_budget`]). Both are enforced *inside* the enumeration: the
+//!    [`qo_catalog::BudgetedHandler`] answers [`Abort`](qo_catalog::EmitSignal::Abort) from
+//!    `EmitCsgCmp` once either budget is spent and [`DpHyp`] unwinds immediately, so an
+//!    over-budget query costs at most `budget` pair emissions (or the configured wall time),
+//!    never the full (possibly astronomical) enumeration. A spent *time* budget additionally
+//!    skips the IDP tier and drops straight to greedy ordering.
 //! 2. **IDP** — [`qo_baselines::idp`], iterative dynamic programming with block size `k`. The
 //!    driver shrinks `k` until one block round's worst case (`3^k` subset-splits) fits the same
 //!    budget, so a *round* never exceeds it; total fallback work is `rounds × 3^k` (at most
@@ -63,6 +65,7 @@ use qo_catalog::{
 use qo_hypergraph::Hypergraph;
 use qo_plan::PlanNode;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Options of the [`AdaptiveOptimizer`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,17 +77,26 @@ pub struct AdaptiveOptions {
     /// Upper bound on the IDP block size `k`; the effective `k` additionally shrinks until one
     /// block round (`3^k` splits) fits `ccp_budget`. Must be ≤ [`MAX_IDP_BLOCK_SIZE`].
     pub idp_block_size: usize,
+    /// Optional wall-clock budget for the whole optimization. The exact tier polls the
+    /// deadline from inside `EmitCsgCmp` (every
+    /// [`BudgetedHandler::DEADLINE_CHECK_INTERVAL`] pairs) and aborts when it has passed; a
+    /// deadline that expires during the exact tier also skips IDP and goes straight to greedy
+    /// ordering, so a tiny time budget still yields a valid plan in (approximately) that time.
+    /// `None` — the default — budgets pairs only.
+    pub time_budget: Option<Duration>,
     /// Cost model shared by all tiers.
     pub cost_model: CostModelKind,
 }
 
 impl Default for AdaptiveOptions {
     /// One million pairs (≈ 100 ms of enumeration on current hardware — chain/cycle queries of
-    /// 100+ relations stay exact, 20+-relation stars fall back) and blocks of up to 10.
+    /// 100+ relations stay exact, 20+-relation stars fall back), blocks of up to 10, and no
+    /// wall-clock budget.
     fn default() -> Self {
         AdaptiveOptions {
             ccp_budget: 1_000_000,
             idp_block_size: 10,
+            time_budget: None,
             cost_model: CostModelKind::Cout,
         }
     }
@@ -120,6 +132,9 @@ pub struct BudgetTelemetry {
     pub exact_ccps: usize,
     /// Did the exact tier hit the budget and abort?
     pub exact_aborted: bool,
+    /// Did the exact tier abort because the wall-clock budget (rather than the pair budget)
+    /// ran out? Implies `exact_aborted`; always `false` without a configured time budget.
+    pub exact_time_exceeded: bool,
     /// Effective IDP block size, shrunk to fit the budget (`0` when the IDP tier did not run).
     pub idp_k: usize,
     /// Cost-function calls made by the fallback tier (`0` in the exact tier).
@@ -196,11 +211,15 @@ impl AdaptiveOptimizer {
         catalog
             .validate_for(graph)
             .map_err(OptimizeError::InvalidCatalog)?;
+        let deadline = self.options.time_budget.map(|b| Instant::now() + b);
 
-        // Tier 1: exact DPhyp under the pair budget.
+        // Tier 1: exact DPhyp under the pair budget and, when configured, the deadline.
         let combiner = JoinCombiner::new(graph, catalog, cost_model);
         let mut handler =
             BudgetedHandler::new(CostBasedHandler::new(combiner), self.options.ccp_budget);
+        if let Some(d) = deadline {
+            handler = handler.with_deadline(d);
+        }
         let _ = DpHyp::new(graph, &mut handler).run();
         let exact_ccps = handler.ccp_count();
         let exact_aborted = handler.aborted();
@@ -208,6 +227,7 @@ impl AdaptiveOptimizer {
             ccp_budget: self.options.ccp_budget,
             exact_ccps,
             exact_aborted,
+            exact_time_exceeded: handler.deadline_exceeded(),
             idp_k: 0,
             fallback_cost_calls: 0,
         };
@@ -232,16 +252,20 @@ impl AdaptiveOptimizer {
         }
 
         // Tier 2: IDP with the block size shrunk until one round's worst case (3^k splits)
-        // fits the same budget.
-        if let Some(k) = self.effective_idp_k() {
-            telemetry.idp_k = k;
-            match idp(graph, catalog, cost_model, k) {
-                Ok(r) => return Ok(finish_fallback(r, PlanTier::Idp, telemetry)),
-                // A plan IDP cannot complete (pathological hyperedge connectivity) may still be
-                // reachable by GOO's exhaustive pair scan — fall through.
-                Err(BaselineError::NoCompletePlan) => {}
-                Err(BaselineError::InvalidCatalog(m)) => {
-                    unreachable!("catalog validated above: {m}")
+        // fits the same budget. Skipped when the wall clock has already run out — IDP rounds
+        // are not deadline-instrumented, so a spent time budget goes straight to greedy.
+        let time_left = deadline.is_none_or(|d| Instant::now() < d);
+        if time_left {
+            if let Some(k) = self.effective_idp_k() {
+                telemetry.idp_k = k;
+                match idp(graph, catalog, cost_model, k) {
+                    Ok(r) => return Ok(finish_fallback(r, PlanTier::Idp, telemetry)),
+                    // A plan IDP cannot complete (pathological hyperedge connectivity) may
+                    // still be reachable by GOO's exhaustive pair scan — fall through.
+                    Err(BaselineError::NoCompletePlan) => {}
+                    Err(BaselineError::InvalidCatalog(m)) => {
+                        unreachable!("catalog validated above: {m}")
+                    }
                 }
             }
         }
@@ -396,6 +420,41 @@ mod tests {
         // The fallback plan cannot beat the true optimum.
         let exact = optimize_spec(&spec).unwrap();
         assert!(r.cost >= exact.cost - 1e-9);
+    }
+
+    #[test]
+    fn tiny_time_budget_still_yields_a_valid_fallback_plan() {
+        // star-17: ~524k pairs, far more than a microsecond of enumeration. The deadline
+        // aborts the exact tier, and — the clock being spent — the driver skips IDP and
+        // answers with a complete greedy plan.
+        let spec = star_spec(16);
+        let r = AdaptiveOptimizer::new(AdaptiveOptions {
+            time_budget: Some(Duration::from_micros(1)),
+            ..Default::default()
+        })
+        .optimize_spec(&spec)
+        .unwrap();
+        assert_eq!(r.tier, PlanTier::Greedy, "a spent clock must skip IDP");
+        assert!(r.telemetry.exact_aborted);
+        assert!(r.telemetry.exact_time_exceeded);
+        assert_eq!(r.plan.scan_count(), 17);
+        assert_eq!(r.plan.join_count(), 16);
+        assert!(r.cost.is_finite());
+    }
+
+    #[test]
+    fn generous_time_budget_leaves_the_exact_tier_untouched() {
+        let spec = chain_spec(12);
+        let with_time = AdaptiveOptimizer::new(AdaptiveOptions {
+            time_budget: Some(Duration::from_secs(3600)),
+            ..Default::default()
+        })
+        .optimize_spec(&spec)
+        .unwrap();
+        assert_eq!(with_time.tier, PlanTier::Exact);
+        assert!(!with_time.telemetry.exact_time_exceeded);
+        let plain = optimize_spec(&spec).unwrap();
+        assert_eq!(with_time.cost, plain.cost, "bit-identical to plain DPhyp");
     }
 
     #[test]

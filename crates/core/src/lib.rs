@@ -59,7 +59,7 @@ pub use enumerate::{count_ccps_dphyp, DpHyp};
 pub use optimizer::{
     optimize, CostModelKind, OptimizeError, Optimized, Optimizer, OptimizerOptions,
 };
-pub use query::{optimize_spec, QuerySpec, QuerySpecBuilder, MAX_WIDE_NODES};
+pub use query::{optimize_spec, QuerySpec, QuerySpecBuilder, SpecEdge, MAX_WIDE_NODES};
 
 pub use qo_algebra::{ConflictEncoding, OpTree, Predicate};
 pub use qo_bitset::{NodeId, NodeSet, NodeSet128, NodeSet64};

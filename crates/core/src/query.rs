@@ -26,13 +26,44 @@ use qo_plan::JoinOp;
 pub const MAX_WIDE_NODES: usize = NodeSet128::CAPACITY;
 
 /// One hyperedge of a width-agnostic query description.
+///
+/// Read access to the edge structure is what external front ends (e.g. the `.jg` ingest
+/// pretty-printer) need to serialize a spec back to text; construction still goes through
+/// [`QuerySpecBuilder`].
 #[derive(Clone, Debug, PartialEq)]
-struct SpecEdge {
+pub struct SpecEdge {
     left: Vec<NodeId>,
     right: Vec<NodeId>,
     flex: Vec<NodeId>,
     selectivity: f64,
     op: JoinOp,
+}
+
+impl SpecEdge {
+    /// Relations on the left side of the hyperedge.
+    pub fn left(&self) -> &[NodeId] {
+        &self.left
+    }
+
+    /// Relations on the right side of the hyperedge.
+    pub fn right(&self) -> &[NodeId] {
+        &self.right
+    }
+
+    /// Flexible relations of a generalized hyperedge (Def. 6); empty for plain hyperedges.
+    pub fn flex(&self) -> &[NodeId] {
+        &self.flex
+    }
+
+    /// Selectivity of the predicate.
+    pub fn selectivity(&self) -> f64 {
+        self.selectivity
+    }
+
+    /// Operator the edge was derived from.
+    pub fn op(&self) -> JoinOp {
+        self.op
+    }
 }
 
 /// A width-agnostic query: relation statistics plus hyperedges, stored as plain id lists.
@@ -62,7 +93,7 @@ struct SpecEdge {
 /// assert_eq!(result.plan.join_count(), 79);
 /// assert_eq!(result.ccp_count, (80 * 80 * 80 - 80) / 6);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct QuerySpec {
     node_count: usize,
     cardinalities: Vec<f64>,
@@ -91,6 +122,21 @@ impl QuerySpec {
     /// Number of hyperedges.
     pub fn edge_count(&self) -> usize {
         self.edges.len()
+    }
+
+    /// Cardinality of a relation (defaults to 1000 unless set on the builder).
+    pub fn cardinality(&self, relation: NodeId) -> f64 {
+        self.cardinalities[relation]
+    }
+
+    /// Lateral references of a relation; empty for ordinary base relations.
+    pub fn lateral_refs(&self, relation: NodeId) -> &[NodeId] {
+        &self.lateral_refs[relation]
+    }
+
+    /// The hyperedges of the spec, in insertion order (edge-id order after instantiation).
+    pub fn edges(&self) -> impl Iterator<Item = &SpecEdge> {
+        self.edges.iter()
     }
 
     /// Materializes the spec at a concrete width.

@@ -1,0 +1,113 @@
+//! The parsed form of a `.jg` source, before lowering.
+//!
+//! Every node keeps the [`Span`]s of its semantically meaningful parts so the lowering pass
+//! can report *validation* errors (unknown relation, selectivity out of range) with the same
+//! source-anchored diagnostics as syntax errors.
+
+use crate::span::Span;
+
+/// A spanned identifier: the name plus where it was written.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Name {
+    /// The identifier text.
+    pub text: String,
+    /// Its location in the source.
+    pub span: Span,
+}
+
+/// A spanned numeric literal, kept as both the parsed value and the source span.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NumberLit {
+    /// The parsed value.
+    pub value: f64,
+    /// Its location in the source.
+    pub span: Span,
+}
+
+/// One `relation` declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelationDecl {
+    /// The relation's name; declaration order defines the relation ids of the lowered query.
+    pub name: Name,
+    /// `cardinality=<number>` — required by the lowering pass, optional at parse time so the
+    /// omission can be reported as a *spanned* validation error.
+    pub cardinality: Option<NumberLit>,
+    /// `lateral=(r1, r2, …)` — relations this one references freely (table functions,
+    /// dependent subqueries).
+    pub lateral: Vec<Name>,
+}
+
+/// One side of a `join` statement: a single relation or a braced hypernode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinSide {
+    /// The relations named on this side (one for the simple-edge shorthand).
+    pub relations: Vec<Name>,
+    /// Span of the whole side (the identifier, or the braces and everything between).
+    pub span: Span,
+}
+
+/// One `join` statement: `join <side> -- <side> selectivity=<num> [op=<name>] [flex={…}]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinDecl {
+    /// Left hypernode.
+    pub left: JoinSide,
+    /// Right hypernode.
+    pub right: JoinSide,
+    /// Flexible relations of a generalized hyperedge (inner joins only).
+    pub flex: Vec<Name>,
+    /// `selectivity=<number>` — required by lowering, optional at parse time (see
+    /// [`RelationDecl::cardinality`]).
+    pub selectivity: Option<NumberLit>,
+    /// `op=<name>` — the join operator; `None` means inner.
+    pub op: Option<Name>,
+    /// Span of the whole statement (from the `join` keyword to its last attribute).
+    pub span: Span,
+}
+
+/// The value of an `option` statement: a number or a bare symbol (e.g. `cost_model = mixed`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum OptionValue {
+    /// A numeric value.
+    Number(NumberLit),
+    /// A symbolic value.
+    Symbol(Name),
+}
+
+impl OptionValue {
+    /// The span of the value.
+    pub fn span(&self) -> Span {
+        match self {
+            OptionValue::Number(n) => n.span,
+            OptionValue::Symbol(s) => s.span,
+        }
+    }
+}
+
+/// One `option <key> = <value>` statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptionDecl {
+    /// The option key.
+    pub key: Name,
+    /// The option value.
+    pub value: OptionValue,
+}
+
+/// One `query <name> { … }` block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryDecl {
+    /// The query's name.
+    pub name: Name,
+    /// Relation declarations, in source order.
+    pub relations: Vec<RelationDecl>,
+    /// Join statements, in source order (their order defines the lowered edge ids).
+    pub joins: Vec<JoinDecl>,
+    /// Per-query planner options.
+    pub options: Vec<OptionDecl>,
+}
+
+/// A whole parsed `.jg` file: one or more query blocks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JgFile {
+    /// The queries, in source order.
+    pub queries: Vec<QueryDecl>,
+}

@@ -14,10 +14,13 @@
 //! * the >64-relation tier: 96- and 128-relation chain/star/cycle families over two-word node
 //!   sets ([`wide`]),
 //! * width-agnostic [`dphyp::QuerySpec`] families for the adaptive optimization driver,
-//!   including the huge star/clique instances that force its fallback tiers ([`huge`]).
+//!   including the huge star/clique instances that force its fallback tiers ([`huge`]),
+//! * the embedded `.jg` corpus: thirty JOB-style and TPC-DS-flavored join graphs written in
+//!   the `qo-ingest` description language and compiled into the binary ([`mod@corpus`]) — the
+//!   non-synthetic complement to the parametric families.
 //!
 //! All generators are deterministic: statistics are derived from a seeded RNG so that repeated
-//! benchmark runs measure the same queries:
+//! benchmark runs measure the same queries (and the corpus is fixed text):
 //!
 //! ```
 //! use qo_workloads::{chain_query, huge::huge_star_spec};
@@ -30,6 +33,7 @@
 //! assert_eq!(huge_star_spec(42).node_count(), 96);
 //! ```
 
+pub mod corpus;
 pub mod graphs;
 pub mod huge;
 pub mod non_inner;
@@ -37,6 +41,7 @@ pub mod random;
 pub mod splits;
 pub mod wide;
 
+pub use corpus::{corpus, corpus_query, CorpusEntry, CORPUS};
 pub use graphs::{
     chain_query, chain_query_w, clique_query, clique_query_w, cycle_query, cycle_query_w,
     star_query, star_query_w, Workload, Workload128,

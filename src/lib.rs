@@ -11,5 +11,6 @@ pub use qo_bitset as bitset;
 pub use qo_catalog as catalog;
 pub use qo_exec as exec;
 pub use qo_hypergraph as hypergraph;
+pub use qo_ingest as ingest;
 pub use qo_plan as plan;
 pub use qo_workloads as workloads;

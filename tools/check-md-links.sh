@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Doc-link checker: fails if any tracked markdown file contains a relative
 # link to a file that does not exist, so cross-references between README.md,
-# ARCHITECTURE.md and ROADMAP.md cannot rot. External (http/mailto) links,
-# pure #anchors and fenced code blocks are ignored, and an optional link
-# title (`[x](file.md "title")`) is stripped before the existence check.
+# ARCHITECTURE.md, ROADMAP.md and the per-crate docs cannot rot. Both inline
+# links (`[x](file.md)`) and reference-style definitions (`[x]: file.md`) are
+# checked. External (http/mailto) links, pure #anchors and fenced code blocks
+# are ignored, and an optional link title (`[x](file.md "title")`) is
+# stripped before the existence check.
 # Run from the repository root; CI runs it as part of the docs job.
 set -u
 
@@ -33,6 +35,10 @@ for f in $files; do
         awk '/^[[:space:]]*```/ { fence = !fence; next } !fence' "$f" |
             grep -oE '\]\([^)]+\)' |
             sed -E 's/^\]\(//; s/\)$//; s/[[:space:]]+"[^"]*"$//'
+        # Reference-style definitions: `[label]: target "title"` at line start.
+        awk '/^[[:space:]]*```/ { fence = !fence; next } !fence' "$f" |
+            grep -oE '^[[:space:]]*\[[^]^]+\]:[[:space:]]+[^[:space:]]+' |
+            sed -E 's/^[[:space:]]*\[[^]]+\]:[[:space:]]+//'
     )
 done
 

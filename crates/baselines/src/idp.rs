@@ -29,11 +29,31 @@ use qo_hypergraph::{EdgeId, Hypergraph};
 /// this would exhaust memory long before the `3^k` splits finish anyway.
 pub const MAX_IDP_BLOCK_SIZE: usize = 24;
 
+/// How a round's blocks are selected before the exact within-selection DP.
+///
+/// Both strategies only ever select mutually reachable blocks (a selection that cannot merge
+/// would waste the round); they differ in *which* connected block joins the selection next.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum IdpStrategy {
+    /// Grow the selection by the smallest-cardinality block connected to it — GOO's
+    /// smallest-output-first intuition, one level coarser. The original (default) strategy.
+    #[default]
+    SmallestCardinality,
+    /// Connectivity-aware growth: prefer the candidate with the most hyperedges connecting it
+    /// to the selection (densely connected selections give the block DP more predicates to
+    /// exploit and keep intermediate results selective), tie-breaking by smallest cardinality.
+    /// On shapes where every candidate is equally connected — stars, chains — the tie-break
+    /// makes this identical to [`IdpStrategy::SmallestCardinality`], so it can only change
+    /// plans where real connectivity differences exist.
+    ConnectedSmallest,
+}
+
 /// Runs IDP-k over the hypergraph: greedy block selection, exact DP inside each block.
 ///
 /// `k` is the block size — the maximum number of blocks merged per round; it must be in
 /// `2..=`[`MAX_IDP_BLOCK_SIZE`]. `k ≥ n` degenerates to a single exact DP over all relations
-/// (the plan is optimal); small `k` approaches greedy behavior.
+/// (the plan is optimal); small `k` approaches greedy behavior. Block selection uses the
+/// default [`IdpStrategy::SmallestCardinality`]; see [`idp_with_strategy`].
 ///
 /// In [`BaselineResult`], `cost_calls` counts combiner invocations inside the block DPs and
 /// `pairs_tested` additionally counts the (cheap) connectivity probes of the selection phase.
@@ -45,6 +65,20 @@ pub fn idp<M: CostModel<W> + ?Sized, const W: usize>(
     catalog: &Catalog<W>,
     cost_model: &M,
     k: usize,
+) -> Result<BaselineResult, BaselineError> {
+    idp_with_strategy(graph, catalog, cost_model, k, IdpStrategy::default())
+}
+
+/// [`idp`] with an explicit block-selection strategy.
+///
+/// # Panics
+/// Panics if `k` is outside `2..=`[`MAX_IDP_BLOCK_SIZE`].
+pub fn idp_with_strategy<M: CostModel<W> + ?Sized, const W: usize>(
+    graph: &Hypergraph<W>,
+    catalog: &Catalog<W>,
+    cost_model: &M,
+    k: usize,
+    strategy: IdpStrategy,
 ) -> Result<BaselineResult, BaselineError> {
     assert!(
         (2..=MAX_IDP_BLOCK_SIZE).contains(&k),
@@ -69,7 +103,7 @@ pub fn idp<M: CostModel<W> + ?Sized, const W: usize>(
     let mut edge_buf: Vec<EdgeId> = Vec::new();
 
     while blocks.len() > 1 {
-        let selected = select_blocks(graph, &blocks, k, &mut pairs_tested)
+        let selected = select_blocks(graph, &blocks, k, strategy, &mut pairs_tested)
             .ok_or(BaselineError::NoCompletePlan)?;
         let merged = solve_block(
             &combiner,
@@ -109,13 +143,15 @@ pub fn idp<M: CostModel<W> + ?Sized, const W: usize>(
 
 /// Greedy selection of up to `k` mutually reachable blocks: the smallest-cardinality block that
 /// has at least one connected partner seeds the selection, which then grows by repeatedly
-/// adding the smallest-cardinality block connected to the selection's union. Returns ascending
-/// block indexes, or `None` if no two blocks are connected (the graph has collapsed into
-/// disconnected components).
+/// adding one block connected to the selection's union — the cheapest one under
+/// [`IdpStrategy::SmallestCardinality`], the most-connected one (cheapest among equals) under
+/// [`IdpStrategy::ConnectedSmallest`]. Returns ascending block indexes, or `None` if no two
+/// blocks are connected (the graph has collapsed into disconnected components).
 fn select_blocks<const W: usize>(
     graph: &Hypergraph<W>,
     blocks: &[SubPlanStats<W>],
     k: usize,
+    strategy: IdpStrategy,
     pairs_tested: &mut usize,
 ) -> Option<Vec<usize>> {
     // Candidate seeds, cheapest first: preferring small blocks keeps intermediate results small
@@ -128,19 +164,34 @@ fn select_blocks<const W: usize>(
             .then(a.cmp(&b))
     });
 
+    let mut edge_buf = Vec::new();
     for &seed in &by_card {
         let mut selected = vec![seed];
         let mut union = blocks[seed].set;
         while selected.len() < k {
             let mut best: Option<usize> = None;
+            let mut best_edges = 0usize;
             for &i in &by_card {
                 if selected.contains(&i) {
                     continue;
                 }
                 *pairs_tested += 1;
-                if graph.has_connecting_edge(union, blocks[i].set) {
-                    best = Some(i);
-                    break; // by_card is sorted: the first connected block is the cheapest
+                match strategy {
+                    IdpStrategy::SmallestCardinality => {
+                        if graph.has_connecting_edge(union, blocks[i].set) {
+                            best = Some(i);
+                            break; // by_card is sorted: the first connected block is the cheapest
+                        }
+                    }
+                    IdpStrategy::ConnectedSmallest => {
+                        graph.connecting_edges_into(union, blocks[i].set, &mut edge_buf);
+                        // Strictly more connecting edges wins; by_card order makes "first seen
+                        // at this edge count" the cardinality tie-break.
+                        if edge_buf.len() > best_edges {
+                            best_edges = edge_buf.len();
+                            best = Some(i);
+                        }
+                    }
                 }
             }
             match best {
@@ -391,5 +442,91 @@ mod tests {
     fn rejects_block_size_below_two() {
         let (g, c) = chain(3, &[1.0, 2.0, 3.0], 0.1);
         let _ = idp(&g, &c, &CoutCost, 1);
+    }
+
+    #[test]
+    fn connected_strategy_produces_complete_valid_plans() {
+        let cards = [10.0, 500.0, 20.0, 8000.0, 50.0, 5.0, 900.0];
+        let (g, c) = chain(7, &cards, 0.01);
+        for k in 2..=8 {
+            let r =
+                idp_with_strategy(&g, &c, &CoutCost, k, IdpStrategy::ConnectedSmallest).unwrap();
+            assert_eq!(r.plan.relations(), g.all_nodes(), "k = {k}");
+            assert!(r.cost.is_finite() && r.cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn connected_strategy_matches_the_default_on_uniformly_connected_shapes() {
+        // On a star every candidate block has exactly one edge to the hub, so the cardinality
+        // tie-break makes both strategies pick identical selections — the "never degrades a
+        // star" guarantee in miniature (the driver-level test covers the 96-relation star).
+        for satellites in [8usize, 20, 40] {
+            let (g, c) = star(satellites);
+            for k in [3usize, 5, 6] {
+                let default = idp(&g, &c, &CoutCost, k).unwrap();
+                let connected =
+                    idp_with_strategy(&g, &c, &CoutCost, k, IdpStrategy::ConnectedSmallest)
+                        .unwrap();
+                assert_eq!(
+                    connected.cost, default.cost,
+                    "satellites = {satellites}, k = {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn connected_strategy_prefers_densely_connected_blocks() {
+        // R3 connects to both R0 and R1 (two edges once {R0, R1, R2} is selected), R4 only to
+        // R0. The connectivity-aware growth must absorb R3 before R4 even though R4 is cheaper.
+        let mut b = Hypergraph::builder(5);
+        b.add_simple_edge(0, 1);
+        b.add_simple_edge(1, 2);
+        b.add_simple_edge(0, 3);
+        b.add_simple_edge(1, 3);
+        b.add_simple_edge(0, 4);
+        let g = b.build();
+        let mut cb = Catalog::builder(5);
+        cb.set_cardinality(0, 10.0)
+            .set_cardinality(1, 12.0)
+            .set_cardinality(2, 14.0)
+            .set_cardinality(3, 5_000.0)
+            .set_cardinality(4, 20.0);
+        for e in 0..5 {
+            cb.set_selectivity(e, 0.01);
+        }
+        let c = cb.build();
+        // k = 4 selects {0,1,2} + one more block. Both strategies must produce complete plans;
+        // the connected one gets the extra predicate of R3 into its block DP.
+        let default = idp(&g, &c, &CoutCost, 4).unwrap();
+        let connected =
+            idp_with_strategy(&g, &c, &CoutCost, 4, IdpStrategy::ConnectedSmallest).unwrap();
+        assert_eq!(default.plan.relations(), g.all_nodes());
+        assert_eq!(connected.plan.relations(), g.all_nodes());
+        // Exact DP over the same 5 relations bounds both from below.
+        let exact = dpsize(&g, &c, &CoutCost).unwrap();
+        assert!(connected.cost >= exact.cost - 1e-9);
+        assert!(default.cost >= exact.cost - 1e-9);
+    }
+
+    #[test]
+    fn connected_strategy_handles_hyperedge_gaps() {
+        let mut b = Hypergraph::builder(6);
+        b.add_simple_edge(0, 1);
+        b.add_simple_edge(1, 2);
+        b.add_simple_edge(3, 4);
+        b.add_simple_edge(4, 5);
+        b.add_hyperedge(
+            [0, 1, 2].into_iter().collect(),
+            [3, 4, 5].into_iter().collect(),
+        );
+        let g = b.build();
+        let c = Catalog::uniform(6, 100.0, 5, 0.1);
+        for k in 2..=6 {
+            let r =
+                idp_with_strategy(&g, &c, &CoutCost, k, IdpStrategy::ConnectedSmallest).unwrap();
+            assert_eq!(r.plan.relations(), g.all_nodes(), "k = {k}");
+        }
     }
 }

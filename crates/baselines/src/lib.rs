@@ -32,7 +32,7 @@ mod result;
 pub use dpsize::dpsize;
 pub use dpsub::dpsub;
 pub use goo::goo;
-pub use idp::{idp, MAX_IDP_BLOCK_SIZE};
+pub use idp::{idp, idp_with_strategy, IdpStrategy, MAX_IDP_BLOCK_SIZE};
 pub use result::{BaselineError, BaselineResult};
 
 pub use qo_bitset::{NodeId, NodeSet};

@@ -3,16 +3,20 @@
 //! algorithm and workload point).
 //!
 //! ```text
-//! reproduce [--full] [--experiment <id>] [--baseline [path]]
+//! reproduce [--full] [--experiment <id>] [--baseline [path]] [--baseline-force]
 //! ```
 //!
 //! * `--full` also runs the baseline algorithms at the largest query sizes (DPsize/DPsub on the
 //!   16-relation stars take from seconds to minutes per point, exactly as in the paper).
 //! * `--experiment <id>` restricts the run to one experiment; ids: `e1`, `fig5a`, `fig5b`, `e4`,
-//!   `fig6a`, `fig6b`, `fig7`, `fig8a`, `fig8b`, `ccp`, `table`, `adaptive`, `ingest`.
+//!   `fig6a`, `fig6b`, `fig7`, `fig8a`, `fig8b`, `ccp`, `table`, `adaptive`, `ingest`,
+//!   `service`.
 //! * `--baseline [path]` skips the experiment tables and instead writes a machine-readable
 //!   snapshot (`BENCH_baseline.json` by default): ccp counts and wall-clock per graph family
 //!   plus the arena-vs-HashMap DP-table comparison, so future changes have a perf trajectory.
+//!   A snapshot with a *different* `schema_version` at the target path is never overwritten
+//!   silently — the run aborts with an explanatory error unless `--baseline-force` is given,
+//!   so stale-schema files cannot masquerade as regenerated ones.
 //!
 //! Absolute numbers depend on the machine; the claims to check are the *relative* ones (who
 //! wins, by how much, and how the curves move with the workload parameter).
@@ -33,6 +37,11 @@ use std::time::Duration;
 
 const SEED: u64 = 2008;
 
+/// Schema version of `BENCH_baseline.json`. Bump whenever a section is added, removed or
+/// reshaped; `write_baseline` refuses to overwrite a file carrying a different version unless
+/// forced, and readers should reject versions they do not understand.
+const SCHEMA_VERSION: u32 = 4;
+
 /// Measurement budget per timed point in baseline/table modes; long enough to average out
 /// noise on fast workloads, short enough that the multi-second star-20 runs once.
 const BUDGET: Duration = Duration::from_millis(300);
@@ -50,6 +59,11 @@ fn main() {
             .filter(|p| !p.starts_with("--"))
             .cloned()
             .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+        let force = args.iter().any(|a| a == "--baseline-force");
+        if let Err(message) = check_baseline_schema(&path, force) {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
         write_baseline(&path);
         return;
     }
@@ -130,6 +144,236 @@ fn main() {
     }
     if want("ingest") {
         ingest_corpus();
+    }
+    if want("service") {
+        service_experiment();
+    }
+}
+
+/// Refuses to overwrite a baseline snapshot whose `schema_version` differs from
+/// [`SCHEMA_VERSION`] (unless forced): sections of different schema generations must never be
+/// silently merged into one file.
+fn check_baseline_schema(path: &str, force: bool) -> Result<(), String> {
+    let existing = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        // Only a genuinely absent file is a fresh write; an unreadable or non-UTF-8 file is
+        // exactly the "unrecognized file" case the guard exists for.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) if force => {
+            eprintln!("note: replacing unreadable {path} ({e}) under --baseline-force");
+            return Ok(());
+        }
+        Err(e) => {
+            return Err(format!(
+                "{path} exists but cannot be read ({e}); refusing to overwrite an \
+                 unrecognized file. Re-run with --baseline-force to replace it."
+            ))
+        }
+    };
+    let found = existing
+        .split("\"schema_version\":")
+        .nth(1)
+        .and_then(|rest| {
+            rest.trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse::<u32>()
+                .ok()
+        });
+    match found {
+        Some(v) if v == SCHEMA_VERSION => Ok(()),
+        _ if force => Ok(()),
+        Some(v) => Err(format!(
+            "{path} carries schema_version {v}, but this binary writes schema_version \
+             {SCHEMA_VERSION}; refusing to overwrite a snapshot of a different schema \
+             generation (its sections are not comparable). Re-run with --baseline-force to \
+             regenerate the file under the new schema."
+        )),
+        None => Err(format!(
+            "{path} exists but has no parseable schema_version field; refusing to overwrite \
+             an unrecognized file. Re-run with --baseline-force to replace it."
+        )),
+    }
+}
+
+/// S1: the plan-cache + optimization service over the embedded corpus — cold (every shape a
+/// miss), warm (every query a bit-identical cache hit), statistics drift (incremental re-cost
+/// with the greedy staleness probe), and the concurrent batch driver cross-checked against
+/// sequential serving.
+fn service_experiment() {
+    let rows = run_service_rows();
+    println!(
+        "== S1: qo-service plan cache over the {}-query corpus ==",
+        rows.queries
+    );
+    println!(
+        "{:>22} {:>12} {:>14}",
+        "pass", "total (ms)", "per query (us)"
+    );
+    for (name, ms) in [
+        ("cold (all misses)", rows.cold_ms),
+        ("warm (all hits)", rows.warm_ms),
+        ("stats drift (re-cost)", rows.drift_ms),
+    ] {
+        println!(
+            "{:>22} {:>12.3} {:>14.1}",
+            name,
+            ms,
+            ms * 1e3 / rows.queries as f64
+        );
+    }
+    println!(
+        "warm speedup: {:.1}x; drift outcomes: {} re-costed, {} fell back to full \
+         re-optimization",
+        rows.warm_speedup, rows.recosts, rows.recost_fallbacks
+    );
+    println!(
+        "cache: {} hits, {} shape hits, {} misses, {} evictions; batch == sequential: {}",
+        rows.hits, rows.shape_hits, rows.misses, rows.evictions, rows.batch_matches
+    );
+    assert!(
+        rows.batch_matches,
+        "the concurrent batch driver must produce the sequential plans"
+    );
+    println!();
+}
+
+/// The service experiment's measured facts, shared by the printed table and the baseline
+/// snapshot. Asserts the headline acceptance claims (bit-identical warm plans, ≥10x warm
+/// speedup, batch == sequential) so both consumers get *checked* numbers.
+struct ServiceRows {
+    queries: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    drift_ms: f64,
+    warm_speedup: f64,
+    recosts: u64,
+    recost_fallbacks: u64,
+    hits: u64,
+    shape_hits: u64,
+    misses: u64,
+    evictions: u64,
+    batch_matches: bool,
+}
+
+fn run_service_rows() -> ServiceRows {
+    use qo_service::{PlanSource, Service};
+    let queries = qo_workloads::corpus::corpus();
+    let n = queries.len();
+
+    let service = Service::default();
+    // Cold pass: every shape is new.
+    let (t_cold, cold) = time_once(|| {
+        queries
+            .iter()
+            .map(|q| service.plan_ingest(q).expect("corpus query plannable"))
+            .collect::<Vec<_>>()
+    });
+    for (q, served) in queries.iter().zip(&cold) {
+        // Most cold queries miss outright; JOB-style corpora also contain *isomorphic* queries
+        // (same join graph, different constants), which warm-start from their twin's entry via
+        // the re-cost path. What a cold pass can never do is serve an exact cache hit.
+        assert_ne!(
+            served.source,
+            PlanSource::CacheHit,
+            "{}: a cold pass cannot exact-hit",
+            q.name
+        );
+        assert_eq!(served.plan.scan_count(), q.relation_count(), "{}", q.name);
+    }
+
+    // Warm pass: identical resubmission must hit, bit-identically.
+    let (t_warm, warm) = time_once(|| {
+        queries
+            .iter()
+            .map(|q| service.plan_ingest(q).expect("corpus query plannable"))
+            .collect::<Vec<_>>()
+    });
+    for ((q, c), w) in queries.iter().zip(&cold).zip(&warm) {
+        assert_eq!(w.source, PlanSource::CacheHit, "{}: warm must hit", q.name);
+        assert_eq!(
+            w.cost, c.cost,
+            "{}: warm plan cost must be bit-identical",
+            q.name
+        );
+        assert_eq!(w.plan, c.plan, "{}: warm plan must be identical", q.name);
+    }
+    let warm_speedup = t_cold.as_secs_f64() / t_warm.as_secs_f64().max(1e-12);
+    assert!(
+        warm_speedup >= 10.0,
+        "warm-cache serving must be >= 10x faster than cold, got {warm_speedup:.1}x"
+    );
+
+    // Statistics drift: same shapes, cardinalities drifted a few percent.
+    let drifted: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            let n = q.spec.node_count();
+            let mut b = dphyp::QuerySpec::builder(n);
+            for r in 0..n {
+                b.set_cardinality(r, q.spec.cardinality(r) * (1.03 + 0.01 * (r % 5) as f64));
+                let refs = q.spec.lateral_refs(r).to_vec();
+                if !refs.is_empty() {
+                    b.set_lateral_refs(r, &refs);
+                }
+            }
+            for e in q.spec.edges() {
+                if e.flex().is_empty() {
+                    b.add_edge(e.left(), e.right(), e.selectivity(), e.op());
+                } else {
+                    b.add_generalized_edge(e.left(), e.right(), e.flex(), e.selectivity());
+                }
+            }
+            (b.build(), q)
+        })
+        .collect();
+    let (t_drift, drift_served) = time_once(|| {
+        drifted
+            .iter()
+            .map(|(spec, q)| {
+                service
+                    .plan_spec_with(spec, q.adaptive_options())
+                    .expect("drifted corpus query plannable")
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut recosts = 0u64;
+    let mut recost_fallbacks = 0u64;
+    for ((spec, q), served) in drifted.iter().zip(&drift_served) {
+        assert_eq!(served.plan.scan_count(), spec.node_count(), "{}", q.name);
+        match served.source {
+            PlanSource::Recost => recosts += 1,
+            PlanSource::RecostFallback => recost_fallbacks += 1,
+            other => panic!("{}: drift must take a shape-hit path, got {other}", q.name),
+        }
+    }
+
+    // Concurrent batch driver vs sequential serving, both from cold caches. The comparison is
+    // *recorded* here (and into the baseline snapshot); the printed experiment asserts it, so
+    // a divergence still fails loudly without making the JSON field tautological.
+    let batch_service = Service::default();
+    let batch = batch_service.plan_batch_ingest(&queries);
+    let mut batch_matches = true;
+    for (c, b) in cold.iter().zip(batch) {
+        let b = b.expect("batch query plannable");
+        batch_matches &= b.plan == c.plan && b.cost == c.cost;
+    }
+
+    let stats = service.cache_stats();
+    ServiceRows {
+        queries: n,
+        cold_ms: t_cold.as_secs_f64() * 1e3,
+        warm_ms: t_warm.as_secs_f64() * 1e3,
+        drift_ms: t_drift.as_secs_f64() * 1e3,
+        warm_speedup,
+        recosts,
+        recost_fallbacks,
+        hits: stats.hits,
+        shape_hits: stats.shape_hits,
+        misses: stats.misses,
+        evictions: stats.evictions,
+        batch_matches,
     }
 }
 
@@ -428,13 +672,43 @@ fn write_baseline(path: &str) {
         ));
     }
 
+    // Service trajectory: cold/warm/drift serving of the corpus through the plan cache.
+    let s = run_service_rows();
+    println!(
+        "  service: cold {:.3} ms, warm {:.3} ms ({:.1}x), drift {:.3} ms \
+         ({} recost / {} fallback)",
+        s.cold_ms, s.warm_ms, s.warm_speedup, s.drift_ms, s.recosts, s.recost_fallbacks
+    );
+    let service_json = format!(
+        concat!(
+            "    \"queries\": {}, \"cold_ms\": {:.4}, \"warm_ms\": {:.4}, ",
+            "\"drift_ms\": {:.4}, \"warm_speedup\": {:.2}, \"recosts\": {}, ",
+            "\"recost_fallbacks\": {}, \"hits\": {}, \"shape_hits\": {}, \"misses\": {}, ",
+            "\"evictions\": {}, \"batch_matches_sequential\": {}"
+        ),
+        s.queries,
+        s.cold_ms,
+        s.warm_ms,
+        s.drift_ms,
+        s.warm_speedup,
+        s.recosts,
+        s.recost_fallbacks,
+        s.hits,
+        s.shape_hits,
+        s.misses,
+        s.evictions,
+        s.batch_matches,
+    );
+
     let json = format!(
-        "{{\n  \"schema_version\": 3,\n  \"generated_by\": \"reproduce --baseline\",\n  \
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"generated_by\": \"reproduce --baseline\",\n  \
          \"seed\": {SEED},\n  \"workloads\": [\n{}\n  ],\n  \"adaptive_tiers\": [\n{}\n  ],\n  \
-         \"ingest\": [\n{}\n  ],\n  \"dp_table_comparison\": [\n{}\n  ]\n}}\n",
+         \"ingest\": [\n{}\n  ],\n  \"service\": {{\n{}\n  }},\n  \
+         \"dp_table_comparison\": [\n{}\n  ]\n}}\n",
         workload_rows.join(",\n"),
         adaptive_json_rows.join(",\n"),
         ingest_json_rows.join(",\n"),
+        service_json,
         table_rows.join(",\n"),
     );
     std::fs::write(path, json).expect("baseline file is writable");

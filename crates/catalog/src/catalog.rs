@@ -61,6 +61,39 @@ impl<const W: usize> Default for EdgeAnnotation<W> {
     }
 }
 
+/// A digest of every statistic a [`Catalog`] feeds into costing: cardinalities, selectivities
+/// and lateral-reference sets, folded into one 64-bit value.
+///
+/// Two catalogs over the same query shape cost every plan identically **iff** they agree on
+/// these inputs, so the epoch is the currency of staleness: the plan-cache subsystem stamps
+/// each cached `DpTable` with the epoch it was costed under, and a changed epoch on an
+/// otherwise identical shape means "same query, drifted statistics" — the incremental
+/// re-costing case rather than a fresh optimization. The digest hashes the raw `f64` bits, so
+/// any representable drift (even in the last ulp) changes the epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StatsEpoch(pub u64);
+
+impl StatsEpoch {
+    /// The seed every digest chain starts from.
+    pub const SEED: StatsEpoch = StatsEpoch(0x5174_7A75_2722_0A95);
+
+    /// Folds one word into the digest (FxHash-style rotate-xor-multiply). Public so other
+    /// digests in the costing pipeline (e.g. the plan service's option keys) share one hashing
+    /// scheme instead of re-implementing it.
+    #[inline]
+    pub fn fold(self, word: u64) -> StatsEpoch {
+        StatsEpoch((self.0.rotate_left(5) ^ word).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Final avalanche: spreads near-identical chains over the whole `u64` range.
+    #[inline]
+    pub fn finalize(self) -> StatsEpoch {
+        let mut h = self.0;
+        h ^= h >> 32;
+        StatsEpoch(h.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+    }
+}
+
 /// Statistics and annotations for one query: base-relation cardinalities, lateral references of
 /// table functions / dependent subqueries, and per-edge annotations.
 ///
@@ -149,6 +182,26 @@ impl<const W: usize> Catalog<W> {
             .iter()
             .map(|&e| self.edge_annotation(e).selectivity)
             .product()
+    }
+
+    /// The statistics epoch of this catalog: a digest over every costing input (cardinalities,
+    /// selectivities, lateral-reference sets, operators). See [`StatsEpoch`].
+    pub fn stats_epoch(&self) -> StatsEpoch {
+        let mut epoch = StatsEpoch::SEED.fold(self.cardinalities.len() as u64);
+        for &c in &self.cardinalities {
+            epoch = epoch.fold(c.to_bits());
+        }
+        for refs in &self.lateral_refs {
+            for w in refs.words() {
+                epoch = epoch.fold(w);
+            }
+        }
+        epoch = epoch.fold(self.edge_annotations.len() as u64);
+        for a in &self.edge_annotations {
+            epoch = epoch.fold(a.selectivity.to_bits());
+            epoch = epoch.fold(a.op as u64);
+        }
+        epoch.finalize()
     }
 
     /// Checks that the catalog matches the graph: same relation count and no annotated edge
@@ -315,6 +368,47 @@ mod tests {
         let d = EdgeAnnotation::<1>::default();
         assert_eq!(d.op, JoinOp::Inner);
         assert_eq!(d.selectivity, 1.0);
+    }
+
+    #[test]
+    fn stats_epoch_tracks_every_costing_input() {
+        let base = Catalog::<1>::uniform(3, 100.0, 2, 0.5);
+        assert_eq!(base.stats_epoch(), base.stats_epoch(), "deterministic");
+
+        // Cardinality drift — even a tiny one — changes the epoch.
+        let mut b = Catalog::<1>::builder(3);
+        b.set_cardinality(0, 100.0)
+            .set_cardinality(1, 100.0)
+            .set_cardinality(2, 100.0 + 1e-9)
+            .set_selectivity(0, 0.5)
+            .set_selectivity(1, 0.5);
+        assert_ne!(b.build().stats_epoch(), base.stats_epoch());
+
+        // Selectivity drift changes it too.
+        let mut b = Catalog::<1>::builder(3);
+        for r in 0..3 {
+            b.set_cardinality(r, 100.0);
+        }
+        b.set_selectivity(0, 0.5).set_selectivity(1, 0.25);
+        assert_ne!(b.build().stats_epoch(), base.stats_epoch());
+
+        // Operators and lateral references are costing inputs as well.
+        let mut b = Catalog::<1>::builder(3);
+        for r in 0..3 {
+            b.set_cardinality(r, 100.0);
+        }
+        b.annotate_edge(0, EdgeAnnotation::with_op(0.5, JoinOp::LeftOuter))
+            .set_selectivity(1, 0.5);
+        assert_ne!(b.build().stats_epoch(), base.stats_epoch());
+
+        let mut b = Catalog::<1>::builder(3);
+        for r in 0..3 {
+            b.set_cardinality(r, 100.0);
+        }
+        b.set_selectivity(0, 0.5)
+            .set_selectivity(1, 0.5)
+            .set_lateral_refs(2, ns(&[0]));
+        assert_ne!(b.build().stats_epoch(), base.stats_epoch());
     }
 
     #[test]

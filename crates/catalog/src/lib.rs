@@ -28,10 +28,11 @@ pub mod planner;
 pub mod table;
 
 pub use cardinality::CardinalityEstimator;
-pub use catalog::{Catalog, CatalogBuilder, EdgeAnnotation};
+pub use catalog::{Catalog, CatalogBuilder, EdgeAnnotation, StatsEpoch};
 pub use cost::{CostModel, CoutCost, MixedCost, SubPlanStats};
 pub use planner::{
-    BudgetedHandler, CcpHandler, CostBasedHandler, CountingHandler, EmitSignal, JoinCombiner,
+    recost_table, BudgetedHandler, CcpHandler, CostBasedHandler, CountingHandler, EmitSignal,
+    JoinCombiner,
 };
 pub use table::{BestJoin, Candidate, CandidateJoin, DpTable, EdgeListRef, PlanClass};
 

@@ -346,6 +346,65 @@ impl<M: CostModel<W> + ?Sized, const W: usize> CcpHandler<W> for CostBasedHandle
     }
 }
 
+/// Re-costs every memoized plan class of `table` bottom-up under the (possibly drifted)
+/// statistics of `catalog`, without re-enumerating any csg-cmp-pairs.
+///
+/// This is the incremental half of plan caching: the join *structure* of a cached table — which
+/// sets exist and how each one's best plan splits — is kept verbatim, while cardinalities,
+/// selectivities and costs are recomputed through the same [`JoinCombiner`] the enumeration
+/// used, so a re-costed class is bit-identical to what a from-scratch optimization would
+/// compute for the same join order. The arena's insertion order is a topological order (every
+/// class's inputs were created before the class itself), so one forward pass suffices.
+///
+/// Returns `None` when the table does not fit the graph/catalog — a child class missing, a
+/// stored join no longer connected, a leaf out of range, or an invalid catalog. Callers treat
+/// that as a cache miss and fall back to a full optimization; it cannot happen when the table
+/// was built for a query of the same shape.
+pub fn recost_table<M: CostModel<W> + ?Sized, const W: usize>(
+    table: &DpTable<W>,
+    graph: &Hypergraph<W>,
+    catalog: &Catalog<W>,
+    cost_model: &M,
+) -> Option<DpTable<W>> {
+    if catalog.validate_for(graph).is_err() {
+        return None;
+    }
+    let combiner = JoinCombiner::new(graph, catalog, cost_model);
+    let mut out = DpTable::new();
+    let mut edge_buf: Vec<EdgeId> = Vec::new();
+    for class in table.classes() {
+        match class.best_join {
+            None => {
+                if !class.set.is_singleton() {
+                    return None;
+                }
+                let relation = class.set.min_node()?;
+                if relation >= graph.node_count() {
+                    return None;
+                }
+                out.insert_leaf(relation, catalog.cardinality(relation));
+            }
+            Some(join) => {
+                // The inputs were re-costed earlier in this pass (topological arena order).
+                let left = out.get(join.left)?.stats();
+                let right = out.get(join.right)?.stats();
+                // Recollect the connecting edges instead of trusting the interned list: the
+                // combiner's contract (and its orientation/operator recovery) is defined over
+                // exactly the graph's connecting edges of the pair.
+                graph.connecting_edges_into(join.left, join.right, &mut edge_buf);
+                let candidate = combiner.combine(&left, &right, &edge_buf)?;
+                if candidate.set != class.set {
+                    return None;
+                }
+                out.offer(candidate);
+            }
+        }
+    }
+    // Every class must have been re-admitted exactly once; a shortfall means the structure
+    // references sets the pass never produced.
+    (out.len() == table.len()).then_some(out)
+}
+
 /// A handler that only records which csg-cmp-pairs were emitted. Used to validate enumeration
 /// algorithms against the brute-force oracle and to measure search-space sizes without paying
 /// for plan construction.
@@ -867,5 +926,109 @@ mod tests {
         assert_eq!(h.emit_ccp(ns(&[0, 1]), ns(&[2])), EmitSignal::Abort);
         assert!(h.aborted());
         assert!(!h.deadline_exceeded(), "the pair budget aborted, not time");
+    }
+
+    /// Exhaustive little DP over `chain3` through the cost-based handler.
+    fn solve_chain3(graph: &Hypergraph, catalog: &Catalog) -> DpTable {
+        let combiner = JoinCombiner::new(graph, catalog, &CoutCost);
+        let mut h = CostBasedHandler::new(combiner);
+        for r in 0..3 {
+            h.init_leaf(r);
+        }
+        let _ = h.emit_ccp(ns(&[0]), ns(&[1]));
+        let _ = h.emit_ccp(ns(&[1]), ns(&[2]));
+        let _ = h.emit_ccp(ns(&[0, 1]), ns(&[2]));
+        let _ = h.emit_ccp(ns(&[0]), ns(&[1, 2]));
+        h.into_table()
+    }
+
+    #[test]
+    fn recost_under_unchanged_statistics_is_the_identity() {
+        let (g, c) = chain3();
+        let table = solve_chain3(&g, &c);
+        let recosted = recost_table(&table, &g, &c, &CoutCost).expect("structure fits");
+        assert_eq!(recosted.len(), table.len());
+        for class in table.classes() {
+            let again = recosted.get(class.set).expect("class survives");
+            assert_eq!(
+                again.cost, class.cost,
+                "bit-identical cost for {:?}",
+                class.set
+            );
+            assert_eq!(again.cardinality, class.cardinality);
+            assert_eq!(
+                again.best_join.map(|j| (j.left, j.right, j.op)),
+                class.best_join.map(|j| (j.left, j.right, j.op)),
+                "join structure is preserved verbatim"
+            );
+        }
+        assert_eq!(
+            recosted.reconstruct(g.all_nodes()),
+            table.reconstruct(g.all_nodes())
+        );
+    }
+
+    #[test]
+    fn recost_applies_drifted_statistics_bottom_up() {
+        let (g, c) = chain3();
+        let table = solve_chain3(&g, &c);
+        // Drift: the middle relation shrinks 10x, edge 0 becomes more selective.
+        let mut cb = Catalog::builder(3);
+        cb.set_cardinality(0, 10.0)
+            .set_cardinality(1, 100.0)
+            .set_cardinality(2, 10.0)
+            .annotate_edge(0, EdgeAnnotation::inner(0.001))
+            .annotate_edge(1, EdgeAnnotation::inner(0.01));
+        let drifted = cb.build();
+        assert_ne!(c.stats_epoch(), drifted.stats_epoch());
+        let recosted = recost_table(&table, &g, &drifted, &CoutCost).expect("same shape");
+        // The re-costed classes carry exactly the costs a from-scratch DP over the same join
+        // order computes: rebuild the chain bottom-up by hand through the combiner.
+        let fresh = solve_chain3(&g, &drifted);
+        for class in recosted.classes() {
+            let reference = fresh.get(class.set).expect("same sets");
+            if class.best_join.map(|j| (j.left, j.right))
+                == reference.best_join.map(|j| (j.left, j.right))
+            {
+                assert_eq!(
+                    class.cost, reference.cost,
+                    "bit-identical for {:?}",
+                    class.set
+                );
+                assert_eq!(class.cardinality, reference.cardinality);
+            }
+        }
+        // Leaves picked up the new cardinalities.
+        assert_eq!(recosted.get(ns(&[1])).unwrap().cardinality, 100.0);
+    }
+
+    #[test]
+    fn recost_rejects_tables_that_do_not_fit_the_graph() {
+        let (g, c) = chain3();
+        let table = solve_chain3(&g, &c);
+        // A graph missing the 1-2 edge: the stored joins are no longer connected.
+        let mut b = Hypergraph::builder(3);
+        b.add_simple_edge(0, 1);
+        let sparse = b.build();
+        let sparse_catalog = Catalog::uniform(3, 100.0, 1, 0.5);
+        assert!(recost_table(&table, &sparse, &sparse_catalog, &CoutCost).is_none());
+        // A catalog for a different relation count is rejected outright.
+        let wrong = Catalog::uniform(4, 100.0, 2, 0.5);
+        assert!(recost_table(&table, &g, &wrong, &CoutCost).is_none());
+    }
+
+    #[test]
+    fn plan_tables_round_trip_and_recost() {
+        let (g, c) = chain3();
+        let full = solve_chain3(&g, &c);
+        let plan = full.reconstruct(g.all_nodes()).expect("complete plan");
+        // The plan-derived table holds exactly the subtrees of the plan (2n − 1 classes) and
+        // reconstructs the identical tree.
+        let compact = DpTable::<1>::from_plan(&plan);
+        assert_eq!(compact.len(), 2 * 3 - 1);
+        assert_eq!(compact.reconstruct(g.all_nodes()), Some(plan.clone()));
+        // Re-costing the compact table under the same stats reproduces the plan bit-for-bit.
+        let recosted = recost_table(&compact, &g, &c, &CoutCost).expect("fits");
+        assert_eq!(recosted.reconstruct(g.all_nodes()), Some(plan));
     }
 }

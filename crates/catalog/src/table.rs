@@ -435,6 +435,61 @@ impl<const W: usize> DpTable<W> {
         }
     }
 
+    /// Builds a minimal table containing exactly the plan classes of `plan`'s subtrees — one
+    /// leaf class per scan, one join class per join node, with the plan's own cardinalities and
+    /// costs.
+    ///
+    /// This is the persistence form of a finished optimization: a full enumeration table for a
+    /// 20-relation star holds half a million classes (tens of megabytes), but the winning plan
+    /// tree describes only `2n − 1` of them — enough to re-cost the *chosen* join order
+    /// bottom-up under drifted statistics (see [`recost_table`](crate::recost_table)) at `O(n)`
+    /// memory per cached query. The resulting table reconstructs `plan` exactly.
+    ///
+    /// # Panics
+    /// Panics if a relation id of the plan does not fit the width `W`.
+    pub fn from_plan(plan: &PlanNode) -> Self {
+        let mut table = Self::new();
+        table.absorb_plan(plan);
+        table
+    }
+
+    /// Inserts every subtree of `plan` as a plan class; returns the subtree's relation set.
+    fn absorb_plan(&mut self, plan: &PlanNode) -> NodeSet<W> {
+        match plan {
+            PlanNode::Scan {
+                relation,
+                cardinality,
+            } => {
+                self.insert_leaf(*relation, *cardinality);
+                NodeSet::single(*relation)
+            }
+            PlanNode::Join {
+                op,
+                left,
+                right,
+                predicates,
+                cardinality,
+                cost,
+            } => {
+                let left_set = self.absorb_plan(left);
+                let right_set = self.absorb_plan(right);
+                let set = left_set | right_set;
+                self.offer(Candidate {
+                    set,
+                    cardinality: *cardinality,
+                    cost: *cost,
+                    join: Some(CandidateJoin {
+                        left: left_set,
+                        right: right_set,
+                        op: *op,
+                        predicates,
+                    }),
+                });
+                set
+            }
+        }
+    }
+
     /// Reconstructs the full plan tree for `set` from the memoized join decisions.
     pub fn reconstruct(&self, set: NodeSet<W>) -> Option<PlanNode> {
         let class = self.get(set)?;

@@ -57,7 +57,9 @@
 use crate::enumerate::DpHyp;
 use crate::optimizer::{CostModelKind, OptimizeError};
 use crate::query::QuerySpec;
-use qo_baselines::{goo, idp, BaselineError, BaselineResult, MAX_IDP_BLOCK_SIZE};
+use qo_baselines::{
+    goo, idp_with_strategy, BaselineError, BaselineResult, IdpStrategy, MAX_IDP_BLOCK_SIZE,
+};
 use qo_catalog::{
     BudgetedHandler, Catalog, CcpHandler, CostBasedHandler, CostModel, CoutCost, JoinCombiner,
     MixedCost,
@@ -86,6 +88,11 @@ pub struct AdaptiveOptions {
     pub time_budget: Option<Duration>,
     /// Cost model shared by all tiers.
     pub cost_model: CostModelKind,
+    /// How the IDP tier selects each round's blocks: smallest-cardinality-first (the default)
+    /// or the connectivity-aware [`IdpStrategy::ConnectedSmallest`], which prefers selections
+    /// forming densely connected subgraphs and tie-breaks by cardinality. On uniformly
+    /// connected shapes (stars, chains) the two are identical by construction.
+    pub idp_strategy: IdpStrategy,
 }
 
 impl Default for AdaptiveOptions {
@@ -98,6 +105,7 @@ impl Default for AdaptiveOptions {
             idp_block_size: 10,
             time_budget: None,
             cost_model: CostModelKind::Cout,
+            idp_strategy: IdpStrategy::default(),
         }
     }
 }
@@ -258,7 +266,7 @@ impl AdaptiveOptimizer {
         if time_left {
             if let Some(k) = self.effective_idp_k() {
                 telemetry.idp_k = k;
-                match idp(graph, catalog, cost_model, k) {
+                match idp_with_strategy(graph, catalog, cost_model, k, self.options.idp_strategy) {
                     Ok(r) => return Ok(finish_fallback(r, PlanTier::Idp, telemetry)),
                     // A plan IDP cannot complete (pathological hyperedge connectivity) may
                     // still be reachable by GOO's exhaustive pair scan — fall through.
@@ -518,6 +526,41 @@ mod tests {
         .optimize_spec(&spec)
         .unwrap_err();
         assert!(matches!(err, OptimizeError::NoCompletePlan { .. }));
+    }
+
+    #[test]
+    fn connectivity_aware_block_selection_never_degrades_the_96_star() {
+        // The driver's motivating query: a 96-relation star, exact enumeration structurally
+        // infeasible, answered by the IDP tier. Every satellite connects to the hub by exactly
+        // one edge, so the connectivity-aware strategy's cardinality tie-break must reproduce
+        // the default strategy's selections — and therefore its plan cost — exactly.
+        let n = 96;
+        let mut b = QuerySpec::builder(n);
+        b.set_cardinality(0, 1_000_000.0);
+        for i in 1..n {
+            b.set_cardinality(i, 10.0 + (i as f64) * 7.0);
+            b.add_simple_edge(0, i, 0.001 + 0.0001 * (i as f64));
+        }
+        let star = b.build();
+        let default = AdaptiveOptimizer::default().optimize_spec(&star).unwrap();
+        let connected = AdaptiveOptimizer::new(AdaptiveOptions {
+            idp_strategy: IdpStrategy::ConnectedSmallest,
+            ..Default::default()
+        })
+        .optimize_spec(&star)
+        .unwrap();
+        assert_eq!(default.tier, PlanTier::Idp);
+        assert_eq!(connected.tier, PlanTier::Idp);
+        assert!(
+            connected.cost <= default.cost,
+            "connectivity-aware selection degraded the 96-star: {} > {}",
+            connected.cost,
+            default.cost
+        );
+        assert_eq!(
+            connected.cost, default.cost,
+            "tie-break makes them identical"
+        );
     }
 
     #[test]

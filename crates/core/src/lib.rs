@@ -45,21 +45,30 @@
 //!   enumeration under a csg-cmp-pair budget and degrades to IDP-k and greedy ordering when a
 //!   query's search space (e.g. a 96-relation star, `95·2^94` pairs) cannot be enumerated
 //!   exactly, reporting the chosen tier and the spent budget in [`OptimizeResult`].
+//! * [`canon`] and [`recost`] are the plan-cache substrate used by the `qo-service` subsystem:
+//!   relation-order-invariant spec canonicalization (with a structure-only shape hash) and
+//!   incremental re-costing of a cached plan table under drifted statistics.
 
 pub mod adaptive;
+pub mod canon;
 pub mod enumerate;
 mod optimizer;
 mod query;
+pub mod recost;
 
 pub use adaptive::{
     optimize_adaptive, AdaptiveOptimizer, AdaptiveOptions, BudgetTelemetry, OptimizeResult,
     PlanTier,
 };
+pub use canon::{canonicalize, same_shape, CanonicalQuery};
 pub use enumerate::{count_ccps_dphyp, DpHyp};
 pub use optimizer::{
     optimize, CostModelKind, OptimizeError, Optimized, Optimizer, OptimizerOptions,
 };
 pub use query::{optimize_spec, QuerySpec, QuerySpecBuilder, SpecEdge, MAX_WIDE_NODES};
+pub use recost::{recost_spec, CachedTable, Recosted};
+
+pub use qo_baselines::IdpStrategy;
 
 pub use qo_algebra::{ConflictEncoding, OpTree, Predicate};
 pub use qo_bitset::{NodeId, NodeSet, NodeSet128, NodeSet64};

@@ -152,6 +152,17 @@ impl QuerySpec {
             let flex: NodeSet<W> = e.flex.iter().copied().collect();
             gb.add_edge(Hyperedge::generalized(left, right, flex));
         }
+        (gb.build(), self.instantiate_catalog())
+    }
+
+    /// Materializes only the statistics side of the spec — the [`Catalog`] without the
+    /// hypergraph. Fingerprinting needs exactly this (the statistics epoch is a catalog
+    /// property), and building per-node adjacency for a catalog-only consumer would be wasted
+    /// work on a per-lookup hot path.
+    ///
+    /// # Panics
+    /// Panics if the relation count (or any referenced id) exceeds the width's capacity.
+    pub fn instantiate_catalog<const W: usize>(&self) -> Catalog<W> {
         let mut cb = Catalog::<W>::builder(self.node_count);
         for (r, &card) in self.cardinalities.iter().enumerate() {
             cb.set_cardinality(r, card);
@@ -164,7 +175,7 @@ impl QuerySpec {
         for (id, e) in self.edges.iter().enumerate() {
             cb.annotate_edge(id, EdgeAnnotation::with_op(e.selectivity, e.op));
         }
-        (gb.build(), cb.build())
+        cb.build()
     }
 }
 

@@ -15,7 +15,8 @@ use crate::ast::{JoinDecl, OptionValue, QueryDecl, RelationDecl};
 use crate::parser::parse;
 use crate::span::{JgError, Span};
 use dphyp::{
-    AdaptiveOptimizer, AdaptiveOptions, CostModelKind, OptimizeError, OptimizeResult, QuerySpec,
+    AdaptiveOptimizer, AdaptiveOptions, CostModelKind, IdpStrategy, OptimizeError, OptimizeResult,
+    QuerySpec,
 };
 use qo_plan::JoinOp;
 use std::collections::HashMap;
@@ -33,6 +34,8 @@ pub struct QueryOptions {
     pub time_budget: Option<Duration>,
     /// `option cost_model = cout | mixed`.
     pub cost_model: Option<CostModelKind>,
+    /// `option idp_strategy = smallest | connected` — block selection of the IDP fallback.
+    pub idp_strategy: Option<IdpStrategy>,
 }
 
 impl QueryOptions {
@@ -43,6 +46,7 @@ impl QueryOptions {
             idp_block_size: self.idp_block_size.unwrap_or(base.idp_block_size),
             time_budget: self.time_budget.or(base.time_budget),
             cost_model: self.cost_model.unwrap_or(base.cost_model),
+            idp_strategy: self.idp_strategy.unwrap_or(base.idp_strategy),
         }
     }
 }
@@ -81,7 +85,14 @@ impl IngestQuery {
     /// budgets, IDP-k and greedy fallbacks), picking node-set width and algorithm tier
     /// automatically.
     pub fn plan(&self) -> Result<OptimizeResult, OptimizeError> {
-        AdaptiveOptimizer::new(self.adaptive_options()).optimize_spec(&self.spec)
+        self.plan_with(AdaptiveOptions::default())
+    }
+
+    /// Plans the query with the query's own `option` statements overlaid on an explicit base
+    /// configuration — the entry point a serving layer (e.g. `qo-service`) uses to combine its
+    /// own defaults with per-query overrides.
+    pub fn plan_with(&self, base: AdaptiveOptions) -> Result<OptimizeResult, OptimizeError> {
+        AdaptiveOptimizer::new(self.options.apply(base)).optimize_spec(&self.spec)
     }
 }
 
@@ -281,6 +292,7 @@ fn lower_options(q: &QueryDecl) -> Result<QueryOptions, JgError> {
             "idp_block_size" => opts.idp_block_size.is_some(),
             "time_budget_ms" => opts.time_budget.is_some(),
             "cost_model" => opts.cost_model.is_some(),
+            "idp_strategy" => opts.idp_strategy.is_some(),
             _ => false,
         };
         if duplicate {
@@ -323,11 +335,25 @@ fn lower_options(q: &QueryDecl) -> Result<QueryOptions, JgError> {
                     ))
                 }
             },
+            "idp_strategy" => match &o.value {
+                OptionValue::Symbol(s) if s.text == "smallest" => {
+                    opts.idp_strategy = Some(IdpStrategy::SmallestCardinality);
+                }
+                OptionValue::Symbol(s) if s.text == "connected" => {
+                    opts.idp_strategy = Some(IdpStrategy::ConnectedSmallest);
+                }
+                v => {
+                    return Err(JgError::new(
+                        "`idp_strategy` expects `smallest` or `connected`",
+                        v.span(),
+                    ))
+                }
+            },
             other => {
                 return Err(JgError::new(
                     format!(
                         "unknown option `{other}` (expected one of: ccp_budget, \
-                         idp_block_size, time_budget_ms, cost_model)"
+                         idp_block_size, time_budget_ms, cost_model, idp_strategy)"
                     ),
                     o.key.span,
                 ))
@@ -493,6 +519,17 @@ mod tests {
         assert!(err.message.contains("`cout` or `mixed`"));
         let err = q("relation a cardinality=1\noption warp_speed = 9").unwrap_err();
         assert!(err.message.contains("unknown option `warp_speed`"));
+        let err = q("relation a cardinality=1\noption idp_strategy = sideways").unwrap_err();
+        assert!(err.message.contains("`smallest` or `connected`"));
+        let ok = &q("relation a cardinality=1\noption idp_strategy = connected").unwrap()[0];
+        assert_eq!(
+            ok.options.idp_strategy,
+            Some(IdpStrategy::ConnectedSmallest)
+        );
+        assert_eq!(
+            ok.adaptive_options().idp_strategy,
+            IdpStrategy::ConnectedSmallest
+        );
         let err = q("relation a cardinality=1\noption time_budget_ms = -5").unwrap_err();
         assert!(err.message.contains("positive number"));
         let src =

@@ -70,6 +70,13 @@ pub fn to_jg(q: &IngestQuery) -> String {
         };
         writeln!(out, "  option cost_model = {name}").unwrap();
     }
+    if let Some(s) = o.idp_strategy {
+        let name = match s {
+            dphyp::IdpStrategy::SmallestCardinality => "smallest",
+            dphyp::IdpStrategy::ConnectedSmallest => "connected",
+        };
+        writeln!(out, "  option idp_strategy = {name}").unwrap();
+    }
     out.push_str("}\n");
     out
 }
@@ -104,6 +111,7 @@ mod tests {
   option idp_block_size = 6
   option time_budget_ms = 250.0
   option cost_model = mixed
+  option idp_strategy = connected
 }
 ";
         let q = &parse_queries(src).unwrap()[0];

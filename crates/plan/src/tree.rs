@@ -263,6 +263,47 @@ impl PlanNode {
         s
     }
 
+    /// Rebuilds the plan with every relation id and predicate id passed through the given
+    /// mappings, preserving operators, cardinalities and costs.
+    ///
+    /// This is the bridge between id spaces: the plan-service subsystem optimizes queries in a
+    /// *canonical* relabeling (so structurally equal queries share one cache entry) and uses
+    /// this to translate the resulting plan back into the caller's original relation and edge
+    /// ids. The mappings must be injective over the ids appearing in the plan; statistics are
+    /// untouched because a relabeling does not change them.
+    pub fn map_ids(
+        &self,
+        relation: &impl Fn(NodeId) -> NodeId,
+        predicate: &impl Fn(PredicateId) -> PredicateId,
+    ) -> PlanNode {
+        match self {
+            PlanNode::Scan {
+                relation: r,
+                cardinality,
+            } => PlanNode::scan(relation(*r), *cardinality),
+            PlanNode::Join {
+                op,
+                left,
+                right,
+                predicates,
+                cardinality,
+                cost,
+            } => {
+                let mut preds: Vec<PredicateId> =
+                    predicates.iter().map(|&p| predicate(p)).collect();
+                preds.sort_unstable();
+                PlanNode::join(
+                    *op,
+                    left.map_ids(relation, predicate),
+                    right.map_ids(relation, predicate),
+                    preds,
+                    *cardinality,
+                    *cost,
+                )
+            }
+        }
+    }
+
     /// Renders the plan on a single line, e.g. `((R0 ⋈ R1) ⟕ R2)`.
     pub fn compact(&self) -> String {
         match self {

@@ -1,0 +1,383 @@
+//! The optimization service: canonicalize → fingerprint → cache → (re-cost | optimize).
+
+use crate::cache::{CacheOptions, CacheStats, Entry, Lookup, PlanCache};
+use crate::fingerprint::{options_key, Fingerprint};
+use dphyp::{
+    canonicalize, recost_spec, AdaptiveOptimizer, AdaptiveOptions, CachedTable, CanonicalQuery,
+    OptimizeError, PlanTier, QuerySpec,
+};
+use qo_ingest::{parse_queries, IngestQuery, JgError};
+use qo_plan::PlanNode;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Configuration of a [`Service`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceOptions {
+    /// Plan-cache sizing (capacity, shard count).
+    pub cache: CacheOptions,
+    /// Base adaptive-driver options; `.jg` queries overlay their own `option` statements on
+    /// top of these ([`Service::plan_ingest`]).
+    pub adaptive: AdaptiveOptions,
+    /// Staleness tolerance of the incremental re-cost path: a re-costed cached join order is
+    /// served only while `recost_cost ≤ greedy_cost × (1 + tolerance)` — the moment a mere
+    /// greedy ordering beats the cached order by more than this margin under the new
+    /// statistics, the order has demonstrably gone stale and the service re-optimizes in full.
+    /// `0.0` re-optimizes on any greedy win; larger values trade plan quality for fewer
+    /// re-optimizations.
+    pub recost_tolerance: f64,
+    /// Worker threads of [`Service::plan_batch`]; `0` (the default) means one per available
+    /// CPU, capped by the batch size.
+    pub batch_threads: usize,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            cache: CacheOptions::default(),
+            adaptive: AdaptiveOptions::default(),
+            recost_tolerance: 0.0,
+            batch_threads: 0,
+        }
+    }
+}
+
+/// Which serving path produced a [`ServedPlan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanSource {
+    /// Full optimization: first sight of this query shape.
+    Miss,
+    /// Served verbatim from the cache (shape and statistics matched).
+    CacheHit,
+    /// Same shape with drifted statistics: the cached join order was re-costed bottom-up and
+    /// passed the staleness probe.
+    Recost,
+    /// Same shape with drifted statistics, but the re-costed order failed the staleness probe
+    /// (or could not be re-costed): answered by a full re-optimization.
+    RecostFallback,
+}
+
+impl fmt::Display for PlanSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlanSource::Miss => "miss",
+            PlanSource::CacheHit => "hit",
+            PlanSource::Recost => "recost",
+            PlanSource::RecostFallback => "recost_fallback",
+        })
+    }
+}
+
+/// One answered query: the plan in the caller's original relation/edge ids, plus serving
+/// telemetry.
+#[derive(Clone, Debug)]
+pub struct ServedPlan {
+    /// The plan, translated back into the ids of the submitted spec.
+    pub plan: PlanNode,
+    /// Its cost under the configured cost model.
+    pub cost: f64,
+    /// Its estimated output cardinality.
+    pub cardinality: f64,
+    /// The adaptive tier that produced the join order (for cache hits and re-costs: the tier
+    /// that produced it originally).
+    pub tier: PlanTier,
+    /// Which serving path answered.
+    pub source: PlanSource,
+    /// The query's fingerprint (shape / stats).
+    pub fingerprint: Fingerprint,
+}
+
+/// Errors of the `.jg` text entry point.
+#[derive(Clone, Debug)]
+pub enum ServiceError {
+    /// The source failed to parse or lower; render with [`JgError::render`] for a caret
+    /// diagnostic.
+    Parse(JgError),
+    /// A query parsed but could not be planned.
+    Optimize {
+        /// Name of the failing query block.
+        query: String,
+        /// The planner error.
+        error: OptimizeError,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Parse(e) => write!(f, "parse error: {}", e.message),
+            ServiceError::Optimize { query, error } => {
+                write!(f, "query `{query}` failed to plan: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// The concurrent plan-cache + optimization service.
+///
+/// All entry points take `&self` and the service is `Sync`: clone-free sharing across the
+/// threads of [`Service::plan_batch`] (or an embedding server) is the intended mode of use.
+/// See the crate docs for the serving pipeline.
+pub struct Service {
+    options: ServiceOptions,
+    cache: PlanCache,
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        Service::new(ServiceOptions::default())
+    }
+}
+
+impl Service {
+    /// Creates a service with the given options.
+    pub fn new(options: ServiceOptions) -> Service {
+        Service {
+            cache: PlanCache::new(options.cache),
+            options,
+        }
+    }
+
+    /// The options this service runs with.
+    pub fn options(&self) -> &ServiceOptions {
+        &self.options
+    }
+
+    /// Cache telemetry: hits, shape hits (re-costs), misses, evictions, per-path latencies.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Plans a width-agnostic spec under the service's base adaptive options.
+    pub fn plan_spec(&self, spec: &QuerySpec) -> Result<ServedPlan, OptimizeError> {
+        self.plan_spec_with(spec, self.options.adaptive)
+    }
+
+    /// Plans a lowered `.jg` query, overlaying its own `option` statements on the service's
+    /// base adaptive options.
+    pub fn plan_ingest(&self, query: &IngestQuery) -> Result<ServedPlan, OptimizeError> {
+        self.plan_spec_with(&query.spec, query.options.apply(self.options.adaptive))
+    }
+
+    /// Parses `.jg` source text and plans every query block it declares, in order.
+    pub fn plan_jg(&self, source: &str) -> Result<Vec<ServedPlan>, ServiceError> {
+        let queries = parse_queries(source).map_err(ServiceError::Parse)?;
+        queries
+            .iter()
+            .map(|q| {
+                self.plan_ingest(q).map_err(|error| ServiceError::Optimize {
+                    query: q.name.clone(),
+                    error,
+                })
+            })
+            .collect()
+    }
+
+    /// Plans a batch of specs concurrently over `std::thread::scope`, preserving input order
+    /// in the result. Worker count is [`ServiceOptions::batch_threads`] (0 = one per CPU),
+    /// capped by the number of distinct shapes.
+    ///
+    /// The fan-out is *shape-grouped* for determinism: queries with the same shape fingerprint
+    /// interact through the same cache bucket (the second one is served from the first one's
+    /// entry), so they are planned in input order relative to each other, while distinct
+    /// shapes — which never interact, barring capacity evictions — run concurrently. A batch
+    /// therefore produces exactly the plans sequential serving produces, regardless of thread
+    /// interleaving.
+    pub fn plan_batch(&self, specs: &[QuerySpec]) -> Vec<Result<ServedPlan, OptimizeError>> {
+        self.batch_with(specs, |spec| (spec, self.options.adaptive))
+    }
+
+    /// [`Service::plan_batch`] for lowered `.jg` queries: each query's own `option`
+    /// statements are overlaid on the service's base options, exactly as in
+    /// [`Service::plan_ingest`].
+    pub fn plan_batch_ingest(
+        &self,
+        queries: &[IngestQuery],
+    ) -> Vec<Result<ServedPlan, OptimizeError>> {
+        self.batch_with(queries, |query| {
+            (&query.spec, query.options.apply(self.options.adaptive))
+        })
+    }
+
+    /// The shared batch machinery: work-stealing over shape groups (see [`Service::plan_batch`]
+    /// for the determinism argument). Canonicalization happens once per item, up front — the
+    /// grouping needs the shape hash anyway, and the workers serve the prepared canonical form
+    /// directly.
+    fn batch_with<T: Sync>(
+        &self,
+        items: &[T],
+        prepare: impl Fn(&T) -> (&QuerySpec, AdaptiveOptions),
+    ) -> Vec<Result<ServedPlan, OptimizeError>> {
+        let prepared: Vec<(CanonicalQuery, AdaptiveOptions)> = items
+            .iter()
+            .map(|item| {
+                let (spec, adaptive) = prepare(item);
+                (canonicalize(spec), adaptive)
+            })
+            .collect();
+        // Group item indexes by shape, preserving input order within each group.
+        let mut group_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, (canonical, _)) in prepared.iter().enumerate() {
+            match group_of.get(&canonical.shape_hash) {
+                Some(&g) => groups[g].push(i),
+                None => {
+                    group_of.insert(canonical.shape_hash, groups.len());
+                    groups.push(vec![i]);
+                }
+            }
+        }
+        let threads = match self.options.batch_threads {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            t => t,
+        }
+        .min(groups.len().max(1));
+        if threads <= 1 || items.len() <= 1 {
+            return prepared
+                .iter()
+                .map(|(canonical, adaptive)| self.serve(canonical, *adaptive))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<Result<ServedPlan, OptimizeError>>>> =
+            Mutex::new((0..items.len()).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let g = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(group) = groups.get(g) else { break };
+                    for &i in group {
+                        let (canonical, adaptive) = &prepared[i];
+                        let r = self.serve(canonical, *adaptive);
+                        results.lock().expect("batch results poisoned")[i] = Some(r);
+                    }
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("batch results poisoned")
+            .into_iter()
+            .map(|r| r.expect("every index was planned"))
+            .collect()
+    }
+
+    /// The serving pipeline for one spec under explicit adaptive options.
+    pub fn plan_spec_with(
+        &self,
+        spec: &QuerySpec,
+        adaptive: AdaptiveOptions,
+    ) -> Result<ServedPlan, OptimizeError> {
+        self.serve(&canonicalize(spec), adaptive)
+    }
+
+    /// Serves one already-canonicalized query: fingerprint, cache lookup, then hit / re-cost /
+    /// full optimization.
+    fn serve(
+        &self,
+        canonical: &CanonicalQuery,
+        adaptive: AdaptiveOptions,
+    ) -> Result<ServedPlan, OptimizeError> {
+        let start = Instant::now();
+        let fp = Fingerprint::of(canonical);
+        let opts_key = options_key(&adaptive);
+
+        match self.cache.lookup(fp, opts_key, &canonical.spec) {
+            Lookup::Hit {
+                plan,
+                cost,
+                cardinality,
+                tier,
+            } => {
+                let served = ServedPlan {
+                    plan: canonical.plan_to_original(&plan),
+                    cost,
+                    cardinality,
+                    tier,
+                    source: PlanSource::CacheHit,
+                    fingerprint: fp,
+                };
+                self.cache.record_hit(start.elapsed());
+                Ok(served)
+            }
+            Lookup::Shape { table, tier } => {
+                if let Some(r) = recost_spec(&canonical.spec, &table, &adaptive)? {
+                    if r.cost <= r.greedy_cost * (1.0 + self.options.recost_tolerance) {
+                        let served = ServedPlan {
+                            plan: canonical.plan_to_original(&r.plan),
+                            cost: r.cost,
+                            cardinality: r.cardinality,
+                            tier,
+                            source: PlanSource::Recost,
+                            fingerprint: fp,
+                        };
+                        self.cache.insert(
+                            fp.shape,
+                            Entry {
+                                spec: canonical.spec.clone(),
+                                stats: fp.stats,
+                                options: opts_key,
+                                table: r.table,
+                                plan: r.plan,
+                                cost: r.cost,
+                                cardinality: r.cardinality,
+                                tier,
+                            },
+                        );
+                        self.cache.record_shape_hit(start.elapsed());
+                        return Ok(served);
+                    }
+                }
+                let served = self.optimize_and_insert(canonical, fp, opts_key, adaptive)?;
+                self.cache.record_recost_fallback(start.elapsed());
+                Ok(ServedPlan {
+                    source: PlanSource::RecostFallback,
+                    ..served
+                })
+            }
+            Lookup::Miss => {
+                let served = self.optimize_and_insert(canonical, fp, opts_key, adaptive)?;
+                self.cache.record_miss(start.elapsed());
+                Ok(served)
+            }
+        }
+    }
+
+    /// The cold path: full adaptive optimization of the canonical spec, then cache insert.
+    fn optimize_and_insert(
+        &self,
+        canonical: &CanonicalQuery,
+        fp: Fingerprint,
+        opts_key: u64,
+        adaptive: AdaptiveOptions,
+    ) -> Result<ServedPlan, OptimizeError> {
+        let result = AdaptiveOptimizer::new(adaptive).optimize_spec(&canonical.spec)?;
+        let table = CachedTable::from_plan(&result.plan, canonical.spec.node_count())?;
+        let served = ServedPlan {
+            plan: canonical.plan_to_original(&result.plan),
+            cost: result.cost,
+            cardinality: result.cardinality,
+            tier: result.tier,
+            source: PlanSource::Miss,
+            fingerprint: fp,
+        };
+        self.cache.insert(
+            fp.shape,
+            Entry {
+                spec: canonical.spec.clone(),
+                stats: fp.stats,
+                options: opts_key,
+                table,
+                plan: result.plan,
+                cost: result.cost,
+                cardinality: result.cardinality,
+                tier: result.tier,
+            },
+        );
+        Ok(served)
+    }
+}

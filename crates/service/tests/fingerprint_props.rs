@@ -1,0 +1,284 @@
+//! Property tests for fingerprint soundness (the plan cache's key invariants):
+//!
+//! * renaming/reordering relations, reordering edges, and swapping commutative join sides all
+//!   preserve the shape fingerprint;
+//! * statistics drift changes the stats hash and *only* the stats hash;
+//! * any structural change — an edge added or removed, a hypernode grown, an operator
+//!   replaced, a relation added — changes the shape fingerprint.
+
+use dphyp::{canonicalize, JoinOp, QuerySpec};
+use proptest::prelude::*;
+use qo_service::Fingerprint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random connected spec: a spanning tree plus a sprinkle of extra edges (some hypernodes,
+/// some non-inner operators), arbitrary positive statistics.
+fn random_spec(rng: &mut StdRng) -> QuerySpec {
+    let n = rng.random_range(2usize..11);
+    let mut b = QuerySpec::builder(n);
+    for i in 0..n {
+        b.set_cardinality(i, rng.random_range(1.0f64..1e7));
+        if n > 1 && rng.random_range(0u32..10) == 0 {
+            let other = (i + rng.random_range(1usize..n)) % n;
+            b.set_lateral_refs(i, &[other]);
+        }
+    }
+    for i in 1..n {
+        let j = rng.random_range(0usize..i);
+        b.add_simple_edge(j, i, sel(rng));
+    }
+    for _ in 0..rng.random_range(0usize..3) {
+        if n < 4 {
+            break;
+        }
+        let mut ids: Vec<usize> = (0..n).collect();
+        for k in (1..ids.len()).rev() {
+            ids.swap(k, rng.random_range(0usize..k + 1));
+        }
+        let l = rng.random_range(1usize..3);
+        let r = rng.random_range(1usize..3);
+        let (left, rest) = ids.split_at(l);
+        let (right, _) = rest.split_at(r);
+        let op = if rng.random_range(0u32..3) == 0 {
+            JoinOp::LeftSemi
+        } else {
+            JoinOp::Inner
+        };
+        b.add_edge(left, right, sel(rng), op);
+    }
+    b.build()
+}
+
+fn sel(rng: &mut StdRng) -> f64 {
+    rng.random_range(1e-9f64..1.0)
+}
+
+/// Rebuilds `spec` with relation `r` renamed to `perm[r]`, the edge list rotated, and the
+/// sides of every other commutative edge swapped — a different description of the same query.
+fn permuted(spec: &QuerySpec, perm: &[usize], rotate: usize) -> QuerySpec {
+    let n = spec.node_count();
+    let mut b = QuerySpec::builder(n);
+    for r in 0..n {
+        b.set_cardinality(perm[r], spec.cardinality(r));
+        let refs: Vec<usize> = spec.lateral_refs(r).iter().map(|&t| perm[t]).collect();
+        if !refs.is_empty() {
+            b.set_lateral_refs(perm[r], &refs);
+        }
+    }
+    let edges: Vec<_> = spec.edges().cloned().collect();
+    for (i, e) in edges
+        .iter()
+        .cycle()
+        .skip(rotate % edges.len().max(1))
+        .take(edges.len())
+        .enumerate()
+    {
+        let map = |ids: &[usize]| ids.iter().map(|&r| perm[r]).collect::<Vec<_>>();
+        let (mut l, mut r) = (map(e.left()), map(e.right()));
+        if e.op().is_commutative() && i % 2 == 1 {
+            std::mem::swap(&mut l, &mut r);
+        }
+        if e.flex().is_empty() {
+            b.add_edge(&l, &r, e.selectivity(), e.op());
+        } else {
+            b.add_generalized_edge(&l, &r, &map(e.flex()), e.selectivity());
+        }
+    }
+    b.build()
+}
+
+/// Rebuilds `spec` with one mutation applied. Every variant is a *structural* change.
+fn mutated(spec: &QuerySpec, rng: &mut StdRng) -> QuerySpec {
+    let n = spec.node_count();
+    let edges: Vec<_> = spec.edges().cloned().collect();
+    loop {
+        match rng.random_range(0u32..5) {
+            // Add one more relation, attached anywhere.
+            0 => {
+                let mut b = QuerySpec::builder(n + 1);
+                copy_into(spec, &mut b);
+                b.add_simple_edge(rng.random_range(0usize..n), n, 0.5);
+                return b.build();
+            }
+            // Drop the last edge (if that leaves at least one).
+            1 if edges.len() >= 2 => {
+                let mut b = QuerySpec::builder(n);
+                copy_relations(spec, &mut b);
+                for e in &edges[..edges.len() - 1] {
+                    add_edge(
+                        &mut b,
+                        e.left(),
+                        e.right(),
+                        e.flex(),
+                        e.selectivity(),
+                        e.op(),
+                    );
+                }
+                return b.build();
+            }
+            // Duplicate an edge (parallel predicate: the edge multiset changes).
+            2 => {
+                let mut b = QuerySpec::builder(n);
+                copy_into(spec, &mut b);
+                let e = &edges[rng.random_range(0usize..edges.len())];
+                add_edge(
+                    &mut b,
+                    e.left(),
+                    e.right(),
+                    e.flex(),
+                    e.selectivity(),
+                    e.op(),
+                );
+                return b.build();
+            }
+            // Replace a simple edge's operator with a non-inner one.
+            3 => {
+                if let Some(pos) = edges
+                    .iter()
+                    .position(|e| e.op() == JoinOp::Inner && e.flex().is_empty())
+                {
+                    let mut b = QuerySpec::builder(n);
+                    copy_relations(spec, &mut b);
+                    for (i, e) in edges.iter().enumerate() {
+                        let op = if i == pos { JoinOp::LeftAnti } else { e.op() };
+                        add_edge(&mut b, e.left(), e.right(), e.flex(), e.selectivity(), op);
+                    }
+                    return b.build();
+                }
+            }
+            // Grow a hypernode: pull one absent relation into an edge's left side.
+            _ => {
+                for (pos, e) in edges.iter().enumerate() {
+                    if let Some(extra) = (0..n).find(|r| {
+                        !e.left().contains(r) && !e.right().contains(r) && !e.flex().contains(r)
+                    }) {
+                        let mut b = QuerySpec::builder(n);
+                        copy_relations(spec, &mut b);
+                        for (i, e2) in edges.iter().enumerate() {
+                            if i == pos {
+                                let mut left = e2.left().to_vec();
+                                left.push(extra);
+                                add_edge(
+                                    &mut b,
+                                    &left,
+                                    e2.right(),
+                                    e2.flex(),
+                                    e2.selectivity(),
+                                    e2.op(),
+                                );
+                            } else {
+                                add_edge(
+                                    &mut b,
+                                    e2.left(),
+                                    e2.right(),
+                                    e2.flex(),
+                                    e2.selectivity(),
+                                    e2.op(),
+                                );
+                            }
+                        }
+                        return b.build();
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn copy_relations(spec: &QuerySpec, b: &mut dphyp::QuerySpecBuilder) {
+    for r in 0..spec.node_count() {
+        b.set_cardinality(r, spec.cardinality(r));
+        let refs = spec.lateral_refs(r).to_vec();
+        if !refs.is_empty() {
+            b.set_lateral_refs(r, &refs);
+        }
+    }
+}
+
+fn copy_into(spec: &QuerySpec, b: &mut dphyp::QuerySpecBuilder) {
+    copy_relations(spec, b);
+    for e in spec.edges() {
+        add_edge(b, e.left(), e.right(), e.flex(), e.selectivity(), e.op());
+    }
+}
+
+fn add_edge(
+    b: &mut dphyp::QuerySpecBuilder,
+    left: &[usize],
+    right: &[usize],
+    flex: &[usize],
+    selectivity: f64,
+    op: JoinOp,
+) {
+    if flex.is_empty() {
+        b.add_edge(left, right, selectivity, op);
+    } else {
+        b.add_generalized_edge(left, right, flex, selectivity);
+    }
+}
+
+fn fp(spec: &QuerySpec) -> Fingerprint {
+    Fingerprint::of(&canonicalize(spec))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(250))]
+
+    #[test]
+    fn renaming_and_reordering_preserve_the_shape_fingerprint(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = random_spec(&mut rng);
+        let n = spec.node_count();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in (1..n).rev() {
+            perm.swap(k, rng.random_range(0usize..k + 1));
+        }
+        let rotated = rng.random_range(0usize..8);
+        let shuffled = permuted(&spec, &perm, rotated);
+        prop_assert_eq!(
+            fp(&spec).shape,
+            fp(&shuffled).shape,
+            "shape fingerprint must be relation-order-invariant"
+        );
+    }
+
+    #[test]
+    fn stats_drift_changes_only_the_stats_hash(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = random_spec(&mut rng);
+        let n = spec.node_count();
+        // Drift: perturb one cardinality and one selectivity.
+        let victim = rng.random_range(0usize..n);
+        let mut b = QuerySpec::builder(n);
+        copy_relations(&spec, &mut b);
+        b.set_cardinality(victim, spec.cardinality(victim) * 1.5 + 1.0);
+        let edges: Vec<_> = spec.edges().cloned().collect();
+        let edge_victim = rng.random_range(0usize..edges.len());
+        for (i, e) in edges.iter().enumerate() {
+            let s = if i == edge_victim {
+                (e.selectivity() * 0.5).max(1e-12)
+            } else {
+                e.selectivity()
+            };
+            add_edge(&mut b, e.left(), e.right(), e.flex(), s, e.op());
+        }
+        let drifted = b.build();
+        let a = fp(&spec);
+        let d = fp(&drifted);
+        prop_assert_eq!(a.shape, d.shape, "stats are not shape");
+        prop_assert_ne!(a.stats, d.stats, "drift must show in the stats hash");
+    }
+
+    #[test]
+    fn structural_mutations_change_the_shape_fingerprint(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = random_spec(&mut rng);
+        let changed = mutated(&spec, &mut rng);
+        prop_assert_ne!(
+            fp(&spec).shape,
+            fp(&changed).shape,
+            "an edge/hypernode/relation change must alter the shape fingerprint"
+        );
+    }
+}

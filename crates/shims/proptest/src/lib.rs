@@ -385,6 +385,17 @@ macro_rules! prop_assert_ne {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l == __r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError(format!(
+                "{}\n  both: {:?}",
+                format!($($fmt)+),
+                __l
+            )));
+        }
+    }};
 }
 
 #[cfg(test)]

@@ -3,15 +3,16 @@
 //!
 //! The paper's claim is that DPhyp wins on the *non-chain* query graphs real workloads
 //! produce. The synthetic families in this crate approximate those shapes parametrically;
-//! this module complements them with a corpus of thirty *described* queries in the
-//! [`qo_ingest`] `.jg` language — stars and snowflakes over a fact table (5–28 relations),
-//! complex-predicate hyperedges, non-inner joins, a lateral table function and per-query
-//! planner options — each planned end to end through the adaptive driver:
+//! this module complements them with a corpus of thirty-six *described* queries in the
+//! [`qo_ingest`] `.jg` language — stars and snowflakes over a fact table (5–72 relations,
+//! including one query wide enough for the two-word node-set tier), complex-predicate
+//! hyperedges, non-inner joins, a lateral table function and per-query planner options — each
+//! planned end to end through the adaptive driver:
 //!
 //! ```
 //! use qo_workloads::corpus::{corpus, corpus_query};
 //!
-//! assert_eq!(corpus().len(), 30);
+//! assert_eq!(corpus().len(), 36);
 //! let q = corpus_query("job_01a").unwrap();
 //! let result = q.plan().unwrap();
 //! assert_eq!(result.plan.scan_count(), q.relation_count());
@@ -48,12 +49,15 @@ pub const CORPUS: &[CorpusEntry] = corpus_entries![
     "dsb_cross_channel",
     "dsb_grand_25",
     "dsb_inventory",
+    "dsb_snow_34",
     "dsb_ss_snowflake",
     "dsb_store_returns",
+    "dsb_wide_72",
     "job_01a",
     "job_02a",
     "job_03a",
     "job_04a",
+    "job_05c",
     "job_06a",
     "job_07a",
     "job_08a",
@@ -62,14 +66,17 @@ pub const CORPUS: &[CorpusEntry] = corpus_entries![
     "job_12a",
     "job_13a",
     "job_14a",
+    "job_15b",
     "job_16a",
     "job_17a",
+    "job_18a",
     "job_19a",
     "job_20a",
     "job_21a",
     "job_22a",
     "job_23a",
     "job_24a",
+    "job_25c",
     "job_26a",
     "job_28a",
     "job_29a",
@@ -128,10 +135,22 @@ mod tests {
     #[test]
     fn corpus_spans_the_advertised_size_range() {
         let queries = corpus();
-        assert_eq!(queries.len(), 30);
+        assert_eq!(queries.len(), 36);
         let sizes: Vec<usize> = queries.iter().map(|q| q.relation_count()).collect();
         assert_eq!(*sizes.iter().min().unwrap(), 5, "smallest corpus query");
-        assert_eq!(*sizes.iter().max().unwrap(), 28, "largest corpus query");
+        assert_eq!(*sizes.iter().max().unwrap(), 72, "largest corpus query");
+        // One query is wide enough for the two-word (W = 2) node-set tier…
+        assert!(
+            queries.iter().any(|q| q.relation_count() > 64),
+            "the corpus must exercise the width-2 tier"
+        );
+        // …and there is a ≥32-relation TPC-DS-flavored snowflake below it.
+        assert!(
+            queries
+                .iter()
+                .any(|q| q.name.starts_with("dsb_") && (32..=64).contains(&q.relation_count())),
+            "a ≥32-relation dsb snowflake is part of the corpus"
+        );
         // Both workload flavors are represented.
         assert!(queries.iter().any(|q| q.name.starts_with("job_")));
         assert!(queries.iter().any(|q| q.name.starts_with("dsb_")));
@@ -164,6 +183,10 @@ mod tests {
         assert!(
             has(&|q| q.options.cost_model.is_some()),
             "some query picks a cost model"
+        );
+        assert!(
+            has(&|q| q.options.idp_strategy.is_some()),
+            "some query picks an IDP block-selection strategy"
         );
     }
 

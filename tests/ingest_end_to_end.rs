@@ -9,7 +9,7 @@ use qo_workloads::corpus::{corpus, corpus_query, CORPUS};
 #[test]
 fn every_corpus_query_plans_through_the_adaptive_driver() {
     let queries = corpus();
-    assert_eq!(queries.len(), 30);
+    assert_eq!(queries.len(), 36);
     for q in &queries {
         let r = q
             .plan()

@@ -1,0 +1,401 @@
+//! Level-parallel variants of DPsize and DPsub, bit-identical to the sequential runs.
+//!
+//! Both classic algorithms are *size-driven at heart*: a class of `s` relations is built only
+//! from classes of strictly fewer relations, so a barrier between sizes seals every input a
+//! level reads. Within a level the workers compute candidates against the sealed table
+//! concurrently, record them in the sequential inspection order, and a deterministic merge
+//! replays that exact order into the table — plans, costs, `cost_calls`, `pairs_tested` and
+//! `dp_entries` all match the sequential run at every thread count.
+//!
+//! * [`dpsize_parallel`] parallelizes the paper's Fig. 1 loop by *rows*: one row is one left
+//!   class `(s1, i)` with its full scan over the size-`s2` partners. Rows are dealt round-robin
+//!   to the workers; the merge consumes them sorted back into row order, reproducing the
+//!   sequential `(s1, i, j)` offer sequence including the `new_sets` bookkeeping that drives
+//!   the next level.
+//! * [`dpsub_parallel`] reorders DPsub's ascending-mask subset walk into a by-size schedule
+//!   (valid because every proper subset is both a smaller mask *and* a smaller size) using
+//!   [`CombinationIter`], which yields each level in exactly the relative order the sequential
+//!   walk visits it. One worker owns one subset outright — all of its splits — and folds them
+//!   to a local winner under the table's own strictly-cheaper-replaces rule, so the merge
+//!   installs one pre-folded candidate per subset.
+
+use crate::dpsize::dpsize;
+use crate::dpsub::dpsub;
+use crate::result::{BaselineError, BaselineResult};
+use qo_bitset::{CombinationIter, NodeSet};
+use qo_catalog::{Candidate, CandidateJoin, Catalog, CostModel, DpTable, JoinCombiner};
+use qo_hypergraph::{EdgeId, Hypergraph};
+use qo_plan::JoinOp;
+
+/// A worker-side candidate that owns its predicate list (the shared read phase cannot hand out
+/// borrows into a per-worker edge buffer).
+struct OwnedCandidate<const W: usize> {
+    set: NodeSet<W>,
+    cardinality: f64,
+    cost: f64,
+    left: NodeSet<W>,
+    right: NodeSet<W>,
+    op: JoinOp,
+    predicates: Vec<EdgeId>,
+}
+
+impl<const W: usize> OwnedCandidate<W> {
+    fn from_candidate(c: Candidate<'_, W>) -> Self {
+        let join = c.join.expect("combined candidates always carry a join");
+        OwnedCandidate {
+            set: c.set,
+            cardinality: c.cardinality,
+            cost: c.cost,
+            left: join.left,
+            right: join.right,
+            op: join.op,
+            predicates: join.predicates.to_vec(),
+        }
+    }
+
+    fn as_candidate(&self) -> Candidate<'_, W> {
+        Candidate {
+            set: self.set,
+            cardinality: self.cardinality,
+            cost: self.cost,
+            join: Some(CandidateJoin {
+                left: self.left,
+                right: self.right,
+                op: self.op,
+                predicates: &self.predicates,
+            }),
+        }
+    }
+}
+
+/// Runs [`dpsize`] with `threads` workers per size level; `threads ≤ 1` delegates to the
+/// sequential run. Results (plan, cost, all counters) are identical to [`dpsize`] at every
+/// thread count.
+pub fn dpsize_parallel<M: CostModel<W> + Sync + ?Sized, const W: usize>(
+    graph: &Hypergraph<W>,
+    catalog: &Catalog<W>,
+    cost_model: &M,
+    threads: usize,
+) -> Result<BaselineResult, BaselineError> {
+    if threads <= 1 {
+        return dpsize(graph, catalog, cost_model);
+    }
+    catalog
+        .validate_for(graph)
+        .map_err(BaselineError::InvalidCatalog)?;
+    let n = graph.node_count();
+    let combiner = JoinCombiner::new(graph, catalog, cost_model);
+    let mut table = DpTable::new();
+    let mut classes_by_size: Vec<Vec<NodeSet<W>>> = vec![Vec::new(); n + 1];
+    for v in 0..n {
+        table.insert_leaf(v, catalog.cardinality(v));
+        classes_by_size[1].push(NodeSet::single(v));
+    }
+
+    let mut pairs_tested = 0usize;
+    let mut cost_calls = 0usize;
+
+    for size in 2..=n {
+        // The level's rows — one per left class, in the sequential (s1, i) order.
+        let mut rows: Vec<(usize, usize)> = Vec::new();
+        for (s1, lefts) in classes_by_size.iter().enumerate().take(size).skip(1) {
+            if s1 > size - s1 {
+                continue;
+            }
+            for i in 0..lefts.len() {
+                rows.push((s1, i));
+            }
+        }
+        // Read phase: workers scan their rows against the sealed smaller-size classes. The
+        // table is borrowed immutably by every worker; offers happen only in the merge below.
+        type RowResult<const W: usize> = (usize, usize, Vec<OwnedCandidate<W>>);
+        let results: Vec<Vec<RowResult<W>>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|t| {
+                    let (rows, table, combiner, classes_by_size) =
+                        (&rows, &table, &combiner, &classes_by_size);
+                    scope.spawn(move || {
+                        let mut edge_buf: Vec<EdgeId> = Vec::new();
+                        let mut out: Vec<RowResult<W>> = Vec::new();
+                        for (row_idx, &(s1, i)) in rows.iter().enumerate() {
+                            if row_idx % threads != t {
+                                continue;
+                            }
+                            let s2 = size - s1;
+                            let left_set = classes_by_size[s1][i];
+                            let start = if s1 == s2 { i + 1 } else { 0 };
+                            let mut row_pairs = 0usize;
+                            let mut candidates = Vec::new();
+                            for &right_set in classes_by_size[s2][start..].iter() {
+                                row_pairs += 1;
+                                if !left_set.is_disjoint(right_set) {
+                                    continue;
+                                }
+                                if !graph.has_connecting_edge(left_set, right_set) {
+                                    continue;
+                                }
+                                let a = table
+                                    .get(left_set)
+                                    .expect("listed class must exist")
+                                    .stats();
+                                let b = table
+                                    .get(right_set)
+                                    .expect("listed class must exist")
+                                    .stats();
+                                graph.connecting_edges_into(left_set, right_set, &mut edge_buf);
+                                if let Some(c) = combiner.combine(&a, &b, &edge_buf) {
+                                    candidates.push(OwnedCandidate::from_candidate(c));
+                                }
+                            }
+                            out.push((row_idx, row_pairs, candidates));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("dpsize worker panicked"))
+                .collect()
+        });
+        // Merge phase: replay the sequential (s1, i, j) offer order, including the was-new
+        // bookkeeping that determines the next level's row order.
+        let mut merged: Vec<RowResult<W>> = results.into_iter().flatten().collect();
+        merged.sort_by_key(|&(row_idx, _, _)| row_idx);
+        let mut new_sets: Vec<NodeSet<W>> = Vec::new();
+        for (_, row_pairs, candidates) in merged {
+            pairs_tested += row_pairs;
+            for c in candidates {
+                cost_calls += 1;
+                let was_new = !table.contains(c.set);
+                table.offer(c.as_candidate());
+                if was_new {
+                    new_sets.push(c.set);
+                }
+            }
+        }
+        classes_by_size[size] = new_sets;
+    }
+
+    finish(&table, graph, cost_calls, pairs_tested)
+}
+
+/// Runs [`dpsub`] with `threads` workers per subset-size level; `threads ≤ 1` delegates to the
+/// sequential run. Results (plan, cost, all counters) are identical to [`dpsub`] at every
+/// thread count.
+pub fn dpsub_parallel<M: CostModel<W> + Sync + ?Sized, const W: usize>(
+    graph: &Hypergraph<W>,
+    catalog: &Catalog<W>,
+    cost_model: &M,
+    threads: usize,
+) -> Result<BaselineResult, BaselineError> {
+    if threads <= 1 {
+        return dpsub(graph, catalog, cost_model);
+    }
+    catalog
+        .validate_for(graph)
+        .map_err(BaselineError::InvalidCatalog)?;
+    let n = graph.node_count();
+    let combiner = JoinCombiner::new(graph, catalog, cost_model);
+    let mut table = DpTable::new();
+    for v in 0..n {
+        table.insert_leaf(v, catalog.cardinality(v));
+    }
+
+    let mut pairs_tested = 0usize;
+    let mut cost_calls = 0usize;
+
+    for k in 2..=n {
+        // The size-k subsets in ascending mask order — the sequential walk's relative order.
+        let sets: Vec<NodeSet<W>> = CombinationIter::new(n, k).collect();
+        type SetResult<const W: usize> = (usize, usize, usize, Option<OwnedCandidate<W>>);
+        let results: Vec<Vec<SetResult<W>>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|t| {
+                    let (sets, table, combiner) = (&sets, &table, &combiner);
+                    scope.spawn(move || {
+                        let mut edge_buf: Vec<EdgeId> = Vec::new();
+                        let mut out: Vec<SetResult<W>> = Vec::new();
+                        for (idx, &set) in sets.iter().enumerate() {
+                            if idx % threads != t {
+                                continue;
+                            }
+                            let min = set.min_singleton();
+                            let rest = set - min;
+                            let mut splits = 0usize;
+                            let mut calls = 0usize;
+                            // One worker owns all splits of one subset: fold them locally
+                            // under the table's offer rule (strictly cheaper replaces, first
+                            // candidate wins ties) in the sequential split order.
+                            let mut best: Option<OwnedCandidate<W>> = None;
+                            for s2 in rest.subsets() {
+                                let s1 = set - s2;
+                                splits += 1;
+                                let (Some(a), Some(b)) = (table.get(s1), table.get(s2)) else {
+                                    continue;
+                                };
+                                if !graph.has_connecting_edge(s1, s2) {
+                                    continue;
+                                }
+                                let (a, b) = (a.stats(), b.stats());
+                                graph.connecting_edges_into(s1, s2, &mut edge_buf);
+                                if let Some(c) = combiner.combine(&a, &b, &edge_buf) {
+                                    calls += 1;
+                                    if best.as_ref().is_none_or(|inc| c.cost < inc.cost) {
+                                        best = Some(OwnedCandidate::from_candidate(c));
+                                    }
+                                }
+                            }
+                            out.push((idx, splits, calls, best));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("dpsub worker panicked"))
+                .collect()
+        });
+        let mut merged: Vec<SetResult<W>> = results.into_iter().flatten().collect();
+        merged.sort_by_key(|&(idx, _, _, _)| idx);
+        for (_, splits, calls, best) in merged {
+            pairs_tested += splits;
+            cost_calls += calls;
+            if let Some(c) = best {
+                table.offer(c.as_candidate());
+            }
+        }
+    }
+
+    finish(&table, graph, cost_calls, pairs_tested)
+}
+
+fn finish<const W: usize>(
+    table: &DpTable<W>,
+    graph: &Hypergraph<W>,
+    cost_calls: usize,
+    pairs_tested: usize,
+) -> Result<BaselineResult, BaselineError> {
+    let all = graph.all_nodes();
+    let Some(class) = table.get(all) else {
+        return Err(BaselineError::NoCompletePlan);
+    };
+    let plan = table.reconstruct(all).expect("complete class reconstructs");
+    Ok(BaselineResult {
+        cost: class.cost,
+        cardinality: class.cardinality,
+        plan,
+        cost_calls,
+        pairs_tested,
+        dp_entries: table.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qo_catalog::{CoutCost, MixedCost};
+
+    fn ns(v: &[usize]) -> NodeSet {
+        v.iter().copied().collect()
+    }
+
+    /// Chain, star, cycle and a hyperedge-bridged shape — the sequential tests' menagerie.
+    fn shapes() -> Vec<(Hypergraph, Catalog)> {
+        let mut out = Vec::new();
+        let mut b = Hypergraph::builder(8);
+        for i in 0..7 {
+            b.add_simple_edge(i, i + 1);
+        }
+        out.push((b.build(), Catalog::uniform(8, 100.0, 7, 0.05)));
+        let mut b = Hypergraph::builder(7);
+        for i in 1..7 {
+            b.add_simple_edge(0, i);
+        }
+        out.push((b.build(), Catalog::uniform(7, 250.0, 6, 0.02)));
+        let mut b = Hypergraph::builder(6);
+        for i in 0..6 {
+            b.add_simple_edge(i, (i + 1) % 6);
+        }
+        b.add_hyperedge(ns(&[0, 1, 2]), ns(&[3, 4, 5]));
+        out.push((b.build(), Catalog::uniform(6, 80.0, 7, 0.1)));
+        out
+    }
+
+    #[test]
+    fn parallel_dpsize_is_bit_identical_to_sequential() {
+        for (g, c) in shapes() {
+            let seq = dpsize(&g, &c, &CoutCost).unwrap();
+            for threads in [2usize, 4, 8] {
+                let par = dpsize_parallel(&g, &c, &CoutCost, threads).unwrap();
+                assert_eq!(par.cost, seq.cost, "{threads} threads");
+                assert_eq!(par.cardinality, seq.cardinality);
+                assert_eq!(par.plan, seq.plan, "{threads} threads");
+                assert_eq!(par.cost_calls, seq.cost_calls);
+                assert_eq!(par.pairs_tested, seq.pairs_tested);
+                assert_eq!(par.dp_entries, seq.dp_entries);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_dpsub_is_bit_identical_to_sequential() {
+        for (g, c) in shapes() {
+            let seq = dpsub(&g, &c, &CoutCost).unwrap();
+            for threads in [2usize, 4, 8] {
+                let par = dpsub_parallel(&g, &c, &CoutCost, threads).unwrap();
+                assert_eq!(par.cost, seq.cost, "{threads} threads");
+                assert_eq!(par.cardinality, seq.cardinality);
+                assert_eq!(par.plan, seq.plan, "{threads} threads");
+                assert_eq!(par.cost_calls, seq.cost_calls);
+                assert_eq!(par.pairs_tested, seq.pairs_tested);
+                assert_eq!(par.dp_entries, seq.dp_entries);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_variants_honor_the_cost_model() {
+        let (g, c) = &shapes()[0];
+        let seq = dpsize(g, c, &MixedCost).unwrap();
+        let par = dpsize_parallel(g, c, &MixedCost, 4).unwrap();
+        assert_eq!(par.cost, seq.cost);
+        let seq = dpsub(g, c, &MixedCost).unwrap();
+        let par = dpsub_parallel(g, c, &MixedCost, 4).unwrap();
+        assert_eq!(par.cost, seq.cost);
+    }
+
+    #[test]
+    fn one_thread_delegates_to_the_sequential_run() {
+        let (g, c) = &shapes()[1];
+        let seq = dpsize(g, c, &CoutCost).unwrap();
+        for threads in [0usize, 1] {
+            let del = dpsize_parallel(g, c, &CoutCost, threads).unwrap();
+            assert_eq!(del.cost, seq.cost);
+            assert_eq!(del.pairs_tested, seq.pairs_tested);
+        }
+    }
+
+    #[test]
+    fn parallel_variants_surface_sequential_errors() {
+        let mut b = Hypergraph::<1>::builder(4);
+        b.add_simple_edge(0, 1);
+        b.add_simple_edge(2, 3);
+        let g = b.build();
+        let c = Catalog::uniform(4, 10.0, 2, 0.5);
+        assert!(matches!(
+            dpsize_parallel(&g, &c, &CoutCost, 4),
+            Err(BaselineError::NoCompletePlan)
+        ));
+        assert!(matches!(
+            dpsub_parallel(&g, &c, &CoutCost, 4),
+            Err(BaselineError::NoCompletePlan)
+        ));
+        let bad = Catalog::uniform(9, 10.0, 2, 0.5);
+        assert!(matches!(
+            dpsub_parallel(&g, &bad, &CoutCost, 2),
+            Err(BaselineError::InvalidCatalog(_))
+        ));
+    }
+}

@@ -1,0 +1,150 @@
+//! Enumeration of fixed-size subsets (combinations) in ascending mask order.
+//!
+//! The level-synchronized parallel variant of DPsub processes the subsets of one size as a
+//! batch: every proper subset of a size-`k` set has size `< k`, so a barrier between sizes
+//! seals all inputs a level reads. [`CombinationIter`] walks the `C(n, k)` size-`k` subsets of
+//! `{R0, …, R(n−1)}` in *ascending mask order* — the order in which the sequential
+//! [`SubsetIter`](crate::SubsetIter) walk visits them — so a by-size schedule can replay the
+//! sequential visit order within each level and stay bit-identical.
+//!
+//! Ascending mask order on equal-size sets is colexicographic order on the member positions;
+//! the successor step is the classic colex increment: find the lowest member that can move up
+//! by one position, move it, and reset all members below it to the smallest positions.
+
+use crate::NodeSet;
+
+/// Iterator over all subsets of `{R0, …, R(n−1)}` with exactly `k` members, in ascending mask
+/// order.
+///
+/// ```
+/// use qo_bitset::{CombinationIter, NodeSet};
+///
+/// let pairs: Vec<NodeSet> = CombinationIter::new(4, 2).collect();
+/// assert_eq!(pairs.len(), 6);
+/// assert_eq!(pairs[0], NodeSet::from_iter([0, 1]));
+/// assert_eq!(pairs[5], NodeSet::from_iter([2, 3]));
+/// for w in pairs.windows(2) {
+///     assert!(w[0] < w[1]); // ascending mask order
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CombinationIter<const W: usize = 1> {
+    /// Member positions in ascending order; the current combination.
+    positions: Vec<usize>,
+    n: usize,
+    done: bool,
+}
+
+impl<const W: usize> CombinationIter<W> {
+    /// Creates an iterator over the size-`k` subsets of the first `n` relations. Yields nothing
+    /// when `k == 0` or `k > n`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(
+            n <= NodeSet::<W>::CAPACITY,
+            "{n} exceeds the {}-node capacity",
+            NodeSet::<W>::CAPACITY
+        );
+        CombinationIter {
+            positions: (0..k).collect(),
+            n,
+            done: k == 0 || k > n,
+        }
+    }
+}
+
+impl<const W: usize> Iterator for CombinationIter<W> {
+    type Item = NodeSet<W>;
+
+    fn next(&mut self) -> Option<NodeSet<W>> {
+        if self.done {
+            return None;
+        }
+        let set: NodeSet<W> = self.positions.iter().copied().collect();
+        // Colex successor: the lowest member with a free position above it moves up one; all
+        // members below it drop back to the smallest positions.
+        let k = self.positions.len();
+        let mut i = 0;
+        loop {
+            if i == k {
+                self.done = true;
+                break;
+            }
+            let limit = if i + 1 == k {
+                self.n
+            } else {
+                self.positions[i + 1]
+            };
+            if self.positions[i] + 1 < limit {
+                self.positions[i] += 1;
+                for (j, p) in self.positions[..i].iter_mut().enumerate() {
+                    *p = j;
+                }
+                break;
+            }
+            i += 1;
+        }
+        Some(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeSet128, NodeSet64, SubsetIter};
+
+    #[test]
+    fn empty_and_oversized_k_yield_nothing() {
+        assert_eq!(CombinationIter::<1>::new(5, 0).count(), 0);
+        assert_eq!(CombinationIter::<1>::new(5, 6).count(), 0);
+        assert_eq!(CombinationIter::<1>::new(0, 0).count(), 0);
+    }
+
+    #[test]
+    fn full_size_yields_exactly_the_universe() {
+        let all: Vec<NodeSet64> = CombinationIter::new(6, 6).collect();
+        assert_eq!(all, vec![NodeSet64::first_n(6)]);
+    }
+
+    #[test]
+    fn pairs_of_four_match_the_known_mask_sequence() {
+        let masks: Vec<u64> = CombinationIter::<1>::new(4, 2).map(|s| s.mask()).collect();
+        // {0,1} {0,2} {1,2} {0,3} {1,3} {2,3} — ascending numeric order.
+        assert_eq!(masks, vec![3, 5, 6, 9, 10, 12]);
+    }
+
+    #[test]
+    fn matches_the_filtered_subset_walk_at_every_size() {
+        // The defining property: for each k, the combination walk is exactly the sequential
+        // Vance–Maier subset walk filtered to size k.
+        for n in 1..=9usize {
+            let universe = NodeSet64::first_n(n);
+            for k in 1..=n {
+                let filtered: Vec<NodeSet64> =
+                    SubsetIter::new(universe).filter(|s| s.len() == k).collect();
+                let direct: Vec<NodeSet64> = CombinationIter::new(n, k).collect();
+                assert_eq!(direct, filtered, "n = {n}, k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_combinations_cross_the_word_boundary() {
+        let all: Vec<NodeSet128> = CombinationIter::new(66, 65).collect();
+        assert_eq!(all.len(), 66);
+        for w in all.windows(2) {
+            assert!(w[0] < w[1], "not ascending: {:?} then {:?}", w[0], w[1]);
+        }
+        for s in &all {
+            assert_eq!(s.len(), 65);
+            assert!(s.is_subset_of(NodeSet128::first_n(66)));
+        }
+    }
+
+    #[test]
+    fn iterator_is_fused_after_exhaustion() {
+        let mut it = CombinationIter::<1>::new(3, 2);
+        assert_eq!(it.by_ref().count(), 3);
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next(), None);
+    }
+}

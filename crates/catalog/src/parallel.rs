@@ -1,0 +1,451 @@
+//! Shared-state primitives for parallel plan enumeration: the sharded DP table, an
+//! open-addressing membership set, and the shared abort/deadline state of a multi-threaded
+//! cost pass.
+//!
+//! The memo's correctness argument — each class's best plan depends only on classes over
+//! *strictly smaller* relation sets — is exactly the dependency structure a level-parallel
+//! schedule must respect. [`ShardedDpTable`] partitions the plan classes over
+//! [`SHARD_COUNT`] independently locked [`DpTable`] shards keyed by the *low* bits of
+//! [`NodeSet::hash64`] (the slot maps inside each shard probe with the *high* bits, so shard
+//! choice and in-shard probing stay independent). A level-synchronized pass then alternates
+//! between a read phase — every worker holds read locks on all shards and looks up sealed
+//! smaller-size classes — and an install phase in which each worker write-locks only the
+//! shards it owns. Because a size-`s` class is created at exactly level `s` and each set hashes
+//! to exactly one shard, shard ownership makes every install a conflict-free insert.
+
+use crate::table::DpTable;
+use qo_bitset::{NodeId, NodeSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{RwLock, RwLockReadGuard};
+use std::time::Instant;
+
+/// Number of shards of a [`ShardedDpTable`]. A fixed power of two independent of the thread
+/// count: shard assignment (and therefore the install schedule) never depends on how many
+/// workers run, which keeps the produced table identical at every parallelism level.
+pub const SHARD_COUNT: usize = 64;
+
+/// The shard a relation set lives in. Uses the *low* bits of [`NodeSet::hash64`]:
+/// [`NodeSet::hash_index`] — the in-shard slot probe — consumes the high bits, and overlapping
+/// the two would cluster each shard's keys into a narrow probe range.
+#[inline]
+pub fn shard_of<const W: usize>(set: NodeSet<W>) -> usize {
+    (set.hash64() as usize) & (SHARD_COUNT - 1)
+}
+
+/// An open-addressing hash set of non-empty relation sets, probing exactly like the slot map of
+/// [`DpTable`] (FxHash-style [`NodeSet::hash_index`], empty-set vacancy sentinel, linear
+/// probing, growth at 3/4 load).
+///
+/// This is the membership state of the parallel enumeration's *structure pass*: it answers the
+/// enumerator's `contains` queries — "was `S1 ∪ S2` registered by an earlier emission?" —
+/// without carrying any plan or cost payload.
+#[derive(Clone, Debug)]
+pub struct NodeSetSet<const W: usize = 1> {
+    keys: Vec<NodeSet<W>>,
+    len: usize,
+    bits: u32,
+}
+
+impl<const W: usize> Default for NodeSetSet<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const W: usize> NodeSetSet<W> {
+    const INITIAL_BITS: u32 = 6; // 64 slots
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        NodeSetSet {
+            keys: vec![NodeSet::EMPTY; 1 << Self::INITIAL_BITS],
+            len: 0,
+            bits: Self::INITIAL_BITS,
+        }
+    }
+
+    /// Number of member sets.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Is `set` a member? The empty set never is.
+    #[inline]
+    pub fn contains(&self, set: NodeSet<W>) -> bool {
+        if set.is_empty() {
+            return false;
+        }
+        let cap_mask = self.keys.len() - 1;
+        let mut i = set.hash_index(self.bits);
+        loop {
+            let k = self.keys[i];
+            if k == set {
+                return true;
+            }
+            if k.is_empty() {
+                return false;
+            }
+            i = (i + 1) & cap_mask;
+        }
+    }
+
+    /// Inserts `set`; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) when handed the empty set, which doubles as the vacancy
+    /// sentinel and can never be a member.
+    pub fn insert(&mut self, set: NodeSet<W>) -> bool {
+        debug_assert!(!set.is_empty(), "the empty set is never a member");
+        if (self.len + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let cap_mask = self.keys.len() - 1;
+        let mut i = set.hash_index(self.bits);
+        loop {
+            let k = self.keys[i];
+            if k == set {
+                return false;
+            }
+            if k.is_empty() {
+                self.keys[i] = set;
+                self.len += 1;
+                return true;
+            }
+            i = (i + 1) & cap_mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let old = std::mem::take(&mut self.keys);
+        self.bits += 1;
+        let cap = 1 << self.bits;
+        self.keys = vec![NodeSet::EMPTY; cap];
+        let cap_mask = cap - 1;
+        for k in old {
+            if !k.is_empty() {
+                let mut i = k.hash_index(self.bits);
+                while !self.keys[i].is_empty() {
+                    i = (i + 1) & cap_mask;
+                }
+                self.keys[i] = k;
+            }
+        }
+    }
+}
+
+/// Shared abort state of a multi-threaded enumeration pass: an optional wall-clock deadline,
+/// the sticky abort flag every worker polls, and an atomic tally of processed pairs.
+///
+/// The csg-cmp-pair *budget* itself is not enforced here: the parallel enumeration spends its
+/// pair budget in the serial structure pass (through the ordinary
+/// [`BudgetedHandler`](crate::BudgetedHandler)), so budget semantics — "budget == true pair
+/// count completes, budget − 1 falls back" — are byte-for-byte those of the sequential tier at
+/// any thread count. What remains thread-shared is the deadline and the abort signal.
+#[derive(Debug)]
+pub struct SharedBudget {
+    deadline: Option<Instant>,
+    pairs: AtomicUsize,
+    aborted: AtomicBool,
+    deadline_exceeded: AtomicBool,
+}
+
+impl SharedBudget {
+    /// How many locally processed pairs pass between two wall-clock polls of one worker;
+    /// mirrors [`BudgetedHandler::DEADLINE_CHECK_INTERVAL`](crate::BudgetedHandler).
+    pub const DEADLINE_CHECK_INTERVAL: usize = 1024;
+
+    /// Creates the shared state, optionally with a deadline.
+    pub fn new(deadline: Option<Instant>) -> Self {
+        SharedBudget {
+            deadline,
+            pairs: AtomicUsize::new(0),
+            aborted: AtomicBool::new(false),
+            deadline_exceeded: AtomicBool::new(false),
+        }
+    }
+
+    /// Signals every worker to stop processing (sticky).
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+    }
+
+    /// Has any worker aborted the pass?
+    #[inline]
+    pub fn aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    /// Did the abort come from the wall-clock deadline?
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline_exceeded.load(Ordering::Acquire)
+    }
+
+    /// Polls the deadline; when it has passed, flags the pass as aborted (and
+    /// deadline-exceeded) and returns `true`. Returns `true` immediately if another worker
+    /// already aborted.
+    pub fn poll_deadline(&self) -> bool {
+        if self.aborted() {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.deadline_exceeded.store(true, Ordering::Release);
+                self.abort();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Adds a worker's locally counted pairs to the shared tally.
+    pub fn add_pairs(&self, n: usize) {
+        self.pairs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total pairs processed across all workers so far.
+    pub fn pairs(&self) -> usize {
+        self.pairs.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`DpTable`] sharded over [`SHARD_COUNT`] per-shard `RwLock`s so that a level-synchronized
+/// pass can read sealed smaller-size classes from all shards concurrently while each worker
+/// installs new classes only into the shards it owns (see the module docs for the protocol).
+#[derive(Debug)]
+pub struct ShardedDpTable<const W: usize = 1> {
+    shards: Vec<RwLock<DpTable<W>>>,
+}
+
+impl<const W: usize> Default for ShardedDpTable<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const W: usize> ShardedDpTable<W> {
+    /// Creates an empty table of [`SHARD_COUNT`] shards.
+    pub fn new() -> Self {
+        ShardedDpTable {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(DpTable::new()))
+                .collect(),
+        }
+    }
+
+    /// The lock of shard `index` (for the install phase of a level pass).
+    #[inline]
+    pub fn shard(&self, index: usize) -> &RwLock<DpTable<W>> {
+        &self.shards[index]
+    }
+
+    /// Seeds the access plan for a single relation into its shard.
+    pub fn insert_leaf(&self, relation: NodeId, cardinality: f64) {
+        let shard = shard_of(NodeSet::<W>::single(relation));
+        self.shards[shard]
+            .write()
+            .expect("shard lock poisoned")
+            .insert_leaf(relation, cardinality);
+    }
+
+    /// Total memoized classes across all shards (briefly read-locks each shard).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").len())
+            .sum()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes read guards on every shard, yielding a coherent point-in-time view for the read
+    /// phase of a level (no writer can interleave while the guards are held).
+    pub fn read_all(&self) -> ShardReader<'_, W> {
+        ShardReader {
+            guards: self
+                .shards
+                .iter()
+                .map(|s| s.read().expect("shard lock poisoned"))
+                .collect(),
+        }
+    }
+
+    /// Consumes the sharded table and merges every class into one plain [`DpTable`] (shard 0
+    /// first; each set lives in exactly one shard, so every merge offer is a fresh insert).
+    /// The merged table carries the identical classes, costs and join structures — only the
+    /// arena insertion order differs, which nothing observes.
+    pub fn into_merged(self) -> DpTable<W> {
+        let mut merged = DpTable::new();
+        for lock in self.shards {
+            let shard = lock.into_inner().expect("shard lock poisoned");
+            for class in shard.classes() {
+                match class.best_join {
+                    None => {
+                        let relation = class.set.min_node().expect("leaf class with empty set");
+                        merged.insert_leaf(relation, class.cardinality);
+                    }
+                    Some(join) => {
+                        merged.offer(crate::table::Candidate {
+                            set: class.set,
+                            cardinality: class.cardinality,
+                            cost: class.cost,
+                            join: Some(crate::table::CandidateJoin {
+                                left: join.left,
+                                right: join.right,
+                                op: join.op,
+                                predicates: shard.edge_list(join.predicates),
+                            }),
+                        });
+                    }
+                }
+            }
+        }
+        merged
+    }
+}
+
+/// Read guards on every shard of a [`ShardedDpTable`]: the lock-free-read view of all sealed
+/// levels during one level's read phase.
+pub struct ShardReader<'a, const W: usize> {
+    guards: Vec<RwLockReadGuard<'a, DpTable<W>>>,
+}
+
+impl<const W: usize> ShardReader<'_, W> {
+    /// The plan class for `set`, if any shard holds it.
+    #[inline]
+    pub fn get(&self, set: NodeSet<W>) -> Option<&crate::table::PlanClass<W>> {
+        self.guards[shard_of(set)].get(set)
+    }
+
+    /// Does any shard hold a class for `set`?
+    #[inline]
+    pub fn contains(&self, set: NodeSet<W>) -> bool {
+        self.guards[shard_of(set)].contains(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Candidate, CandidateJoin};
+    use qo_plan::JoinOp;
+
+    fn ns(v: &[usize]) -> NodeSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn shard_of_uses_low_bits_disjoint_from_slot_probing() {
+        // All shards must be reachable, and shard choice must differ from the high-bit slot
+        // index for at least some sets (they use opposite ends of the hash).
+        let mut seen = [false; SHARD_COUNT];
+        for mask in 1u64..=4096 {
+            seen[shard_of(NodeSet::<1>::from_mask(mask))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some shard is unreachable");
+    }
+
+    #[test]
+    fn node_set_set_inserts_contains_and_grows() {
+        let mut s = NodeSetSet::<1>::new();
+        assert!(s.is_empty());
+        assert!(!s.contains(ns(&[0])));
+        assert!(!s.contains(NodeSet::EMPTY));
+        // Enough members to force several growth steps.
+        for mask in 1u64..=500 {
+            assert!(s.insert(NodeSet::from_mask(mask)), "fresh insert {mask}");
+        }
+        assert_eq!(s.len(), 500);
+        for mask in 1u64..=500 {
+            assert!(s.contains(NodeSet::from_mask(mask)), "member {mask} lost");
+            assert!(!s.insert(NodeSet::from_mask(mask)), "duplicate {mask}");
+        }
+        assert!(!s.contains(NodeSet::from_mask(501)));
+        assert_eq!(s.len(), 500);
+    }
+
+    #[test]
+    fn wide_node_set_set_distinguishes_high_word_members() {
+        let mut s = NodeSetSet::<2>::new();
+        let low: NodeSet<2> = NodeSet::single(0);
+        let high: NodeSet<2> = NodeSet::single(64);
+        assert!(s.insert(high));
+        assert!(s.contains(high));
+        assert!(!s.contains(low), "low/high twins must not collide");
+        assert!(s.insert(low));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn sharded_table_round_trips_through_merge() {
+        let table = ShardedDpTable::<1>::new();
+        for r in 0..8 {
+            table.insert_leaf(r, 10.0 * (r + 1) as f64);
+        }
+        assert_eq!(table.len(), 8);
+        {
+            let reader = table.read_all();
+            assert!(reader.contains(ns(&[3])));
+            assert_eq!(reader.get(ns(&[3])).unwrap().cardinality, 40.0);
+            assert!(!reader.contains(ns(&[0, 1])));
+        }
+        // Install a join class through its shard lock, as a cost-pass worker would.
+        let pair = ns(&[0, 1]);
+        table
+            .shard(shard_of(pair))
+            .write()
+            .unwrap()
+            .offer(Candidate {
+                set: pair,
+                cardinality: 5.0,
+                cost: 42.0,
+                join: Some(CandidateJoin {
+                    left: ns(&[0]),
+                    right: ns(&[1]),
+                    op: JoinOp::Inner,
+                    predicates: &[7],
+                }),
+            });
+        assert_eq!(table.len(), 9);
+        let merged = table.into_merged();
+        assert_eq!(merged.len(), 9);
+        let class = merged.get(pair).expect("merged class");
+        assert_eq!(class.cost, 42.0);
+        assert_eq!(merged.best_join_predicates(class), &[7]);
+        assert_eq!(merged.get(ns(&[5])).unwrap().cardinality, 60.0);
+        // The merged table reconstructs plans like any sequential table.
+        let plan = merged.reconstruct(pair).expect("plan");
+        assert_eq!(plan.join_count(), 1);
+    }
+
+    #[test]
+    fn shared_budget_abort_and_deadline() {
+        let b = SharedBudget::new(None);
+        assert!(!b.aborted());
+        assert!(!b.poll_deadline(), "no deadline, no abort");
+        b.add_pairs(100);
+        b.add_pairs(20);
+        assert_eq!(b.pairs(), 120);
+        b.abort();
+        assert!(b.aborted());
+        assert!(!b.deadline_exceeded(), "explicit abort is not a timeout");
+        assert!(b.poll_deadline(), "polls observe a foreign abort");
+
+        let expired = SharedBudget::new(Some(Instant::now() - std::time::Duration::from_millis(1)));
+        assert!(expired.poll_deadline());
+        assert!(expired.aborted());
+        assert!(expired.deadline_exceeded());
+
+        let distant =
+            SharedBudget::new(Some(Instant::now() + std::time::Duration::from_secs(3600)));
+        assert!(!distant.poll_deadline());
+        assert!(!distant.aborted());
+    }
+}

@@ -246,6 +246,83 @@ impl<'a, M: CostModel<W> + ?Sized, const W: usize> JoinCombiner<'a, M, W> {
         best
     }
 
+    /// Does [`combine`](Self::combine) on this pair return a candidate? `true` whenever
+    /// [`always_combines`](Self::always_combines) holds; otherwise this replays exactly the
+    /// structural rejections of `combine` — empty edge list, TES violation, no orientation
+    /// surviving the lateral-dependency checks — without touching cardinality or cost.
+    ///
+    /// The parallel enumeration's structure pass uses this to register only those unions whose
+    /// cost pass will actually produce a plan class, so that every membership answer the
+    /// enumerator sees matches what the sequential cost-based handler would have built.
+    pub fn feasible(&self, a_set: NodeSet<W>, b_set: NodeSet<W>, edges: &[EdgeId]) -> bool {
+        debug_assert!(a_set.is_disjoint(b_set));
+        if edges.is_empty() {
+            return false;
+        }
+        if self.enforce_tes && !self.tes_satisfied(edges, a_set, b_set) {
+            return false;
+        }
+        // Recover the operator exactly as `combine` does — it decides the orientations.
+        let mut op = JoinOp::Inner;
+        let mut defining_edge: Option<EdgeId> = None;
+        for &e in edges {
+            let ann = self.catalog.edge_annotation(e);
+            if !ann.op.is_inner() {
+                op = ann.op;
+                defining_edge = Some(e);
+            } else if defining_edge.is_none() {
+                defining_edge = Some(e);
+            }
+        }
+        let mut orientations: [Option<(NodeSet<W>, NodeSet<W>)>; 2] = [None, None];
+        if op.is_commutative() {
+            orientations[0] = Some((a_set, b_set));
+            orientations[1] = Some((b_set, a_set));
+        } else {
+            let e = self.graph.edge(defining_edge.expect("non-empty edge list"));
+            if e.left().is_subset_of(a_set) && e.right().is_subset_of(b_set) {
+                orientations[0] = Some((a_set, b_set));
+            } else {
+                orientations[0] = Some((b_set, a_set));
+            }
+        }
+        let (ft_a, ft_b) = if self.catalog.has_lateral_refs() {
+            (
+                self.catalog.free_tables(a_set),
+                self.catalog.free_tables(b_set),
+            )
+        } else {
+            (NodeSet::EMPTY, NodeSet::EMPTY)
+        };
+        for (outer, inner) in orientations.into_iter().flatten() {
+            if self.enforce_tes && !self.tes_orientation_ok(edges, outer, inner) {
+                continue;
+            }
+            let (ft_outer, ft_inner) = if outer == a_set {
+                (ft_a, ft_b)
+            } else {
+                (ft_b, ft_a)
+            };
+            if ft_outer.intersects(inner) {
+                continue;
+            }
+            if ft_inner.intersects(outer) && !ft_inner.is_subset_of(outer) {
+                continue;
+            }
+            // Past these checks, `combine` always produces a candidate for this orientation.
+            return true;
+        }
+        false
+    }
+
+    /// `true` when [`combine`](Self::combine) succeeds for *every* connected csg-cmp-pair: with
+    /// TES enforcement off and no lateral references, no orientation is ever skipped. Callers
+    /// that only need membership (the parallel structure pass) can then drop the per-pair
+    /// connecting-edge collection and [`feasible`](Self::feasible) call entirely.
+    pub fn always_combines(&self) -> bool {
+        !self.enforce_tes && !self.catalog.has_lateral_refs()
+    }
+
     fn tes_satisfied(&self, edges: &[EdgeId], s1: NodeSet<W>, s2: NodeSet<W>) -> bool {
         let union = s1 | s2;
         edges.iter().all(|&e| {

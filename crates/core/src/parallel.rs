@@ -1,0 +1,264 @@
+//! Multi-threaded exact enumeration: a serial structure pass followed by a level-synchronized
+//! parallel cost pass over a sharded DP table, bit-identical to sequential DPhyp.
+//!
+//! DPhyp's outer loop carries a total-order dependency (each start vertex's recursion consults
+//! the classes every earlier vertex created), so the enumeration *order* cannot be partitioned
+//! across threads without changing which pairs are emitted. What *can* be parallelized is the
+//! expensive part — cardinality estimation and costing — because the memo's dependency
+//! structure is strictly by subset size: the best plan of a size-`s` class reads only classes
+//! of size `< s`. The split:
+//!
+//! 1. **Structure pass (serial).** Run the unmodified [`DpHyp`] enumeration with a handler
+//!    that performs no costing at all: it answers the enumerator's `contains` queries from a
+//!    plain membership set and records every feasible csg-cmp-pair into a bucket keyed by
+//!    `(|S1 ∪ S2|, shard_of(S1 ∪ S2))`, in emission order. Feasibility is the structural part
+//!    of [`JoinCombiner::combine`] ([`JoinCombiner::feasible`]); for the common catalog
+//!    (no TES enforcement, no lateral refs) `combine` never rejects a connected pair
+//!    ([`JoinCombiner::always_combines`]) and the per-pair check is skipped entirely. The pair
+//!    budget and wall-clock deadline wrap this pass through the ordinary [`BudgetedHandler`],
+//!    so abort semantics are exactly sequential at any thread count.
+//! 2. **Cost pass (parallel).** Workers sweep the levels `2 ..= n` in lockstep, a
+//!    [`Barrier`] between levels. Within a level each worker read-locks all shards of the
+//!    [`ShardedDpTable`] (every input class has size `< level` and is sealed), costs the pairs
+//!    of the shards it owns into a private staging table, and — after a barrier — installs its
+//!    staged winners into its own shards under write locks.
+//!
+//! **Why the result is bit-identical to sequential DPhyp:** the pair list per class equals the
+//! sequential emission sequence (pass 1 replays it); each class lives in exactly one shard and
+//! is therefore folded by exactly one worker, in that recorded order, under the same
+//! strictly-cheaper-replaces/incumbent-wins-ties offer rule; and every input cost it reads is
+//! final, because sequential DPhyp, being a dynamic program, also only ever combines classes
+//! whose own pairs have all been emitted. Same candidates from same inputs in the same per-class
+//! order under the same tie-break — the same winner, at every thread count.
+
+use crate::enumerate::DpHyp;
+use qo_bitset::{NodeId, NodeSet};
+use qo_catalog::{
+    shard_of, BudgetedHandler, Candidate, CandidateJoin, Catalog, CcpHandler, CostModel, DpTable,
+    EmitSignal, JoinCombiner, NodeSetSet, ShardedDpTable, SharedBudget, SHARD_COUNT,
+};
+use qo_hypergraph::{EdgeId, Hypergraph};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// Outcome of a parallel exact enumeration.
+pub(crate) enum ParallelExact<const W: usize> {
+    /// Both passes finished: the merged table (leaves plus every class the sequential run
+    /// would memoize), the structure pass's csg-cmp-pair count, and the per-worker costed-pair
+    /// tallies of the cost pass.
+    Completed {
+        table: DpTable<W>,
+        ccps: usize,
+        per_thread_pairs: Vec<usize>,
+    },
+    /// A budget ran out: either the structure pass hit the pair budget / deadline (sequential
+    /// semantics), or the cost pass hit the deadline.
+    Aborted { ccps: usize, time_exceeded: bool },
+}
+
+/// The structure pass's handler: membership without costing, plus the per-(level, shard) pair
+/// buckets the cost pass consumes.
+struct StructureHandler<'a, M: CostModel<W> + ?Sized, const W: usize> {
+    combiner: &'a JoinCombiner<'a, M, W>,
+    /// Pairs must run the structural part of `combine` before being registered; `false` for
+    /// catalogs where every connected pair combines ([`JoinCombiner::always_combines`]).
+    needs_feasibility: bool,
+    members: NodeSetSet<W>,
+    /// `buckets[level][shard]` — the feasible pairs whose union has `level` members and lives
+    /// in `shard`, in emission order.
+    buckets: Vec<Vec<Vec<(NodeSet<W>, NodeSet<W>)>>>,
+    edge_buf: Vec<EdgeId>,
+    ccps: usize,
+}
+
+impl<'a, M: CostModel<W> + ?Sized, const W: usize> StructureHandler<'a, M, W> {
+    fn new(combiner: &'a JoinCombiner<'a, M, W>, node_count: usize) -> Self {
+        StructureHandler {
+            combiner,
+            needs_feasibility: !combiner.always_combines(),
+            members: NodeSetSet::new(),
+            buckets: vec![vec![Vec::new(); SHARD_COUNT]; node_count + 1],
+            edge_buf: Vec::new(),
+            ccps: 0,
+        }
+    }
+}
+
+impl<M: CostModel<W> + ?Sized, const W: usize> CcpHandler<W> for StructureHandler<'_, M, W> {
+    fn init_leaf(&mut self, relation: NodeId) {
+        self.members.insert(NodeSet::single(relation));
+    }
+
+    fn contains(&self, set: NodeSet<W>) -> bool {
+        self.members.contains(set)
+    }
+
+    fn emit_ccp(&mut self, s1: NodeSet<W>, s2: NodeSet<W>) -> EmitSignal {
+        self.ccps += 1;
+        if self.needs_feasibility {
+            self.combiner
+                .graph()
+                .connecting_edges_into(s1, s2, &mut self.edge_buf);
+            if !self.combiner.feasible(s1, s2, &self.edge_buf) {
+                // Sequential `combine` would return no candidate: no class is created, and the
+                // membership answer must stay `false`.
+                return EmitSignal::Continue;
+            }
+        }
+        let union = s1 | s2;
+        self.members.insert(union);
+        self.buckets[union.len()][shard_of(union)].push((s1, s2));
+        EmitSignal::Continue
+    }
+
+    fn ccp_count(&self) -> usize {
+        self.ccps
+    }
+}
+
+/// Runs the two-pass parallel exact enumeration with `threads ≥ 2` workers.
+pub(crate) fn optimize_parallel_exact<M: CostModel<W> + Sync, const W: usize>(
+    graph: &Hypergraph<W>,
+    catalog: &Catalog<W>,
+    cost_model: &M,
+    threads: usize,
+    ccp_budget: usize,
+    deadline: Option<Instant>,
+) -> ParallelExact<W> {
+    debug_assert!(threads >= 2, "threads = 1 takes the sequential path");
+    let n = graph.node_count();
+    let combiner = JoinCombiner::new(graph, catalog, cost_model);
+
+    // Pass 1: serial structure enumeration under the sequential budget semantics.
+    let mut handler = BudgetedHandler::new(StructureHandler::new(&combiner, n), ccp_budget);
+    if let Some(d) = deadline {
+        handler = handler.with_deadline(d);
+    }
+    let _ = DpHyp::new(graph, &mut handler).run();
+    if handler.aborted() {
+        return ParallelExact::Aborted {
+            ccps: handler.ccp_count(),
+            time_exceeded: handler.deadline_exceeded(),
+        };
+    }
+    let ccps = handler.ccp_count();
+    let buckets = handler.into_inner().buckets;
+
+    // Pass 2: seed the leaves, then cost level by level in lockstep.
+    let table = ShardedDpTable::<W>::new();
+    for relation in 0..n {
+        table.insert_leaf(relation, catalog.cardinality(relation));
+    }
+    let budget = SharedBudget::new(deadline);
+    let barrier = Barrier::new(threads);
+    let per_thread_pairs = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let (buckets, table, combiner, budget, barrier) =
+                    (&buckets, &table, &combiner, &budget, &barrier);
+                scope.spawn(move || {
+                    cost_pass_worker(t, threads, n, buckets, table, combiner, budget, barrier)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("cost-pass worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    if budget.aborted() {
+        return ParallelExact::Aborted {
+            // The structure pass completed within budget; report the pairs actually costed.
+            ccps: budget.pairs(),
+            time_exceeded: true,
+        };
+    }
+    ParallelExact::Completed {
+        table: table.into_merged(),
+        ccps,
+        per_thread_pairs,
+    }
+}
+
+/// One worker of the cost pass; returns the number of pairs it costed.
+///
+/// Every worker executes *all* levels and hits *both* barriers per level unconditionally —
+/// an abort only skips the processing inside a level — so no combination of deadline firings
+/// can strand a subset of workers at a barrier.
+#[allow(clippy::too_many_arguments)]
+fn cost_pass_worker<M: CostModel<W> + ?Sized, const W: usize>(
+    t: usize,
+    threads: usize,
+    node_count: usize,
+    buckets: &[Vec<Vec<(NodeSet<W>, NodeSet<W>)>>],
+    table: &ShardedDpTable<W>,
+    combiner: &JoinCombiner<'_, M, W>,
+    budget: &SharedBudget,
+    barrier: &Barrier,
+) -> usize {
+    let mut pairs_done = 0usize;
+    let mut edge_buf: Vec<EdgeId> = Vec::new();
+    for level_buckets in buckets.iter().take(node_count + 1).skip(2) {
+        // Read phase: all inputs are of a strictly smaller size and are sealed behind the
+        // read guards.
+        let mut staging: DpTable<W> = DpTable::new();
+        {
+            let reader = table.read_all();
+            if !budget.aborted() {
+                let mut local = 0usize;
+                'shards: for shard in (t..SHARD_COUNT).step_by(threads) {
+                    for &(s1, s2) in &level_buckets[shard] {
+                        local += 1;
+                        if local.is_multiple_of(SharedBudget::DEADLINE_CHECK_INTERVAL)
+                            && budget.poll_deadline()
+                        {
+                            break 'shards;
+                        }
+                        let a = reader
+                            .get(s1)
+                            .expect("structure pass registered this subset's class")
+                            .stats();
+                        let b = reader
+                            .get(s2)
+                            .expect("structure pass registered this subset's class")
+                            .stats();
+                        combiner
+                            .graph()
+                            .connecting_edges_into(s1, s2, &mut edge_buf);
+                        if let Some(candidate) = combiner.combine(&a, &b, &edge_buf) {
+                            staging.offer(candidate);
+                        }
+                    }
+                }
+                pairs_done += local;
+                budget.add_pairs(local);
+            }
+        }
+        barrier.wait();
+        // Install phase: this worker's shards are written by this worker alone.
+        if !budget.aborted() {
+            for class in staging.classes() {
+                let join = class
+                    .best_join
+                    .expect("staged classes are joins; leaves were seeded before the scope");
+                table
+                    .shard(shard_of(class.set))
+                    .write()
+                    .expect("shard lock poisoned")
+                    .offer(Candidate {
+                        set: class.set,
+                        cardinality: class.cardinality,
+                        cost: class.cost,
+                        join: Some(CandidateJoin {
+                            left: join.left,
+                            right: join.right,
+                            op: join.op,
+                            predicates: staging.best_join_predicates(class),
+                        }),
+                    });
+            }
+        }
+        barrier.wait();
+    }
+    pairs_done
+}

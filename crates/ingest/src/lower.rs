@@ -36,6 +36,9 @@ pub struct QueryOptions {
     pub cost_model: Option<CostModelKind>,
     /// `option idp_strategy = smallest | connected` — block selection of the IDP fallback.
     pub idp_strategy: Option<IdpStrategy>,
+    /// `option parallelism = <int ≥ 0>` — worker threads of the exact tier (`0` = one per
+    /// available core, `1` = sequential). Plans are bit-identical at every setting.
+    pub parallelism: Option<usize>,
 }
 
 impl QueryOptions {
@@ -47,6 +50,7 @@ impl QueryOptions {
             time_budget: self.time_budget.or(base.time_budget),
             cost_model: self.cost_model.unwrap_or(base.cost_model),
             idp_strategy: self.idp_strategy.unwrap_or(base.idp_strategy),
+            parallelism: self.parallelism.or(base.parallelism),
         }
     }
 }
@@ -293,6 +297,7 @@ fn lower_options(q: &QueryDecl) -> Result<QueryOptions, JgError> {
             "time_budget_ms" => opts.time_budget.is_some(),
             "cost_model" => opts.cost_model.is_some(),
             "idp_strategy" => opts.idp_strategy.is_some(),
+            "parallelism" => opts.parallelism.is_some(),
             _ => false,
         };
         if duplicate {
@@ -349,11 +354,16 @@ fn lower_options(q: &QueryDecl) -> Result<QueryOptions, JgError> {
                     ))
                 }
             },
+            "parallelism" => {
+                // 0 is meaningful (auto: one worker per core), so the minimum is 0.
+                opts.parallelism = Some(option_usize(&o.value, 0, "parallelism")?);
+            }
             other => {
                 return Err(JgError::new(
                     format!(
                         "unknown option `{other}` (expected one of: ccp_budget, \
-                         idp_block_size, time_budget_ms, cost_model, idp_strategy)"
+                         idp_block_size, time_budget_ms, cost_model, idp_strategy, \
+                         parallelism)"
                     ),
                     o.key.span,
                 ))
@@ -539,6 +549,25 @@ mod tests {
         assert_eq!(err.span.start, src.rfind("ccp_budget").unwrap());
         let ok = &q("relation a cardinality=1\noption time_budget_ms = 2.5").unwrap()[0];
         assert_eq!(ok.options.time_budget, Some(Duration::from_micros(2500)));
+    }
+
+    #[test]
+    fn parallelism_option_lowers_including_the_auto_setting() {
+        let ok = &q("relation a cardinality=1\noption parallelism = 4").unwrap()[0];
+        assert_eq!(ok.options.parallelism, Some(4));
+        assert_eq!(ok.adaptive_options().parallelism, Some(4));
+        // 0 means "one worker per available core" and must be accepted.
+        let ok = &q("relation a cardinality=1\noption parallelism = 0").unwrap()[0];
+        assert_eq!(ok.options.parallelism, Some(0));
+        let err = q("relation a cardinality=1\noption parallelism = 2.5").unwrap_err();
+        assert!(err.message.contains("integer"));
+        let src = "query t {\nrelation a cardinality=1\noption parallelism = 2\n\
+                   option parallelism = 4\n}";
+        let err = parse_queries(src).unwrap_err();
+        assert!(err.message.contains("duplicate option `parallelism`"));
+        // Unset leaves the driver default (sequential) in place.
+        let ok = &q("relation a cardinality=1").unwrap()[0];
+        assert_eq!(ok.adaptive_options().parallelism, None);
     }
 
     #[test]

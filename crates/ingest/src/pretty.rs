@@ -77,6 +77,9 @@ pub fn to_jg(q: &IngestQuery) -> String {
         };
         writeln!(out, "  option idp_strategy = {name}").unwrap();
     }
+    if let Some(p) = o.parallelism {
+        writeln!(out, "  option parallelism = {p}").unwrap();
+    }
     out.push_str("}\n");
     out
 }
@@ -112,6 +115,7 @@ mod tests {
   option time_budget_ms = 250.0
   option cost_model = mixed
   option idp_strategy = connected
+  option parallelism = 4
 }
 ";
         let q = &parse_queries(src).unwrap()[0];

@@ -19,6 +19,10 @@
 //! reused — verbatim *or* as a re-cost seed — by requests with the identical options key: a
 //! plan produced under a 1-pair budget must never satisfy a caller paying for exact
 //! enumeration, and an options change is neither a hit nor a drift but a fresh optimization.
+//! [`AdaptiveOptions::parallelism`] is deliberately *excluded*: the parallel exact tier is
+//! bit-identical to the sequential one at every thread count, so a plan produced at one
+//! setting is exactly the plan every other setting would produce — callers with different
+//! thread budgets share one cache entry.
 
 use dphyp::{AdaptiveOptions, CanonicalQuery, CostModelKind, IdpStrategy, QuerySpec};
 use qo_catalog::StatsEpoch;
@@ -66,6 +70,9 @@ fn stats_hash(spec: &QuerySpec) -> u64 {
 
 /// Digests every [`AdaptiveOptions`] field that can change which plan an optimization
 /// produces. Entries are only reusable by requests with an equal key.
+///
+/// `parallelism` is intentionally left out: plans are bit-identical across thread counts
+/// (see the crate docs), so keying on it would only fragment the cache.
 pub fn options_key(options: &AdaptiveOptions) -> u64 {
     let model_rank = match options.cost_model {
         CostModelKind::Cout => 0u64,
@@ -145,6 +152,23 @@ mod tests {
             },
         ] {
             assert_ne!(key, options_key(&changed), "{changed:?}");
+        }
+    }
+
+    #[test]
+    fn parallelism_never_fragments_the_options_key() {
+        // The parallel exact tier is bit-identical to the sequential one, so every thread
+        // setting must map onto the same cache entry.
+        let base = AdaptiveOptions::default();
+        let key = options_key(&base);
+        for parallelism in [None, Some(0), Some(1), Some(2), Some(8)] {
+            assert_eq!(
+                key,
+                options_key(&AdaptiveOptions {
+                    parallelism,
+                    ..base
+                })
+            );
         }
     }
 

@@ -64,7 +64,9 @@ mod service;
 
 pub use cache::{CacheOptions, CacheStats};
 pub use fingerprint::Fingerprint;
-pub use service::{PlanSource, ServedPlan, Service, ServiceError, ServiceOptions};
+pub use service::{
+    effective_batch_threads, PlanSource, ServedPlan, Service, ServiceError, ServiceOptions,
+};
 
 #[cfg(test)]
 mod tests {
@@ -397,5 +399,61 @@ mod tests {
         let warm = service.plan_spec(&star_spec(5e4, &sats, 0.003)).unwrap();
         assert_eq!(warm.tier, PlanTier::Idp);
         assert_eq!(warm.source, PlanSource::CacheHit);
+    }
+
+    #[test]
+    fn batch_fan_out_is_capped_against_oversubscription() {
+        // Auto fan-out with sequential queries uses every core, bounded by the group count.
+        assert_eq!(effective_batch_threads(0, 8, 1, 100), 8);
+        assert_eq!(effective_batch_threads(0, 8, 1, 3), 3);
+        // Intra-query parallelism divides the fan-out: 8 cores / 4 threads each → 2 groups
+        // in flight, so batch × per-query never exceeds the machine.
+        assert_eq!(effective_batch_threads(0, 8, 4, 100), 2);
+        // An explicit fan-out is honored but still capped by the same product rule.
+        assert_eq!(effective_batch_threads(6, 8, 1, 100), 6);
+        assert_eq!(effective_batch_threads(6, 8, 2, 100), 4);
+        // Per-query demand beyond the machine still leaves one batch worker running.
+        assert_eq!(effective_batch_threads(0, 8, 16, 100), 1);
+        // An empty batch resolves to the one-worker floor.
+        assert_eq!(effective_batch_threads(0, 8, 1, 0), 1);
+        // Sequential queries (per_query == 1) never shrink an explicit setting: the cap only
+        // engages when the queries themselves spawn workers.
+        assert_eq!(effective_batch_threads(16, 2, 1, 100), 16);
+        assert_eq!(effective_batch_threads(16, 2, 2, 100), 1);
+    }
+
+    #[test]
+    fn batched_parallel_queries_match_sequential_serving() {
+        // Satellite of the parallel-enumeration work: a batch whose queries themselves run
+        // the multi-threaded exact tier must produce exactly the plans the sequential
+        // service produces, and the combined fan-out must not oversubscribe (exercised here
+        // by construction: batch_threads=4 × parallelism=2 on any host hits the cap path).
+        let parallel_opts = AdaptiveOptions {
+            parallelism: Some(2),
+            ..Default::default()
+        };
+        let specs: Vec<QuerySpec> = (2..12)
+            .map(|n| {
+                let cards: Vec<f64> = (0..n).map(|i| 40.0 * (i as f64 + 1.0)).collect();
+                chain_spec(&cards, 0.02)
+            })
+            .collect();
+        let sequential = Service::default();
+        let seq: Vec<_> = specs
+            .iter()
+            .map(|s| sequential.plan_spec(s).unwrap())
+            .collect();
+        let concurrent = Service::new(ServiceOptions {
+            batch_threads: 4,
+            adaptive: parallel_opts,
+            ..Default::default()
+        });
+        let par = concurrent.plan_batch(&specs);
+        assert_eq!(par.len(), specs.len());
+        for (s, p) in seq.iter().zip(par) {
+            let p = p.unwrap();
+            assert_eq!(p.plan, s.plan, "parallel batch serves the sequential plan");
+            assert_eq!(p.cost, s.cost);
+        }
     }
 }

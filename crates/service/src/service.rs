@@ -29,8 +29,44 @@ pub struct ServiceOptions {
     /// re-optimizations.
     pub recost_tolerance: f64,
     /// Worker threads of [`Service::plan_batch`]; `0` (the default) means one per available
-    /// CPU, capped by the batch size.
+    /// CPU, capped by the batch size. When the batch's queries additionally request
+    /// intra-query parallelism ([`AdaptiveOptions::parallelism`]), the fan-out is further
+    /// capped so that `batch threads × per-query threads` stays within the machine's available
+    /// parallelism (see [`effective_batch_threads`]).
     pub batch_threads: usize,
+}
+
+/// The worker count [`Service::plan_batch`] uses: the configured count (`0` = `available`),
+/// divided down when per-query parallelism would oversubscribe the machine, and capped by the
+/// number of shape groups. `per_query` is the largest intra-query worker count any batch item
+/// requests (`1` = sequential queries, which impose no cap). Always ≥ 1.
+pub fn effective_batch_threads(
+    configured: usize,
+    available: usize,
+    per_query: usize,
+    groups: usize,
+) -> usize {
+    let base = if configured == 0 {
+        available
+    } else {
+        configured
+    };
+    let capped = if per_query > 1 {
+        // batch fan-out × per-query threads ≤ available parallelism.
+        base.min((available / per_query).max(1))
+    } else {
+        base
+    };
+    capped.min(groups.max(1)).max(1)
+}
+
+/// The intra-query worker count an options value resolves to on this machine.
+fn resolved_parallelism(options: &AdaptiveOptions, available: usize) -> usize {
+    match options.parallelism {
+        None | Some(1) => 1,
+        Some(0) => available,
+        Some(k) => k,
+    }
 }
 
 impl Default for ServiceOptions {
@@ -231,11 +267,18 @@ impl Service {
                 }
             }
         }
-        let threads = match self.options.batch_threads {
-            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
-            t => t,
-        }
-        .min(groups.len().max(1));
+        let available = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let per_query = prepared
+            .iter()
+            .map(|(_, adaptive)| resolved_parallelism(adaptive, available))
+            .max()
+            .unwrap_or(1);
+        let threads = effective_batch_threads(
+            self.options.batch_threads,
+            available,
+            per_query,
+            groups.len(),
+        );
         if threads <= 1 || items.len() <= 1 {
             return prepared
                 .iter()

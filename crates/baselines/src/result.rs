@@ -4,7 +4,7 @@ use qo_plan::PlanNode;
 use std::fmt;
 
 /// Result of a baseline enumeration run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BaselineResult {
     /// The best plan found.
     pub plan: PlanNode,

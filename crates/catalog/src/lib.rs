@@ -38,7 +38,7 @@ pub use cost::{CostModel, CoutCost, MixedCost, SubPlanStats};
 pub use parallel::{shard_of, NodeSetSet, ShardReader, ShardedDpTable, SharedBudget, SHARD_COUNT};
 pub use planner::{
     recost_table, BudgetedHandler, CcpHandler, CostBasedHandler, CountingHandler, EmitSignal,
-    JoinCombiner,
+    JoinCombiner, PruneCounters,
 };
 pub use table::{BestJoin, Candidate, CandidateJoin, DpTable, EdgeListRef, PlanClass};
 

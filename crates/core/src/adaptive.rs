@@ -64,7 +64,7 @@ use qo_baselines::{
 use qo_catalog::DpTable;
 use qo_catalog::{
     BudgetedHandler, Catalog, CcpHandler, CostBasedHandler, CostModel, CoutCost, JoinCombiner,
-    MixedCost,
+    MixedCost, PruneCounters,
 };
 use qo_hypergraph::Hypergraph;
 use qo_plan::PlanNode;
@@ -103,6 +103,17 @@ pub struct AdaptiveOptions {
     /// the csg-cmp-pair budget is spent in the serial structure pass. The fallback tiers are
     /// unaffected by this knob.
     pub parallelism: Option<usize>,
+    /// Cost-bounded branch-and-bound pruning of the exact tier. When enabled, the driver first
+    /// seeds an upper bound from the cheap heuristics (GOO, plus a small-block IDP on larger
+    /// queries) and then skips *costing and registering* any plan class whose accumulated cost
+    /// already exceeds the best known complete plan — safe because the built-in cost models are
+    /// monotone and non-negative ([`CostModel::supports_pruning`]); models that are not opt out
+    /// and silently disable pruning. The optimal plan, its cost, its join order, the emitted
+    /// csg-cmp-pair sequence and therefore the budget/tier decisions are all unchanged — only
+    /// cost-function evaluations and DP-table insertions are saved
+    /// ([`BudgetTelemetry::pruned_pairs`] / [`BudgetTelemetry::pruned_classes`]). Defaults to
+    /// `false`.
+    pub pruning: bool,
 }
 
 impl Default for AdaptiveOptions {
@@ -117,6 +128,7 @@ impl Default for AdaptiveOptions {
             cost_model: CostModelKind::Cout,
             idp_strategy: IdpStrategy::default(),
             parallelism: None,
+            pruning: false,
         }
     }
 }
@@ -158,6 +170,21 @@ pub struct BudgetTelemetry {
     pub idp_k: usize,
     /// Cost-function calls made by the fallback tier (`0` in the exact tier).
     pub fallback_cost_calls: usize,
+    /// Csg-cmp-pairs whose cost evaluation the branch-and-bound upper bound skipped (at least
+    /// one input class was pruned). All zero unless [`AdaptiveOptions::pruning`] is on.
+    pub pruned_pairs: usize,
+    /// Candidate plan classes discarded because their accumulated cost exceeded the bound.
+    pub pruned_classes: usize,
+    /// How often a completed full plan tightened the upper bound below the heuristic seed.
+    pub bound_updates: usize,
+}
+
+impl BudgetTelemetry {
+    fn record_prune(&mut self, c: PruneCounters) {
+        self.pruned_pairs = c.pruned_pairs;
+        self.pruned_classes = c.pruned_classes;
+        self.bound_updates = c.bound_updates;
+    }
 }
 
 /// Telemetry of one multi-threaded exact enumeration: how evenly the cost pass's work spread
@@ -166,16 +193,20 @@ pub struct BudgetTelemetry {
 pub struct ParallelTelemetry {
     /// Worker threads of the cost pass.
     pub threads: usize,
-    /// Csg-cmp-pairs costed by each worker (summing to the feasible-pair count).
+    /// Csg-cmp-pairs costed by each worker, *after* work-stealing moved chunks between them
+    /// (summing to the evaluated-pair count — the feasible pairs minus any pruned ones).
     pub per_thread_pairs: Vec<usize>,
-    /// Parallel efficiency in `(0, 1]`: total pairs over `threads ×` the busiest worker's
-    /// pairs. `1.0` means perfectly balanced shards; low values mean most pairs hashed into
-    /// few shards and the other workers idled.
+    /// Post-steal load balance in `(0, 1]`: total pairs over `threads ×` the busiest worker's
+    /// pairs. `1.0` means the stealing spread the cost pass perfectly evenly; low values mean
+    /// one worker still dominated (e.g. a single enormous shard chunk).
     pub efficiency: f64,
+    /// Cost-pass chunks claimed by a worker other than the shard's install owner — how much
+    /// work the stealing actually moved. `0` means static ownership was already balanced.
+    pub stolen_chunks: usize,
 }
 
 impl ParallelTelemetry {
-    fn new(threads: usize, per_thread_pairs: Vec<usize>) -> Self {
+    fn new(threads: usize, per_thread_pairs: Vec<usize>, stolen_chunks: usize) -> Self {
         let total: usize = per_thread_pairs.iter().sum();
         let max = per_thread_pairs.iter().copied().max().unwrap_or(0);
         let efficiency = if max == 0 {
@@ -187,6 +218,7 @@ impl ParallelTelemetry {
             threads,
             per_thread_pairs,
             efficiency,
+            stolen_chunks,
         }
     }
 }
@@ -275,6 +307,20 @@ impl AdaptiveOptimizer {
             .map_err(OptimizeError::InvalidCatalog)?;
         let deadline = self.options.time_budget.map(|b| Instant::now() + b);
 
+        // Branch-and-bound upper bound: the best heuristic full-plan cost, seeded before the
+        // exact tier so every enumerator starts with a finite bound. Only meaningful for
+        // monotone, non-negative models — others silently run unbounded.
+        let bound = if self.options.pruning && cost_model.supports_pruning() {
+            Some(seed_bound(
+                graph,
+                catalog,
+                cost_model,
+                self.options.idp_strategy,
+            ))
+        } else {
+            None
+        };
+
         // Tier 1: exact DPhyp under the pair budget and, when configured, the deadline —
         // sequentially, or (threads ≥ 2) via the two-pass parallel enumeration, which is
         // bit-identical in plans, costs and budget semantics.
@@ -286,6 +332,9 @@ impl AdaptiveOptimizer {
             exact_time_exceeded: false,
             idp_k: 0,
             fallback_cost_calls: 0,
+            pruned_pairs: 0,
+            pruned_classes: 0,
+            bound_updates: 0,
         };
         if threads >= 2 {
             match optimize_parallel_exact(
@@ -295,19 +344,27 @@ impl AdaptiveOptimizer {
                 threads,
                 self.options.ccp_budget,
                 deadline,
+                bound,
             ) {
                 ParallelExact::Completed {
                     table,
                     ccps,
                     per_thread_pairs,
+                    prune,
+                    stolen_chunks,
                 } => {
                     telemetry.exact_ccps = ccps;
                     telemetry.exact_aborted = false;
+                    telemetry.record_prune(prune);
                     return finish_exact(
                         table,
                         graph,
                         telemetry,
-                        Some(ParallelTelemetry::new(threads, per_thread_pairs)),
+                        Some(ParallelTelemetry::new(
+                            threads,
+                            per_thread_pairs,
+                            stolen_chunks,
+                        )),
                     );
                 }
                 ParallelExact::Aborted {
@@ -320,8 +377,11 @@ impl AdaptiveOptimizer {
             }
         } else {
             let combiner = JoinCombiner::new(graph, catalog, cost_model);
-            let mut handler =
-                BudgetedHandler::new(CostBasedHandler::new(combiner), self.options.ccp_budget);
+            let cost_handler = match bound {
+                Some(b) => CostBasedHandler::with_bound(combiner, b),
+                None => CostBasedHandler::new(combiner),
+            };
+            let mut handler = BudgetedHandler::new(cost_handler, self.options.ccp_budget);
             if let Some(d) = deadline {
                 handler = handler.with_deadline(d);
             }
@@ -329,6 +389,7 @@ impl AdaptiveOptimizer {
             telemetry.exact_ccps = handler.ccp_count();
             telemetry.exact_aborted = handler.aborted();
             telemetry.exact_time_exceeded = handler.deadline_exceeded();
+            telemetry.record_prune(handler.inner().prune_counters());
             if !telemetry.exact_aborted {
                 return finish_exact(handler.into_inner().into_table(), graph, telemetry, None);
             }
@@ -371,6 +432,33 @@ impl AdaptiveOptimizer {
             .take_while(|&k| 3usize.pow(k as u32) <= self.options.ccp_budget)
             .last()
     }
+}
+
+/// Block size of the bound-seeding IDP run: one round costs at most `3^4 = 81` subset-splits
+/// per block, negligible next to the exact enumeration it is about to bound.
+const SEED_IDP_K: usize = 4;
+
+/// Seeds the branch-and-bound upper bound: the cheapest complete-plan cost the heuristics can
+/// find. GOO always runs; on queries of 8+ relations a small-block IDP runs too (below that,
+/// IDP-4 degenerates to near-exact DP and adds nothing GOO misses at that size). Returns
+/// `f64::INFINITY` when no heuristic completes a plan — the exact tier then runs unbounded and
+/// surfaces its own `NoCompletePlan`.
+fn seed_bound<M: CostModel<W>, const W: usize>(
+    graph: &Hypergraph<W>,
+    catalog: &Catalog<W>,
+    cost_model: &M,
+    idp_strategy: IdpStrategy,
+) -> f64 {
+    let mut bound = f64::INFINITY;
+    if let Ok(r) = goo(graph, catalog, cost_model) {
+        bound = r.cost;
+    }
+    if graph.node_count() >= 8 {
+        if let Ok(r) = idp_with_strategy(graph, catalog, cost_model, SEED_IDP_K, idp_strategy) {
+            bound = bound.min(r.cost);
+        }
+    }
+    bound
 }
 
 /// Builds the exact-tier result from a completed DP table (sequential or merged parallel).
@@ -621,11 +709,12 @@ mod tests {
 
     #[test]
     fn parallel_telemetry_efficiency_formula() {
-        let pt = ParallelTelemetry::new(4, vec![10, 10, 10, 10]);
+        let pt = ParallelTelemetry::new(4, vec![10, 10, 10, 10], 0);
         assert_eq!(pt.efficiency, 1.0);
-        let skewed = ParallelTelemetry::new(2, vec![30, 10]);
+        let skewed = ParallelTelemetry::new(2, vec![30, 10], 3);
         assert!((skewed.efficiency - 40.0 / 60.0).abs() < 1e-12);
-        let idle = ParallelTelemetry::new(4, vec![0, 0, 0, 0]);
+        assert_eq!(skewed.stolen_chunks, 3);
+        let idle = ParallelTelemetry::new(4, vec![0, 0, 0, 0], 0);
         assert_eq!(idle.efficiency, 1.0, "an empty pass is vacuously balanced");
     }
 

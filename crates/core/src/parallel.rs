@@ -1,5 +1,5 @@
-//! Multi-threaded exact enumeration: a serial structure pass followed by a level-synchronized
-//! parallel cost pass over a sharded DP table, bit-identical to sequential DPhyp.
+//! Multi-threaded exact enumeration: a serial structure pass followed by a level-synchronized,
+//! work-stealing parallel cost pass over a sharded DP table, bit-identical to sequential DPhyp.
 //!
 //! DPhyp's outer loop carries a total-order dependency (each start vertex's recursion consults
 //! the classes every earlier vertex created), so the enumeration *order* cannot be partitioned
@@ -17,39 +17,62 @@
 //!    ([`JoinCombiner::always_combines`]) and the per-pair check is skipped entirely. The pair
 //!    budget and wall-clock deadline wrap this pass through the ordinary [`BudgetedHandler`],
 //!    so abort semantics are exactly sequential at any thread count.
-//! 2. **Cost pass (parallel).** Workers sweep the levels `2 ..= n` in lockstep, a
-//!    [`Barrier`] between levels. Within a level each worker read-locks all shards of the
-//!    [`ShardedDpTable`] (every input class has size `< level` and is sealed), costs the pairs
-//!    of the shards it owns into a private staging table, and — after a barrier — installs its
-//!    staged winners into its own shards under write locks.
+//! 2. **Cost pass (parallel, work-stealing).** Workers sweep the levels `2 ..= n` in lockstep,
+//!    a [`Barrier`] between levels. Each level's shard buckets are pre-split into fixed-size
+//!    *chunks* (contiguous segments of one shard's pair list, in `(shard, start)` order), and
+//!    workers claim chunks greedily off a shared atomic cursor — so a star-shaped level whose
+//!    pairs hash into few shards no longer idles everyone but those shards' owners. A claimed
+//!    chunk is costed into a private per-chunk staging table under the level's read guards.
+//!    After a barrier, each shard's *install owner* (`shard % threads`) folds that shard's
+//!    staged chunk tables into the shared [`ShardedDpTable`], in ascending chunk order, under
+//!    its write lock.
 //!
 //! **Why the result is bit-identical to sequential DPhyp:** the pair list per class equals the
-//! sequential emission sequence (pass 1 replays it); each class lives in exactly one shard and
-//! is therefore folded by exactly one worker, in that recorded order, under the same
-//! strictly-cheaper-replaces/incumbent-wins-ties offer rule; and every input cost it reads is
-//! final, because sequential DPhyp, being a dynamic program, also only ever combines classes
-//! whose own pairs have all been emitted. Same candidates from same inputs in the same per-class
-//! order under the same tie-break — the same winner, at every thread count.
+//! sequential emission sequence (pass 1 replays it), and a chunk is a contiguous segment of
+//! that sequence, folded in order under the same strictly-cheaper-replaces/incumbent-wins-ties
+//! offer rule. Re-offering the per-chunk segment winners in ascending chunk order is the same
+//! fold applied to the segment minima — which preserves the *first-arriving* global minimum,
+//! because a later segment's winner replaces an earlier one only when strictly cheaper, exactly
+//! as the later pair itself would have. Every input cost a chunk reads is final (all smaller
+//! levels are sealed behind the barrier), so: same candidates from same inputs in the same
+//! per-class order under the same tie-break — the same winner, at every thread count and any
+//! steal schedule.
+//!
+//! **Cost-bounded pruning** (an upper bound seeded from the heuristic tiers, see
+//! [`AdaptiveOptions::pruning`](crate::AdaptiveOptions::pruning)) composes with both passes
+//! without touching the emission sequence: the structure pass is oblivious to costs, and the
+//! cost pass simply skips staging any candidate whose accumulated cost exceeds the bound. A
+//! class all of whose candidates were over the bound never enters the table, so later levels
+//! find its subsets missing and skip those pairs' cost evaluations entirely — monotonicity
+//! guarantees no such plan could have beaten the bound. The bound stays static across the pass
+//! (the only class that could tighten it — the full set — is costed last), so no cross-worker
+//! coordination is needed, and ties with the bound survive, keeping the winner identical to the
+//! unpruned enumeration.
 
 use crate::enumerate::DpHyp;
 use qo_bitset::{NodeId, NodeSet};
 use qo_catalog::{
     shard_of, BudgetedHandler, Candidate, CandidateJoin, Catalog, CcpHandler, CostModel, DpTable,
-    EmitSignal, JoinCombiner, NodeSetSet, ShardedDpTable, SharedBudget, SHARD_COUNT,
+    EmitSignal, JoinCombiner, NodeSetSet, PruneCounters, ShardedDpTable, SharedBudget, SHARD_COUNT,
 };
 use qo_hypergraph::{EdgeId, Hypergraph};
-use std::sync::Barrier;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, OnceLock};
 use std::time::Instant;
 
 /// Outcome of a parallel exact enumeration.
+#[allow(clippy::large_enum_variant)] // constructed once per optimization; never stored in bulk
 pub(crate) enum ParallelExact<const W: usize> {
     /// Both passes finished: the merged table (leaves plus every class the sequential run
-    /// would memoize), the structure pass's csg-cmp-pair count, and the per-worker costed-pair
-    /// tallies of the cost pass.
+    /// would memoize, minus any the bound pruned), the structure pass's csg-cmp-pair count,
+    /// the per-worker costed-pair tallies of the cost pass, the pruning counters, and how many
+    /// chunks were claimed by a worker other than their shard's install owner.
     Completed {
         table: DpTable<W>,
         ccps: usize,
         per_thread_pairs: Vec<usize>,
+        prune: PruneCounters,
+        stolen_chunks: usize,
     },
     /// A budget ran out: either the structure pass hit the pair budget / deadline (sequential
     /// semantics), or the cost pass hit the deadline.
@@ -116,7 +139,71 @@ impl<M: CostModel<W> + ?Sized, const W: usize> CcpHandler<W> for StructureHandle
     }
 }
 
-/// Runs the two-pass parallel exact enumeration with `threads ≥ 2` workers.
+/// Pairs per work-stealing chunk. Small enough that a star level's dominant shard splits into
+/// many stealable pieces, large enough that the per-chunk staging table and claim traffic stay
+/// negligible next to the costing itself.
+const STEAL_CHUNK_PAIRS: usize = 1024;
+
+/// One contiguous segment of a shard's level bucket — the unit of work-stealing.
+struct Chunk {
+    shard: usize,
+    start: usize,
+    end: usize,
+}
+
+/// Shared state of one level of the work-stealing cost pass.
+struct LevelWork<const W: usize> {
+    /// Chunks in `(shard, start)` order; the install phase replays each shard's chunks in
+    /// ascending order, reproducing the sequential fold over that shard's pair list.
+    chunks: Vec<Chunk>,
+    /// Cursor of the next unclaimed chunk; workers claim with a `fetch_add`.
+    claim: AtomicUsize,
+    /// Per-chunk staged winners, written exactly once by the claiming worker before the
+    /// level's install barrier.
+    staged: Vec<OnceLock<DpTable<W>>>,
+}
+
+/// Splits every level's shard buckets into the chunk lists the workers steal from.
+fn build_level_work<const W: usize>(
+    buckets: &[Vec<Vec<(NodeSet<W>, NodeSet<W>)>>],
+) -> Vec<LevelWork<W>> {
+    buckets
+        .iter()
+        .map(|level| {
+            let mut chunks = Vec::new();
+            for (shard, bucket) in level.iter().enumerate() {
+                let mut start = 0;
+                while start < bucket.len() {
+                    let end = bucket.len().min(start + STEAL_CHUNK_PAIRS);
+                    chunks.push(Chunk { shard, start, end });
+                    start = end;
+                }
+            }
+            let staged = (0..chunks.len()).map(|_| OnceLock::new()).collect();
+            LevelWork {
+                chunks,
+                claim: AtomicUsize::new(0),
+                staged,
+            }
+        })
+        .collect()
+}
+
+/// What one cost-pass worker did.
+#[derive(Default)]
+struct WorkerStats {
+    /// Pairs whose cost this worker evaluated (both inputs present in the table).
+    pairs: usize,
+    /// Pairs skipped because an input class had been pruned at an earlier level.
+    pruned_pairs: usize,
+    /// Candidates discarded because their accumulated cost exceeded the bound.
+    pruned_classes: usize,
+    /// Chunks this worker claimed whose shard it does not install.
+    stolen_chunks: usize,
+}
+
+/// Runs the two-pass parallel exact enumeration with `threads ≥ 2` workers. A `bound` — the
+/// best heuristic full-plan cost — enables branch-and-bound pruning of the cost pass.
 pub(crate) fn optimize_parallel_exact<M: CostModel<W> + Sync, const W: usize>(
     graph: &Hypergraph<W>,
     catalog: &Catalog<W>,
@@ -124,6 +211,7 @@ pub(crate) fn optimize_parallel_exact<M: CostModel<W> + Sync, const W: usize>(
     threads: usize,
     ccp_budget: usize,
     deadline: Option<Instant>,
+    bound: Option<f64>,
 ) -> ParallelExact<W> {
     debug_assert!(threads >= 2, "threads = 1 takes the sequential path");
     let n = graph.node_count();
@@ -143,6 +231,7 @@ pub(crate) fn optimize_parallel_exact<M: CostModel<W> + Sync, const W: usize>(
     }
     let ccps = handler.ccp_count();
     let buckets = handler.into_inner().buckets;
+    let work = build_level_work(&buckets);
 
     // Pass 2: seed the leaves, then cost level by level in lockstep.
     let table = ShardedDpTable::<W>::new();
@@ -151,13 +240,15 @@ pub(crate) fn optimize_parallel_exact<M: CostModel<W> + Sync, const W: usize>(
     }
     let budget = SharedBudget::new(deadline);
     let barrier = Barrier::new(threads);
-    let per_thread_pairs = std::thread::scope(|scope| {
+    let stats = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|t| {
-                let (buckets, table, combiner, budget, barrier) =
-                    (&buckets, &table, &combiner, &budget, &barrier);
+                let (buckets, work, table, combiner, budget, barrier) =
+                    (&buckets, &work, &table, &combiner, &budget, &barrier);
                 scope.spawn(move || {
-                    cost_pass_worker(t, threads, n, buckets, table, combiner, budget, barrier)
+                    cost_pass_worker(
+                        t, threads, n, buckets, work, table, combiner, budget, barrier, bound,
+                    )
                 })
             })
             .collect();
@@ -173,14 +264,23 @@ pub(crate) fn optimize_parallel_exact<M: CostModel<W> + Sync, const W: usize>(
             time_exceeded: true,
         };
     }
+    let prune = PruneCounters {
+        pruned_pairs: stats.iter().map(|s| s.pruned_pairs).sum(),
+        pruned_classes: stats.iter().map(|s| s.pruned_classes).sum(),
+        // The bound never tightens here: the only class that could lower it — the full set —
+        // is costed in the pass's final level.
+        bound_updates: 0,
+    };
     ParallelExact::Completed {
         table: table.into_merged(),
         ccps,
-        per_thread_pairs,
+        per_thread_pairs: stats.iter().map(|s| s.pairs).collect(),
+        prune,
+        stolen_chunks: stats.iter().map(|s| s.stolen_chunks).sum(),
     }
 }
 
-/// One worker of the cost pass; returns the number of pairs it costed.
+/// One worker of the cost pass; returns its work tallies.
 ///
 /// Every worker executes *all* levels and hits *both* barriers per level unconditionally —
 /// an abort only skips the processing inside a level — so no combination of deadline firings
@@ -191,74 +291,103 @@ fn cost_pass_worker<M: CostModel<W> + ?Sized, const W: usize>(
     threads: usize,
     node_count: usize,
     buckets: &[Vec<Vec<(NodeSet<W>, NodeSet<W>)>>],
+    work: &[LevelWork<W>],
     table: &ShardedDpTable<W>,
     combiner: &JoinCombiner<'_, M, W>,
     budget: &SharedBudget,
     barrier: &Barrier,
-) -> usize {
-    let mut pairs_done = 0usize;
+    bound: Option<f64>,
+) -> WorkerStats {
+    let mut stats = WorkerStats::default();
     let mut edge_buf: Vec<EdgeId> = Vec::new();
-    for level_buckets in buckets.iter().take(node_count + 1).skip(2) {
+    let mut polled = 0usize;
+    for level in 2..=node_count {
+        let level_buckets = &buckets[level];
+        let level_work = &work[level];
         // Read phase: all inputs are of a strictly smaller size and are sealed behind the
-        // read guards.
-        let mut staging: DpTable<W> = DpTable::new();
+        // read guards. Workers race for chunks off the shared cursor.
         {
             let reader = table.read_all();
             if !budget.aborted() {
-                let mut local = 0usize;
-                'shards: for shard in (t..SHARD_COUNT).step_by(threads) {
-                    for &(s1, s2) in &level_buckets[shard] {
-                        local += 1;
-                        if local.is_multiple_of(SharedBudget::DEADLINE_CHECK_INTERVAL)
+                let mut evaluated = 0usize;
+                'claims: loop {
+                    let i = level_work.claim.fetch_add(1, Ordering::Relaxed);
+                    let Some(chunk) = level_work.chunks.get(i) else {
+                        break;
+                    };
+                    if chunk.shard % threads != t {
+                        stats.stolen_chunks += 1;
+                    }
+                    let mut staging: DpTable<W> = DpTable::new();
+                    for &(s1, s2) in &level_buckets[chunk.shard][chunk.start..chunk.end] {
+                        polled += 1;
+                        if polled.is_multiple_of(SharedBudget::DEADLINE_CHECK_INTERVAL)
                             && budget.poll_deadline()
                         {
-                            break 'shards;
+                            break 'claims;
                         }
-                        let a = reader
-                            .get(s1)
-                            .expect("structure pass registered this subset's class")
-                            .stats();
-                        let b = reader
-                            .get(s2)
-                            .expect("structure pass registered this subset's class")
-                            .stats();
+                        let (Some(a), Some(b)) = (reader.get(s1), reader.get(s2)) else {
+                            // At least one input class was pruned at an earlier level; under a
+                            // monotone model every plan through it is over the bound too.
+                            stats.pruned_pairs += 1;
+                            continue;
+                        };
+                        evaluated += 1;
+                        let (a, b) = (a.stats(), b.stats());
                         combiner
                             .graph()
                             .connecting_edges_into(s1, s2, &mut edge_buf);
                         if let Some(candidate) = combiner.combine(&a, &b, &edge_buf) {
-                            staging.offer(candidate);
+                            // Strictly-over-the-bound candidates can never be part of a plan
+                            // cheaper than the one we already hold; ties survive so the winner
+                            // stays identical to the unpruned enumeration.
+                            if bound.is_some_and(|ub| candidate.cost > ub) {
+                                stats.pruned_classes += 1;
+                            } else {
+                                staging.offer(candidate);
+                            }
                         }
                     }
+                    let _ = level_work.staged[i].set(staging);
                 }
-                pairs_done += local;
-                budget.add_pairs(local);
+                stats.pairs += evaluated;
+                budget.add_pairs(evaluated);
             }
         }
         barrier.wait();
-        // Install phase: this worker's shards are written by this worker alone.
+        // Install phase: each shard is folded by its install owner alone, ascending chunk
+        // order — the sequential fold over that shard's segment minima.
         if !budget.aborted() {
-            for class in staging.classes() {
-                let join = class
-                    .best_join
-                    .expect("staged classes are joins; leaves were seeded before the scope");
-                table
-                    .shard(shard_of(class.set))
-                    .write()
-                    .expect("shard lock poisoned")
-                    .offer(Candidate {
-                        set: class.set,
-                        cardinality: class.cardinality,
-                        cost: class.cost,
-                        join: Some(CandidateJoin {
-                            left: join.left,
-                            right: join.right,
-                            op: join.op,
-                            predicates: staging.best_join_predicates(class),
-                        }),
-                    });
+            for (i, chunk) in level_work.chunks.iter().enumerate() {
+                if chunk.shard % threads != t {
+                    continue;
+                }
+                let staging = level_work.staged[i]
+                    .get()
+                    .expect("claimed chunks are staged before the install barrier");
+                for class in staging.classes() {
+                    let join = class
+                        .best_join
+                        .expect("staged classes are joins; leaves were seeded before the scope");
+                    table
+                        .shard(shard_of(class.set))
+                        .write()
+                        .expect("shard lock poisoned")
+                        .offer(Candidate {
+                            set: class.set,
+                            cardinality: class.cardinality,
+                            cost: class.cost,
+                            join: Some(CandidateJoin {
+                                left: join.left,
+                                right: join.right,
+                                op: join.op,
+                                predicates: staging.best_join_predicates(class),
+                            }),
+                        });
+                }
             }
         }
         barrier.wait();
     }
-    pairs_done
+    stats
 }

@@ -39,6 +39,9 @@ pub struct QueryOptions {
     /// `option parallelism = <int ≥ 0>` — worker threads of the exact tier (`0` = one per
     /// available core, `1` = sequential). Plans are bit-identical at every setting.
     pub parallelism: Option<usize>,
+    /// `option pruning = on | off` — cost-bounded branch-and-bound pruning of the exact tier.
+    /// Plans are bit-identical at every setting; only cost evaluations are saved.
+    pub pruning: Option<bool>,
 }
 
 impl QueryOptions {
@@ -51,6 +54,7 @@ impl QueryOptions {
             cost_model: self.cost_model.unwrap_or(base.cost_model),
             idp_strategy: self.idp_strategy.unwrap_or(base.idp_strategy),
             parallelism: self.parallelism.or(base.parallelism),
+            pruning: self.pruning.unwrap_or(base.pruning),
         }
     }
 }
@@ -298,6 +302,7 @@ fn lower_options(q: &QueryDecl) -> Result<QueryOptions, JgError> {
             "cost_model" => opts.cost_model.is_some(),
             "idp_strategy" => opts.idp_strategy.is_some(),
             "parallelism" => opts.parallelism.is_some(),
+            "pruning" => opts.pruning.is_some(),
             _ => false,
         };
         if duplicate {
@@ -358,12 +363,17 @@ fn lower_options(q: &QueryDecl) -> Result<QueryOptions, JgError> {
                 // 0 is meaningful (auto: one worker per core), so the minimum is 0.
                 opts.parallelism = Some(option_usize(&o.value, 0, "parallelism")?);
             }
+            "pruning" => match &o.value {
+                OptionValue::Symbol(s) if s.text == "on" => opts.pruning = Some(true),
+                OptionValue::Symbol(s) if s.text == "off" => opts.pruning = Some(false),
+                v => return Err(JgError::new("`pruning` expects `on` or `off`", v.span())),
+            },
             other => {
                 return Err(JgError::new(
                     format!(
                         "unknown option `{other}` (expected one of: ccp_budget, \
                          idp_block_size, time_budget_ms, cost_model, idp_strategy, \
-                         parallelism)"
+                         parallelism, pruning)"
                     ),
                     o.key.span,
                 ))
@@ -568,6 +578,27 @@ mod tests {
         // Unset leaves the driver default (sequential) in place.
         let ok = &q("relation a cardinality=1").unwrap()[0];
         assert_eq!(ok.adaptive_options().parallelism, None);
+    }
+
+    #[test]
+    fn pruning_option_lowers_and_validates() {
+        let ok = &q("relation a cardinality=1\noption pruning = on").unwrap()[0];
+        assert_eq!(ok.options.pruning, Some(true));
+        assert!(ok.adaptive_options().pruning);
+        let ok = &q("relation a cardinality=1\noption pruning = off").unwrap()[0];
+        assert_eq!(ok.options.pruning, Some(false));
+        assert!(!ok.adaptive_options().pruning);
+        let err = q("relation a cardinality=1\noption pruning = 1").unwrap_err();
+        assert!(err.message.contains("`on` or `off`"));
+        let err = q("relation a cardinality=1\noption pruning = maybe").unwrap_err();
+        assert!(err.message.contains("`on` or `off`"));
+        let src = "query t {\nrelation a cardinality=1\noption pruning = on\n\
+                   option pruning = off\n}";
+        let err = parse_queries(src).unwrap_err();
+        assert!(err.message.contains("duplicate option `pruning`"));
+        // Unset leaves the driver default (unpruned) in place.
+        let ok = &q("relation a cardinality=1").unwrap()[0];
+        assert!(!ok.adaptive_options().pruning);
     }
 
     #[test]

@@ -80,6 +80,9 @@ pub fn to_jg(q: &IngestQuery) -> String {
     if let Some(p) = o.parallelism {
         writeln!(out, "  option parallelism = {p}").unwrap();
     }
+    if let Some(p) = o.pruning {
+        writeln!(out, "  option pruning = {}", if p { "on" } else { "off" }).unwrap();
+    }
     out.push_str("}\n");
     out
 }
@@ -116,6 +119,7 @@ mod tests {
   option cost_model = mixed
   option idp_strategy = connected
   option parallelism = 4
+  option pruning = on
 }
 ";
         let q = &parse_queries(src).unwrap()[0];

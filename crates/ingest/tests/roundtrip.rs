@@ -77,6 +77,11 @@ fn random_query(seed: u64) -> IngestQuery {
         },
         // Includes 0, the "one worker per core" auto setting.
         parallelism: (rng.random_range(0u32..2) == 0).then(|| rng.random_range(0usize..17)),
+        pruning: match rng.random_range(0u32..3) {
+            0 => None,
+            1 => Some(false),
+            _ => Some(true),
+        },
     };
 
     IngestQuery {

@@ -101,6 +101,34 @@ fn two_word_generators_plan_identically_at_every_thread_count() {
 }
 
 #[test]
+fn pruning_plus_work_stealing_plans_identically_at_every_thread_count() {
+    // Satellite of the branch-and-bound change: the bound prunes cost evaluations, the
+    // work-stealing cost pass moves chunks between workers — neither may perturb the plan,
+    // the cost, the tier, or the emitted pair count, at any thread count.
+    let pruned = AdaptiveOptions {
+        pruning: true,
+        ..ample()
+    };
+    assert_spec_deterministic("chain-18/pruned", &chain_spec(18, SEED), pruned);
+    assert_spec_deterministic("cycle-16/pruned", &cycle_spec(16, SEED), pruned);
+    assert_spec_deterministic("star-14/pruned", &star_spec(13, SEED), pruned);
+    assert_spec_deterministic("clique-10/pruned", &clique_spec(10, SEED), pruned);
+    assert_wide_deterministic(&star_query_w::<2>(13, SEED), pruned);
+    assert_wide_deterministic(&clique_query_w::<2>(10, SEED), pruned);
+}
+
+#[test]
+fn every_corpus_query_plans_identically_with_pruning_enabled() {
+    for q in corpus() {
+        let options = AdaptiveOptions {
+            pruning: true,
+            ..q.adaptive_options()
+        };
+        assert_spec_deterministic(&format!("{}/pruned", q.name), &q.spec, options);
+    }
+}
+
+#[test]
 fn over_budget_queries_degrade_identically_at_every_thread_count() {
     // When the exact tier aborts, every thread count must fall back to the same IDP or
     // greedy plan — the fallbacks are sequential and see identical abort decisions.

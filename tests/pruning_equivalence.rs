@@ -1,0 +1,182 @@
+//! Equivalence of cost-bounded branch-and-bound pruning: for every exact enumerator — DPhyp
+//! (through the adaptive driver), DPsize and DPsub — the pruned run must return the *same*
+//! optimal cost and the *same* join order as the unpruned run, on chain/star/cycle/clique
+//! shapes at both node-set widths. Pruning is only allowed to save cost evaluations and
+//! DP-table insertions; under the monotone, non-negative cost models
+//! (`CostModel::supports_pruning`) any class it drops is strictly over the cost of a complete
+//! plan we already hold and can never be part of a cheaper one.
+//!
+//! A second group of tests pins the budget interaction: pruning leaves DPhyp's emitted
+//! csg-cmp-pair sequence untouched (pruned classes stay visible to the enumerator's `contains`
+//! probes), so the pair budget is spent identically and the adaptive driver lands in the same
+//! tier with pruning on or off — for any budget.
+
+use dphyp::{AdaptiveOptimizer, AdaptiveOptions, PlanTier};
+use proptest::prelude::*;
+use qo_baselines::{dpsize, dpsize_bounded, dpsub, dpsub_bounded, goo};
+use qo_catalog::CoutCost;
+use qo_workloads::{
+    chain_query_w, clique_query_w, corpus, cycle_query_w, star_query_w, star_spec, Workload,
+};
+
+const SEED: u64 = 2008;
+
+fn ample() -> AdaptiveOptions {
+    AdaptiveOptions {
+        ccp_budget: 2_000_000,
+        ..Default::default()
+    }
+}
+
+/// Asserts that all three exact enumerators return identical optima with and without pruning
+/// on one workload: cost, join order, tier, and (for DPhyp) the emitted pair count.
+fn assert_pruning_equivalent<const W: usize>(w: &Workload<W>) {
+    let name = &w.name;
+
+    // DPhyp through the adaptive driver, sequentially.
+    let unpruned = AdaptiveOptimizer::new(ample())
+        .optimize_hypergraph(&w.graph, &w.catalog)
+        .unwrap_or_else(|e| panic!("{name}: unpruned run plannable, got {e}"));
+    let pruned = AdaptiveOptimizer::new(AdaptiveOptions {
+        pruning: true,
+        ..ample()
+    })
+    .optimize_hypergraph(&w.graph, &w.catalog)
+    .unwrap_or_else(|e| panic!("{name}: pruned run plannable, got {e}"));
+    assert_eq!(pruned.cost, unpruned.cost, "{name}: dphyp optimal cost");
+    assert_eq!(pruned.plan, unpruned.plan, "{name}: dphyp join order");
+    assert_eq!(pruned.tier, unpruned.tier, "{name}: dphyp tier");
+    assert_eq!(
+        pruned.telemetry.exact_ccps, unpruned.telemetry.exact_ccps,
+        "{name}: pruning must not change the emitted pair sequence"
+    );
+
+    // The baselines, bounded by the same kind of heuristic seed the driver uses.
+    let bound = goo(&w.graph, &w.catalog, &CoutCost)
+        .unwrap_or_else(|e| panic!("{name}: goo seed, got {e}"))
+        .cost;
+    let free = dpsize(&w.graph, &w.catalog, &CoutCost).unwrap();
+    let (tight, _) = dpsize_bounded(&w.graph, &w.catalog, &CoutCost, bound).unwrap();
+    assert_eq!(tight.cost, free.cost, "{name}: dpsize optimal cost");
+    assert_eq!(tight.plan, free.plan, "{name}: dpsize join order");
+    assert!(tight.pairs_tested <= free.pairs_tested, "{name}: dpsize");
+    let free = dpsub(&w.graph, &w.catalog, &CoutCost).unwrap();
+    let (tight, _) = dpsub_bounded(&w.graph, &w.catalog, &CoutCost, bound).unwrap();
+    assert_eq!(tight.cost, free.cost, "{name}: dpsub optimal cost");
+    assert_eq!(tight.plan, free.plan, "{name}: dpsub join order");
+    assert!(tight.cost_calls <= free.cost_calls, "{name}: dpsub");
+}
+
+#[test]
+fn fixed_generators_agree_at_both_widths() {
+    assert_pruning_equivalent(&chain_query_w::<1>(16, SEED));
+    assert_pruning_equivalent(&cycle_query_w::<1>(14, SEED));
+    assert_pruning_equivalent(&star_query_w::<1>(11, SEED));
+    assert_pruning_equivalent(&clique_query_w::<1>(9, SEED));
+    assert_pruning_equivalent(&chain_query_w::<2>(16, SEED));
+    assert_pruning_equivalent(&cycle_query_w::<2>(14, SEED));
+    assert_pruning_equivalent(&star_query_w::<2>(11, SEED));
+    assert_pruning_equivalent(&clique_query_w::<2>(9, SEED));
+}
+
+/// One random chain/star/cycle/clique workload per seed, sized to keep DPsub's `2^n` subset
+/// scan affordable inside a property test.
+fn random_workload_w<const W: usize>(seed: u64) -> Workload<W> {
+    match seed % 4 {
+        0 => chain_query_w::<W>(4 + (seed / 4 % 9) as usize, seed),
+        1 => star_query_w::<W>(3 + (seed / 4 % 7) as usize, seed),
+        2 => cycle_query_w::<W>(4 + (seed / 4 % 8) as usize, seed),
+        _ => clique_query_w::<W>(4 + (seed / 4 % 5) as usize, seed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_graphs_agree_on_the_single_word_tier(seed in any::<u64>()) {
+        assert_pruning_equivalent(&random_workload_w::<1>(seed));
+    }
+
+    #[test]
+    fn random_graphs_agree_on_the_two_word_tier(seed in any::<u64>()) {
+        assert_pruning_equivalent(&random_workload_w::<2>(seed));
+    }
+}
+
+#[test]
+fn pruning_never_changes_the_tier_the_driver_lands_in() {
+    // The pair budget is spent on *emissions*, which pruning leaves untouched, so the
+    // exact-tier abort decision — and with it the tier ladder — is identical at any budget:
+    // exact for ample ones, IDP in the middle, greedy at the bottom.
+    let spec = star_spec(15, SEED); // 15·2^14 ≈ 245k pairs exact
+    for budget in [0usize, 8, 100, 10_000, 300_000, 2_000_000] {
+        let base = AdaptiveOptions {
+            ccp_budget: budget,
+            ..Default::default()
+        };
+        let plain = AdaptiveOptimizer::new(base).optimize_spec(&spec).unwrap();
+        let pruned = AdaptiveOptimizer::new(AdaptiveOptions {
+            pruning: true,
+            ..base
+        })
+        .optimize_spec(&spec)
+        .unwrap();
+        assert_eq!(pruned.tier, plain.tier, "budget {budget}");
+        assert_eq!(pruned.cost, plain.cost, "budget {budget}");
+        assert_eq!(pruned.plan, plain.plan, "budget {budget}");
+        assert_eq!(
+            pruned.telemetry.exact_ccps, plain.telemetry.exact_ccps,
+            "budget {budget}: emissions are pruning-invariant"
+        );
+        assert_eq!(
+            pruned.telemetry.exact_aborted, plain.telemetry.exact_aborted,
+            "budget {budget}"
+        );
+    }
+    // Spot-check the ladder actually covered several tiers above.
+    let tier_at = |budget, pruning| {
+        AdaptiveOptimizer::new(AdaptiveOptions {
+            ccp_budget: budget,
+            pruning,
+            ..Default::default()
+        })
+        .optimize_spec(&spec)
+        .unwrap()
+        .tier
+    };
+    assert_eq!(tier_at(2_000_000, true), PlanTier::Exact);
+    assert_eq!(tier_at(10_000, true), PlanTier::Idp);
+    assert_eq!(tier_at(0, true), PlanTier::Greedy);
+}
+
+#[test]
+fn pruning_telemetry_reports_savings_on_the_corpus() {
+    // At least one corpus query must actually record pruned work (the counters are the
+    // observable effect of the tentpole), and none may change its result.
+    let mut total_pruned = 0usize;
+    for q in corpus() {
+        let plain = AdaptiveOptimizer::new(q.adaptive_options())
+            .optimize_spec(&q.spec)
+            .unwrap();
+        let pruned = AdaptiveOptimizer::new(AdaptiveOptions {
+            pruning: true,
+            ..q.adaptive_options()
+        })
+        .optimize_spec(&q.spec)
+        .unwrap();
+        assert_eq!(pruned.cost, plain.cost, "{}", q.name);
+        assert_eq!(pruned.plan, plain.plan, "{}", q.name);
+        assert_eq!(
+            plain.telemetry.pruned_pairs + plain.telemetry.pruned_classes,
+            0,
+            "{}: pruning off must keep the counters silent",
+            q.name
+        );
+        total_pruned += pruned.telemetry.pruned_pairs + pruned.telemetry.pruned_classes;
+    }
+    assert!(
+        total_pruned > 0,
+        "the corpus sweep must prune something somewhere"
+    );
+}

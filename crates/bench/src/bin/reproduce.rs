@@ -3,14 +3,16 @@
 //! algorithm and workload point).
 //!
 //! ```text
-//! reproduce [--full] [--experiment <id>] [--baseline [path]] [--baseline-force]
+//! reproduce [--full] [--quick] [--experiment <id>] [--baseline [path]] [--baseline-force]
 //! ```
 //!
 //! * `--full` also runs the baseline algorithms at the largest query sizes (DPsize/DPsub on the
 //!   16-relation stars take from seconds to minutes per point, exactly as in the paper).
+//! * `--quick` caps the synthetic table sizes and row budgets of the execution-feedback
+//!   experiment, for smoke runs (CI) where wall-clock matters more than measurement depth.
 //! * `--experiment <id>` restricts the run to one experiment; ids: `e1`, `fig5a`, `fig5b`, `e4`,
 //!   `fig6a`, `fig6b`, `fig7`, `fig8a`, `fig8b`, `ccp`, `table`, `adaptive`, `ingest`,
-//!   `service`, `parallel`, `pruning`.
+//!   `service`, `parallel`, `pruning`, `feedback`.
 //! * `--baseline [path]` skips the experiment tables and instead writes a machine-readable
 //!   snapshot (`BENCH_baseline.json` by default): ccp counts and wall-clock per graph family
 //!   plus the arena-vs-HashMap DP-table comparison, so future changes have a perf trajectory.
@@ -40,7 +42,7 @@ const SEED: u64 = 2008;
 /// Schema version of `BENCH_baseline.json`. Bump whenever a section is added, removed or
 /// reshaped; `write_baseline` refuses to overwrite a file carrying a different version unless
 /// forced, and readers should reject versions they do not understand.
-const SCHEMA_VERSION: u32 = 6;
+const SCHEMA_VERSION: u32 = 7;
 
 /// Measurement budget per timed point in baseline/table modes; long enough to average out
 /// noise on fast workloads, short enough that the multi-second star-20 runs once.
@@ -49,6 +51,7 @@ const BUDGET: Duration = Duration::from_millis(300);
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let quick = args.iter().any(|a| a == "--quick");
     let only: Option<String> = args
         .iter()
         .position(|a| a == "--experiment")
@@ -153,6 +156,9 @@ fn main() {
     }
     if want("pruning") {
         pruning_experiment();
+    }
+    if want("feedback") {
+        feedback_experiment(quick);
     }
 }
 
@@ -591,6 +597,248 @@ fn pruning_experiment() {
     assert_pruning_reduction(&rows);
     assert_corpus_pruning_reduction(&c);
     println!();
+}
+
+/// F1: the cardinality-feedback loop over the embedded corpus — execute each query's chosen
+/// plan over deterministic synthetic data, measure per-join q-errors against the estimates,
+/// feed the observed statistics back through the service's drift path, and compare the
+/// executed ("true") cost of the re-optimized plan against the original one.
+fn feedback_experiment(quick: bool) {
+    let f = run_feedback_rows(quick);
+    println!(
+        "== F1: execution feedback over the {}-query corpus ({} mode) ==",
+        f.rows.len(),
+        if quick { "quick" } else { "full" }
+    );
+    println!(
+        "{:>18} {:>5} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "query", "rels", "max q-err", "med q-err", "true before", "true after", "replanned"
+    );
+    for r in &f.rows {
+        if r.skipped {
+            println!(
+                "{:>18} {:>5} {:>12}",
+                r.name, r.relations, "(row budget exceeded)"
+            );
+            continue;
+        }
+        println!(
+            "{:>18} {:>5} {:>12.1} {:>10.2} {:>12.0} {:>12.0} {:>10}",
+            r.name,
+            r.relations,
+            r.max_q_error,
+            r.median_q_error,
+            r.true_cost_before,
+            r.true_cost_after,
+            if r.replanned { "yes" } else { "-" }
+        );
+    }
+    println!(
+        "{} executed, {} skipped (row budget); {} replanned, {} improved; \
+         total true cost {:.0} -> {:.0}; worst q-error {:.1}",
+        f.executed,
+        f.skipped,
+        f.replanned,
+        f.improved,
+        f.total_cost_before,
+        f.total_cost_after,
+        f.max_q_error,
+    );
+    assert_feedback(&f);
+    println!();
+}
+
+/// The acceptance claims of the feedback experiment, shared by the printed table and the
+/// baseline snapshot: most of the corpus must actually execute within the row budget, the
+/// estimator must be measurably wrong somewhere (otherwise the loop measures nothing), and
+/// feeding the observations back must demonstrably improve at least one query's executed cost.
+fn assert_feedback(f: &FeedbackRows) {
+    assert!(
+        f.executed * 2 > f.rows.len(),
+        "most corpus queries must execute within the row budget ({} of {})",
+        f.executed,
+        f.rows.len()
+    );
+    assert!(
+        f.max_q_error > 2.0,
+        "the synthetic data must expose estimation error (worst q-error {:.2})",
+        f.max_q_error
+    );
+    assert!(
+        f.replanned >= 1,
+        "observed statistics must change at least one corpus plan"
+    );
+    assert!(
+        f.improved >= 1,
+        "re-optimizing under observed statistics must improve at least one query's \
+         executed cost"
+    );
+}
+
+/// One corpus query's trip around the feedback loop.
+struct FeedbackRow {
+    name: String,
+    relations: usize,
+    /// Worst per-join q-error of the original plan's estimates.
+    max_q_error: f64,
+    /// Median per-join q-error of the original plan's estimates.
+    median_q_error: f64,
+    /// Executed cost (sum of actual intermediate cardinalities) of the original plan.
+    true_cost_before: f64,
+    /// Executed cost of the plan re-optimized under the observed statistics.
+    true_cost_after: f64,
+    /// Did the re-optimization pick a different plan?
+    replanned: bool,
+    /// Did the new plan strictly beat the old one's executed cost?
+    improved: bool,
+    /// Which serving path answered the feedback re-plan (never a miss: same shape).
+    source: String,
+    /// The query exceeded the row budget and was not measured.
+    skipped: bool,
+}
+
+impl FeedbackRow {
+    fn skipped(name: &str, relations: usize) -> FeedbackRow {
+        FeedbackRow {
+            name: name.to_string(),
+            relations,
+            max_q_error: 0.0,
+            median_q_error: 0.0,
+            true_cost_before: 0.0,
+            true_cost_after: 0.0,
+            replanned: false,
+            improved: false,
+            source: String::new(),
+            skipped: true,
+        }
+    }
+}
+
+/// Aggregates of the feedback loop over the whole corpus.
+struct FeedbackRows {
+    executed: usize,
+    skipped: usize,
+    replanned: usize,
+    improved: usize,
+    /// Worst q-error across every executed query.
+    max_q_error: f64,
+    /// Median of the executed queries' median q-errors.
+    median_q_error: f64,
+    total_cost_before: f64,
+    total_cost_after: f64,
+    rows: Vec<FeedbackRow>,
+}
+
+/// Executes `plan` over `db` with full cardinality instrumentation, picking the node-set
+/// width exactly like the planner does (`None` when an intermediate result exceeds
+/// `row_limit`).
+fn execute_observed(
+    spec: &QuerySpec,
+    plan: &qo_plan::PlanNode,
+    db: &qo_exec::Database,
+    row_limit: usize,
+) -> Option<qo_exec::ObservedExecution> {
+    if spec.node_count() <= 64 {
+        let (graph, _) = spec.instantiate::<1>();
+        qo_exec::execute_plan_observed(plan, &graph, db, row_limit)
+    } else {
+        let (graph, _) = spec.instantiate::<2>();
+        qo_exec::execute_plan_observed(plan, &graph, db, row_limit)
+    }
+}
+
+fn run_feedback_rows(quick: bool) -> FeedbackRows {
+    use qo_exec::{scaled_table_sizes, Database};
+    use qo_service::{PlanSource, Service};
+
+    let queries = qo_workloads::corpus::corpus();
+    let service = Service::default();
+    // Row budget per intermediate result; the re-executed plan gets head-room because a
+    // re-optimized ordering is under no obligation to shrink every intermediate.
+    let row_limit: usize = if quick { 50_000 } else { 200_000 };
+
+    let mut rows = Vec::new();
+    for q in &queries {
+        let n = q.spec.node_count();
+        let adaptive = q.adaptive_options();
+        let cold = service
+            .plan_spec_with(&q.spec, adaptive)
+            .expect("corpus query plannable");
+
+        // Deterministic synthetic data per query: the fingerprint (shape and statistics
+        // digests) seeds the generator, so every rerun executes identical tables. Sizes are
+        // log2-scaled from the declared cardinalities (nested-loop execution cannot absorb
+        // the corpus' multi-million-row tables), capped lower for wide queries and in quick
+        // mode; `rows=` overrides from the `.jg` source win over the scaling.
+        let seed = cold.fingerprint.shape ^ cold.fingerprint.stats;
+        let cap = if quick || n > 12 { 8 } else { 16 };
+        let cards: Vec<f64> = (0..n).map(|r| q.spec.cardinality(r)).collect();
+        let sizes = scaled_table_sizes(&cards, &q.row_overrides, cap);
+        let db = Database::generate(&sizes, seed);
+
+        let Some(obs) = execute_observed(&q.spec, &cold.plan, &db, row_limit) else {
+            rows.push(FeedbackRow::skipped(&q.name, n));
+            continue;
+        };
+
+        // Close the loop: observed base cardinalities + inverted per-edge selectivities,
+        // re-planned through the service. The overlay changes statistics but never shape,
+        // so the drift path must answer — an outright miss would mean the feedback spec
+        // landed in a different cache bucket.
+        let observed = obs.observed_stats(&db);
+        let fed = service
+            .plan_observed_with(&q.spec, &observed, adaptive)
+            .expect("observed corpus query plannable");
+        assert_ne!(
+            fed.source,
+            PlanSource::Miss,
+            "{}: the observed spec has the same shape and must hit the drift path",
+            q.name
+        );
+        let replanned = fed.plan != cold.plan;
+        let Some(after) = execute_observed(&q.spec, &fed.plan, &db, row_limit.saturating_mul(4))
+        else {
+            rows.push(FeedbackRow::skipped(&q.name, n));
+            continue;
+        };
+
+        let true_cost_before = obs.true_cost();
+        let true_cost_after = after.true_cost();
+        rows.push(FeedbackRow {
+            name: q.name.clone(),
+            relations: n,
+            max_q_error: obs.max_q_error(),
+            median_q_error: obs.median_q_error(),
+            true_cost_before,
+            true_cost_after,
+            replanned,
+            improved: true_cost_after < true_cost_before,
+            source: fed.source.to_string(),
+            skipped: false,
+        });
+    }
+
+    let executed: Vec<&FeedbackRow> = rows.iter().filter(|r| !r.skipped).collect();
+    let mut medians: Vec<f64> = executed.iter().map(|r| r.median_q_error).collect();
+    medians.sort_by(f64::total_cmp);
+    let median_q_error = if medians.is_empty() {
+        1.0
+    } else if medians.len() % 2 == 1 {
+        medians[medians.len() / 2]
+    } else {
+        (medians[medians.len() / 2 - 1] + medians[medians.len() / 2]) / 2.0
+    };
+    FeedbackRows {
+        executed: executed.len(),
+        skipped: rows.len() - executed.len(),
+        replanned: executed.iter().filter(|r| r.replanned).count(),
+        improved: executed.iter().filter(|r| r.improved).count(),
+        max_q_error: executed.iter().map(|r| r.max_q_error).fold(1.0, f64::max),
+        median_q_error,
+        total_cost_before: executed.iter().map(|r| r.true_cost_before).sum(),
+        total_cost_after: executed.iter().map(|r| r.true_cost_after).sum(),
+        rows,
+    }
 }
 
 /// Refuses to overwrite a baseline snapshot whose `schema_version` differs from
@@ -1262,6 +1510,63 @@ fn write_baseline(path: &str) {
         s.batch_matches,
     );
 
+    // Feedback trajectory: the full loop — execute, observe, re-optimize — over the corpus,
+    // with per-query q-errors and executed costs.
+    let f = run_feedback_rows(false);
+    println!(
+        "  feedback: {} executed, {} skipped; {} replanned, {} improved; \
+         true cost {:.0} -> {:.0}; worst q-error {:.1}",
+        f.executed,
+        f.skipped,
+        f.replanned,
+        f.improved,
+        f.total_cost_before,
+        f.total_cost_after,
+        f.max_q_error
+    );
+    assert_feedback(&f);
+    let feedback_per_query: Vec<String> = f
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "      {{\"name\": \"{}\", \"relations\": {}, \"skipped\": {}, ",
+                    "\"max_q_error\": {:.4}, \"median_q_error\": {:.4}, ",
+                    "\"true_cost_before\": {:.1}, \"true_cost_after\": {:.1}, ",
+                    "\"replanned\": {}, \"improved\": {}, \"source\": \"{}\"}}"
+                ),
+                r.name,
+                r.relations,
+                r.skipped,
+                r.max_q_error,
+                r.median_q_error,
+                r.true_cost_before,
+                r.true_cost_after,
+                r.replanned,
+                r.improved,
+                r.source
+            )
+        })
+        .collect();
+    let feedback_json = format!(
+        concat!(
+            "    \"executed\": {}, \"skipped\": {}, \"replanned\": {}, \"improved\": {}, ",
+            "\"max_q_error\": {:.4}, \"median_q_error\": {:.4}, ",
+            "\"true_cost_before\": {:.1}, \"true_cost_after\": {:.1},\n",
+            "    \"per_query\": [\n{}\n    ]"
+        ),
+        f.executed,
+        f.skipped,
+        f.replanned,
+        f.improved,
+        f.max_q_error,
+        f.median_q_error,
+        f.total_cost_before,
+        f.total_cost_after,
+        feedback_per_query.join(",\n")
+    );
+
     let json = format!(
         "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"generated_by\": \"reproduce --baseline\",\n  \
          \"seed\": {SEED},\n  \"workloads\": [\n{}\n  ],\n  \"adaptive_tiers\": [\n{}\n  ],\n  \
@@ -1269,6 +1574,7 @@ fn write_baseline(path: &str) {
          \"parallel\": {{\n    \"host_parallelism\": {cores},\n    \"workloads\": [\n{}\n    ],\n    \
          \"corpus_sweep\": [\n{}\n    ]\n  }},\n  \
          \"pruning\": {{\n    \"workloads\": [\n{}\n    ],\n{}\n  }},\n  \
+         \"feedback\": {{\n{}\n  }},\n  \
          \"dp_table_comparison\": [\n{}\n  ]\n}}\n",
         workload_rows.join(",\n"),
         adaptive_json_rows.join(",\n"),
@@ -1278,6 +1584,7 @@ fn write_baseline(path: &str) {
         parallel_corpus_json.join(",\n"),
         pruning_json_rows.join(",\n"),
         pruning_corpus_json,
+        feedback_json,
         table_rows.join(",\n"),
     );
     std::fs::write(path, json).expect("baseline file is writable");
@@ -1454,4 +1761,44 @@ fn ccp_counts() {
         );
     }
     println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The schema guard's user-facing contract: a snapshot of a different schema generation
+    /// is refused with a message naming both versions and the `--baseline-force` escape
+    /// hatch, while a matching or absent snapshot passes.
+    #[test]
+    fn schema_guard_names_the_force_flag() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("reproduce_schema_guard_test.json");
+        let path = path.to_str().expect("temp path is valid UTF-8");
+
+        std::fs::write(
+            path,
+            "{\n  \"schema_version\": 1,\n  \"workloads\": []\n}\n",
+        )
+        .unwrap();
+        let err = check_baseline_schema(path, false).unwrap_err();
+        assert!(err.contains("--baseline-force"), "{err}");
+        assert!(err.contains("schema_version 1"), "{err}");
+        assert!(err.contains(&SCHEMA_VERSION.to_string()), "{err}");
+        assert!(check_baseline_schema(path, true).is_ok());
+
+        std::fs::write(path, "not json at all").unwrap();
+        let err = check_baseline_schema(path, false).unwrap_err();
+        assert!(err.contains("--baseline-force"), "{err}");
+
+        std::fs::write(
+            path,
+            format!("{{\n  \"schema_version\": {SCHEMA_VERSION}\n}}\n"),
+        )
+        .unwrap();
+        assert!(check_baseline_schema(path, false).is_ok());
+
+        std::fs::remove_file(path).unwrap();
+        assert!(check_baseline_schema(path, false).is_ok());
+    }
 }

@@ -176,6 +176,11 @@ impl<const W: usize> Catalog<W> {
         self.edge_annotations.get(edge).copied().unwrap_or_default()
     }
 
+    /// Number of edges carrying an explicit annotation (edges beyond it read as the default).
+    pub fn annotated_edge_count(&self) -> usize {
+        self.edge_annotations.len()
+    }
+
     /// Product of the selectivities of the given edges.
     pub fn selectivity_product(&self, edges: &[EdgeId]) -> f64 {
         edges

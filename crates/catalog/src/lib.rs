@@ -7,6 +7,9 @@
 //!
 //! * [`Catalog`]: per-relation cardinalities and lateral references, per-hyperedge
 //!   annotations (selectivity, originating operator, TES),
+//! * [`ObservedStats`]: a sparse overlay of statistics observed from actual plan execution —
+//!   applying it yields a catalog with a bumped [`StatsEpoch`], the drift signal the plan-cache
+//!   layer re-optimizes under (the feedback loop),
 //! * [`CardinalityEstimator`]: output-cardinality formulas per operator,
 //! * [`CostModel`] with two implementations — [`CoutCost`] (the classic C_out used throughout
 //!   the join-ordering literature) and [`MixedCost`] (a simple physical model distinguishing
@@ -28,6 +31,7 @@
 mod cardinality;
 mod catalog;
 mod cost;
+mod observed;
 pub mod parallel;
 pub mod planner;
 pub mod table;
@@ -35,6 +39,7 @@ pub mod table;
 pub use cardinality::CardinalityEstimator;
 pub use catalog::{Catalog, CatalogBuilder, EdgeAnnotation, StatsEpoch};
 pub use cost::{CostModel, CoutCost, MixedCost, SubPlanStats};
+pub use observed::ObservedStats;
 pub use parallel::{shard_of, NodeSetSet, ShardReader, ShardedDpTable, SharedBudget, SHARD_COUNT};
 pub use planner::{
     recost_table, BudgetedHandler, CcpHandler, CostBasedHandler, CountingHandler, EmitSignal,

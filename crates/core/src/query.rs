@@ -139,6 +139,31 @@ impl QuerySpec {
         self.edges.iter()
     }
 
+    /// Overlays execution-observed statistics onto the spec: observed base cardinalities and
+    /// per-edge selectivities replace their estimates, everything structural (edges, operators,
+    /// lateral references, relation ids) is unchanged. The result is "the same query under
+    /// drifted statistics" — its shape fingerprint matches the original while its stats epoch
+    /// moves with every observation, so serving it through a plan cache walks the re-cost /
+    /// re-optimize drift path rather than a cold miss (the feedback loop's planning half).
+    pub fn apply_observed(&self, observed: &qo_catalog::ObservedStats) -> QuerySpec {
+        let mut b = QuerySpec::builder(self.node_count);
+        for r in 0..self.node_count {
+            b.set_cardinality(r, observed.cardinality(r).unwrap_or(self.cardinalities[r]));
+            if !self.lateral_refs[r].is_empty() {
+                b.set_lateral_refs(r, &self.lateral_refs[r]);
+            }
+        }
+        for (id, e) in self.edges.iter().enumerate() {
+            let selectivity = observed.selectivity(id).unwrap_or(e.selectivity);
+            if e.flex.is_empty() {
+                b.add_edge(&e.left, &e.right, selectivity, e.op);
+            } else {
+                b.add_generalized_edge(&e.left, &e.right, &e.flex, selectivity);
+            }
+        }
+        b.build()
+    }
+
     /// Materializes the spec at a concrete width.
     ///
     /// # Panics
@@ -351,6 +376,41 @@ mod tests {
             let result = optimize_spec(&chain_spec(n)).expect("boundary chain plans");
             assert_eq!(result.plan.join_count(), n - 1);
         }
+    }
+
+    #[test]
+    fn apply_observed_moves_stats_but_not_shape() {
+        let mut b = QuerySpec::builder(3);
+        b.set_cardinality(0, 1_000_000.0);
+        b.set_cardinality(1, 100.0);
+        b.set_cardinality(2, 5.0);
+        b.set_lateral_refs(2, &[0]);
+        b.add_simple_edge(0, 1, 0.001);
+        b.add_edge(&[0], &[2], 1.0, JoinOp::LeftOuter);
+        let spec = b.build();
+
+        let mut obs = qo_catalog::ObservedStats::new();
+        obs.observe_cardinality(0, 16.0);
+        obs.observe_selectivity(0, 0.14);
+        let fed = spec.apply_observed(&obs);
+
+        assert_eq!(fed.cardinality(0), 16.0);
+        assert_eq!(fed.cardinality(1), 100.0, "unobserved keeps its estimate");
+        let sels: Vec<f64> = fed.edges().map(|e| e.selectivity()).collect();
+        assert_eq!(sels, vec![0.14, 1.0]);
+        assert_eq!(fed.lateral_refs(2), &[0]);
+        assert_eq!(
+            fed.edges().map(|e| e.op()).collect::<Vec<_>>(),
+            vec![JoinOp::Inner, JoinOp::LeftOuter]
+        );
+        // Same shape, different stats epoch: the plan-cache drift signal.
+        assert!(crate::same_shape(&spec, &fed));
+        assert_ne!(
+            fed.instantiate_catalog::<1>().stats_epoch(),
+            spec.instantiate_catalog::<1>().stats_epoch()
+        );
+        // An empty overlay is the identity.
+        assert_eq!(spec.apply_observed(&qo_catalog::ObservedStats::new()), spec);
     }
 
     #[test]

@@ -35,6 +35,12 @@ impl Row {
         self.values.get(relation).copied().flatten()
     }
 
+    /// The nestjoin group counts carried by this row, as `(group relation, match count)`
+    /// pairs in the order the nest operators appended them.
+    pub fn groups(&self) -> &[(NodeId, i64)] {
+        &self.groups
+    }
+
     /// Merges two rows with disjoint relation coverage.
     pub fn merge(&self, other: &Row) -> Row {
         let mut values = self.values.clone();
@@ -51,7 +57,7 @@ impl Row {
 
     /// NULL-pads the row so that the relations in `relations` are present (as NULL) — used by
     /// outer joins.
-    pub fn pad(&self, _relations: NodeSet) -> Row {
+    pub fn pad<const W: usize>(&self, _relations: NodeSet<W>) -> Row {
         // Slots already exist (fixed width); padding is a no-op kept for readability at call
         // sites.
         self.clone()

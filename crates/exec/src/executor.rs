@@ -11,8 +11,8 @@ use qo_plan::{JoinOp, PlanNode};
 /// The predicate of edge `(u, v, w)` holds iff the key sums of `u` and of `v ∪ w` are congruent
 /// modulo the key domain; for a simple edge this is plain key equality. Rows with a NULL key in
 /// any referenced relation fail the predicate (SQL three-valued logic collapsed to "false").
-fn eval_edge(edge: &Hyperedge, row: &Row) -> bool {
-    let side_sum = |s: NodeSet| -> Option<i64> {
+fn eval_edge<const W: usize>(edge: &Hyperedge<W>, row: &Row) -> bool {
+    let side_sum = |s: NodeSet<W>| -> Option<i64> {
         let mut sum = 0;
         for r in s {
             sum += row.key(r)?;
@@ -25,12 +25,19 @@ fn eval_edge(edge: &Hyperedge, row: &Row) -> bool {
     }
 }
 
-fn eval_all(graph: &Hypergraph, predicates: &[EdgeId], row: &Row) -> bool {
+fn eval_all<const W: usize>(graph: &Hypergraph<W>, predicates: &[EdgeId], row: &Row) -> bool {
     predicates.iter().all(|&e| eval_edge(graph.edge(e), row))
 }
 
 /// Executes a plan over the database, returning the multiset of result rows.
-pub fn execute_plan(plan: &PlanNode, graph: &Hypergraph, db: &Database) -> Vec<Row> {
+///
+/// Generic over the node-set width `W` (like the planner itself), so plans over more than 64
+/// relations — the two-word tier — execute through exactly the same code path.
+pub fn execute_plan<const W: usize>(
+    plan: &PlanNode,
+    graph: &Hypergraph<W>,
+    db: &Database,
+) -> Vec<Row> {
     match plan {
         PlanNode::Scan { relation, .. } => db.scan(*relation),
         PlanNode::Join {
@@ -42,18 +49,25 @@ pub fn execute_plan(plan: &PlanNode, graph: &Hypergraph, db: &Database) -> Vec<R
         } => {
             let lrows = execute_plan(left, graph, db);
             let rrows = execute_plan(right, graph, db);
-            join(graph, *op, &lrows, &rrows, predicates, right.relations())
+            join(
+                graph,
+                *op,
+                &lrows,
+                &rrows,
+                predicates,
+                right.relations_wide::<W>(),
+            )
         }
     }
 }
 
-fn join(
-    graph: &Hypergraph,
+pub(crate) fn join<const W: usize>(
+    graph: &Hypergraph<W>,
     op: JoinOp,
     lrows: &[Row],
     rrows: &[Row],
     predicates: &[EdgeId],
-    right_relations: NodeSet,
+    right_relations: NodeSet<W>,
 ) -> Vec<Row> {
     let mut out = Vec::new();
     match op.regular_counterpart() {
@@ -269,7 +283,7 @@ mod tests {
 
     #[test]
     fn hyperedge_predicates_use_modular_sums() {
-        let mut b = Hypergraph::builder(3);
+        let mut b = Hypergraph::<1>::builder(3);
         b.add_simple_edge(0, 1);
         b.add_hyperedge(NodeSet::from_iter([0, 1]), NodeSet::from_iter([2]));
         let g = b.build();

@@ -1,4 +1,5 @@
-//! A small in-memory execution engine used to *validate* reordered join plans.
+//! A small in-memory execution engine used to *validate* reordered join plans and to *measure*
+//! the estimator against reality.
 //!
 //! The DPhyp paper measures optimization time only; correctness of the reorderings rests on the
 //! conflict rules of Sec. 5. This crate closes the loop for the reproduction: plans produced by
@@ -6,6 +7,12 @@
 //! of the original operator tree. Inner-join-only queries must give identical results for every
 //! valid ordering; queries with non-inner operators must give the same result as the initial
 //! operator tree.
+//!
+//! On top of plain execution, the [`observe`-layer](execute_plan_observed) records the *actual*
+//! cardinality of every intermediate result, computes per-join [`q_error`]s against the plan's
+//! estimates, and derives an [`ObservedStats`] overlay (true base cardinalities, inverted
+//! per-edge selectivities) the planner can be re-run under — the measurement half of the
+//! cardinality-feedback loop (`qo-service::Service::plan_observed` is the planning half).
 //!
 //! The data model is deliberately tiny: every relation has a single integer join-key column, a
 //! row of an intermediate result is a vector of `Option<i64>` (one slot per relation, `None`
@@ -23,7 +30,7 @@
 //! use qo_hypergraph::Hypergraph;
 //!
 //! // Plan a 3-relation chain, then execute the optimized plan over synthetic data.
-//! let mut b = Hypergraph::builder(3);
+//! let mut b = Hypergraph::<1>::builder(3);
 //! b.add_simple_edge(0, 1);
 //! b.add_simple_edge(1, 2);
 //! let graph = b.build();
@@ -39,8 +46,14 @@
 
 mod database;
 mod executor;
+mod observe;
 
 pub use database::{Database, Row};
 pub use executor::{execute_optree, execute_plan, results_equal};
+pub use observe::{
+    execute_plan_observed, q_error, scaled_table_size, scaled_table_sizes, JoinObservation,
+    ObservedExecution,
+};
 
 pub use qo_bitset::{NodeId, NodeSet};
+pub use qo_catalog::ObservedStats;

@@ -1,0 +1,119 @@
+//! Hand-computed results for the executor's non-inner operators over a fixed two-relation
+//! database, pinning the exact semantics — NULL padding, right-side preservation, group
+//! counts — that the plan-equivalence and feedback tests rely on.
+//!
+//! Data: `R0 = {1, 2, 3}`, `R1 = {1, 1, 4}`, joined on key equality (simple edge 0 –– 1).
+//! Key 1 matches twice; keys 2 and 3 are left-dangling; key 4 is right-dangling.
+
+use qo_exec::{execute_plan, Database, Row};
+use qo_hypergraph::Hypergraph;
+use qo_plan::{JoinOp, PlanNode};
+
+fn setup() -> (Hypergraph, Database) {
+    let mut b = Hypergraph::builder(2);
+    b.add_simple_edge(0, 1);
+    (b.build(), Database::new(vec![vec![1, 2, 3], vec![1, 1, 4]]))
+}
+
+fn run(op: JoinOp) -> Vec<Row> {
+    let (graph, db) = setup();
+    let plan = PlanNode::join(
+        op,
+        PlanNode::scan(0, 3.0),
+        PlanNode::scan(1, 3.0),
+        vec![0],
+        0.0,
+        0.0,
+    );
+    execute_plan(&plan, &graph, &db)
+}
+
+/// The multiset of `(left key, right key)` pairs of a result.
+fn pairs(rows: &[Row]) -> Vec<(Option<i64>, Option<i64>)> {
+    let mut v: Vec<_> = rows.iter().map(|r| (r.key(0), r.key(1))).collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn left_outer_pads_dangling_left_rows() {
+    let rows = run(JoinOp::LeftOuter);
+    assert_eq!(
+        pairs(&rows),
+        vec![
+            (Some(1), Some(1)), // key 1 matches both R1 rows with key 1
+            (Some(1), Some(1)),
+            (Some(2), None), // keys 2 and 3 survive NULL-padded
+            (Some(3), None),
+        ]
+    );
+}
+
+#[test]
+fn full_outer_additionally_preserves_dangling_right_rows() {
+    let rows = run(JoinOp::FullOuter);
+    assert_eq!(
+        pairs(&rows),
+        vec![
+            (None, Some(4)), // the unmatched right row survives too
+            (Some(1), Some(1)),
+            (Some(1), Some(1)),
+            (Some(2), None),
+            (Some(3), None),
+        ]
+    );
+}
+
+#[test]
+fn left_semi_keeps_matching_left_rows_exactly_once() {
+    let rows = run(JoinOp::LeftSemi);
+    // Key 1 matches twice on the right but is emitted once, without right-side columns.
+    assert_eq!(pairs(&rows), vec![(Some(1), None)]);
+}
+
+#[test]
+fn left_anti_keeps_exactly_the_non_matching_left_rows() {
+    let rows = run(JoinOp::LeftAnti);
+    assert_eq!(pairs(&rows), vec![(Some(2), None), (Some(3), None)]);
+}
+
+#[test]
+fn left_nest_counts_each_left_rows_group() {
+    let rows = run(JoinOp::LeftNest);
+    // Every left row survives, annotated with (group relation, match count).
+    assert_eq!(
+        pairs(&rows),
+        vec![(Some(1), None), (Some(2), None), (Some(3), None)]
+    );
+    type KeyedGroups = Vec<(Option<i64>, Vec<(usize, i64)>)>;
+    let mut groups: KeyedGroups = rows
+        .iter()
+        .map(|r| (r.key(0), r.groups().to_vec()))
+        .collect();
+    groups.sort_unstable();
+    assert_eq!(
+        groups,
+        vec![
+            (Some(1), vec![(1, 2)]), // two matches for key 1
+            (Some(2), vec![(1, 0)]), // empty groups are kept, count 0
+            (Some(3), vec![(1, 0)]),
+        ]
+    );
+}
+
+#[test]
+fn dependent_operators_execute_as_their_regular_counterparts() {
+    for (dep, regular) in [
+        (JoinOp::DepJoin, JoinOp::Inner),
+        (JoinOp::DepLeftOuter, JoinOp::LeftOuter),
+        (JoinOp::DepLeftSemi, JoinOp::LeftSemi),
+        (JoinOp::DepLeftAnti, JoinOp::LeftAnti),
+        (JoinOp::DepLeftNest, JoinOp::LeftNest),
+    ] {
+        assert_eq!(
+            pairs(&run(dep)),
+            pairs(&run(regular)),
+            "{dep:?} must execute like {regular:?}"
+        );
+    }
+}

@@ -32,6 +32,10 @@ pub struct RelationDecl {
     /// `cardinality=<number>` — required by the lowering pass, optional at parse time so the
     /// omission can be reported as a *spanned* validation error.
     pub cardinality: Option<NumberLit>,
+    /// `rows=<integer>` — optional override of the synthetic table size the feedback
+    /// experiments generate for this relation (the planner never reads it; `cardinality` stays
+    /// the estimator's input).
+    pub rows: Option<NumberLit>,
     /// `lateral=(r1, r2, …)` — relations this one references freely (table functions,
     /// dependent subqueries).
     pub lateral: Vec<Name>,

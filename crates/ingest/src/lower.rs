@@ -70,6 +70,10 @@ pub struct IngestQuery {
     pub spec: QuerySpec,
     /// Planner options declared in the query block.
     pub options: QueryOptions,
+    /// Per-relation `rows=` overrides of the synthetic table size the feedback experiments
+    /// generate, indexed by relation id (`None` = derive from `cardinality`). Purely
+    /// execution-side: the planner spec above never sees these.
+    pub row_overrides: Vec<Option<usize>>,
 }
 
 impl IngestQuery {
@@ -212,6 +216,11 @@ pub fn lower_query(q: &QueryDecl) -> Result<IngestQuery, JgError> {
         relation_names: q.relations.iter().map(|r| r.name.text.clone()).collect(),
         spec: b.build(),
         options: lower_options(q)?,
+        row_overrides: q
+            .relations
+            .iter()
+            .map(lower_rows)
+            .collect::<Result<_, _>>()?,
     })
 }
 
@@ -235,6 +244,17 @@ fn lower_cardinality(r: &RelationDecl) -> Result<f64, JgError> {
         ));
     }
     Ok(lit.value)
+}
+
+fn lower_rows(r: &RelationDecl) -> Result<Option<usize>, JgError> {
+    let Some(lit) = r.rows else { return Ok(None) };
+    if !(lit.value.is_finite() && lit.value.fract() == 0.0 && lit.value >= 1.0) {
+        return Err(JgError::new(
+            format!("rows must be a positive integer, got `{}`", lit.value),
+            lit.span,
+        ));
+    }
+    Ok(Some(lit.value as usize))
 }
 
 fn lower_selectivity(j: &JoinDecl) -> Result<f64, JgError> {
@@ -599,6 +619,25 @@ mod tests {
         // Unset leaves the driver default (unpruned) in place.
         let ok = &q("relation a cardinality=1").unwrap()[0];
         assert!(!ok.adaptive_options().pruning);
+    }
+
+    #[test]
+    fn rows_attribute_lowers_and_validates() {
+        let iq = &q("
+            relation a cardinality=1000000 rows=32
+            relation b cardinality=50
+            join a -- b selectivity=0.01
+        ")
+        .unwrap()[0];
+        assert_eq!(iq.row_overrides, vec![Some(32), None]);
+        // The planner spec is untouched by the override.
+        assert_eq!(iq.spec.cardinality(0), 1_000_000.0);
+        let err = q("relation a cardinality=1 rows=0").unwrap_err();
+        assert!(err.message.contains("positive integer"));
+        let err = q("relation a cardinality=1 rows=2.5").unwrap_err();
+        assert!(err.message.contains("positive integer"));
+        let err = q("relation a cardinality=1 rows=4 rows=5").unwrap_err();
+        assert!(err.message.contains("duplicate `rows`"));
     }
 
     #[test]

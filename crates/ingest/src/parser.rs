@@ -8,6 +8,7 @@
 //! stmt      := relation | join | option
 //! relation  := "relation" IDENT rel-attr*
 //! rel-attr  := "cardinality" "=" NUMBER
+//!            | "rows" "=" NUMBER
 //!            | "lateral" "=" "(" IDENT ("," IDENT)* ")"
 //! join      := "join" side "--" side join-attr*
 //! side      := IDENT | "{" IDENT ("," IDENT)* "}"
@@ -168,6 +169,7 @@ impl<'s> Parser<'s> {
         let mut decl = RelationDecl {
             name,
             cardinality: None,
+            rows: None,
             lateral: Vec::new(),
         };
         loop {
@@ -178,6 +180,13 @@ impl<'s> Parser<'s> {
                 }
                 self.expect(TokenKind::Equals)?;
                 decl.cardinality = Some(self.number()?);
+            } else if self.at_keyword("rows") {
+                let kw = self.bump();
+                if decl.rows.is_some() {
+                    return Err(JgError::new("duplicate `rows` attribute", kw.span));
+                }
+                self.expect(TokenKind::Equals)?;
+                decl.rows = Some(self.number()?);
             } else if self.at_keyword("lateral") {
                 let kw = self.bump();
                 if !decl.lateral.is_empty() {

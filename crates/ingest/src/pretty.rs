@@ -23,6 +23,9 @@ pub fn to_jg(q: &IngestQuery) -> String {
             q.spec.cardinality(id)
         )
         .unwrap();
+        if let Some(rows) = q.row_overrides[id] {
+            write!(out, " rows={rows}").unwrap();
+        }
         let lateral = q.spec.lateral_refs(id);
         if !lateral.is_empty() {
             let refs: Vec<&str> = lateral.iter().map(|&r| name_of(r)).collect();
@@ -105,7 +108,7 @@ mod tests {
     #[test]
     fn round_trips_a_query_with_every_feature() {
         let src = "query all_features {
-  relation fact cardinality=250000.0
+  relation fact cardinality=250000.0 rows=64
   relation dim cardinality=100.0
   relation tf cardinality=5.0 lateral=(fact)
   relation extra cardinality=0.5

@@ -84,11 +84,16 @@ fn random_query(seed: u64) -> IngestQuery {
         },
     };
 
+    let row_overrides = (0..n)
+        .map(|_| (rng.random_range(0u32..4) == 0).then(|| rng.random_range(1usize..10_000)))
+        .collect();
+
     IngestQuery {
         name: format!("prop_{seed}"),
         relation_names,
         spec: b.build(),
         options,
+        row_overrides,
     }
 }
 

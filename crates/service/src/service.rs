@@ -4,7 +4,7 @@ use crate::cache::{CacheOptions, CacheStats, Entry, Lookup, PlanCache};
 use crate::fingerprint::{options_key, Fingerprint};
 use dphyp::{
     canonicalize, recost_spec, AdaptiveOptimizer, AdaptiveOptions, CachedTable, CanonicalQuery,
-    OptimizeError, PlanTier, QuerySpec,
+    ObservedStats, OptimizeError, PlanTier, QuerySpec,
 };
 use qo_ingest::{parse_queries, IngestQuery, JgError};
 use qo_plan::PlanNode;
@@ -316,6 +316,33 @@ impl Service {
         adaptive: AdaptiveOptions,
     ) -> Result<ServedPlan, OptimizeError> {
         self.serve(&canonicalize(spec), adaptive)
+    }
+
+    /// Re-plans a spec under statistics observed from executing its previous plan — the
+    /// feedback half of the loop (`qo-exec::ObservedExecution::observed_stats` produces the
+    /// overlay).
+    ///
+    /// The observed overlay changes only statistics, never shape, so this lands on the same
+    /// cache bucket as the original query and flows through the drift path: identical stats
+    /// are a [`PlanSource::CacheHit`], drifted stats re-cost the cached join order and either
+    /// serve it ([`PlanSource::Recost`]) or re-optimize in full
+    /// ([`PlanSource::RecostFallback`]).
+    pub fn plan_observed(
+        &self,
+        spec: &QuerySpec,
+        observed: &ObservedStats,
+    ) -> Result<ServedPlan, OptimizeError> {
+        self.plan_observed_with(spec, observed, self.options.adaptive)
+    }
+
+    /// [`Service::plan_observed`] under explicit adaptive options.
+    pub fn plan_observed_with(
+        &self,
+        spec: &QuerySpec,
+        observed: &ObservedStats,
+        adaptive: AdaptiveOptions,
+    ) -> Result<ServedPlan, OptimizeError> {
+        self.plan_spec_with(&spec.apply_observed(observed), adaptive)
     }
 
     /// Serves one already-canonicalized query: fingerprint, cache lookup, then hit / re-cost /

@@ -1,0 +1,215 @@
+//! Executed equivalence over the embedded corpus: every corpus query that fits the row budget
+//! is run through the executor under several plans, and the results are compared as row
+//! multisets.
+//!
+//! * The plans of the adaptive fallback tiers (exact DP denied via a zero pair budget, and a
+//!   further degraded IDP with two-relation blocks) must compute exactly the rows of the
+//!   default plan — reordering must never change semantics, inner or not.
+//! * Where declaration order realizes every non-inner edge, the optimized plan must also match
+//!   the *unoptimized* declaration-order left-deep tree, i.e. the optimizer preserves the
+//!   semantics of the query as written, not merely self-consistency.
+//! * Queries small enough for both node-set widths must produce identical rows and true cost
+//!   through `W = 1` and `W = 2` — width is a compilation detail, not a semantic knob.
+
+use dphyp::{AdaptiveOptimizer, AdaptiveOptions, JoinOp, PlanNode, QuerySpec};
+use qo_exec::{execute_plan_observed, results_equal, scaled_table_sizes, Database, Row};
+use qo_workloads::corpus::corpus;
+
+/// Row budget for the reference execution; tier plans get head-room (a different bushy shape
+/// needn't shrink every intermediate) and the unoptimized initial tree gets even more.
+const ROW_LIMIT: usize = 20_000;
+
+/// Executes `plan` over `db`, dispatching on the spec's node-set width like the planner does.
+/// `None` when some intermediate exceeds `limit`.
+fn execute(spec: &QuerySpec, plan: &PlanNode, db: &Database, limit: usize) -> Option<Vec<Row>> {
+    if spec.node_count() <= 64 {
+        let (graph, _) = spec.instantiate::<1>();
+        execute_plan_observed(plan, &graph, db, limit).map(|o| o.rows)
+    } else {
+        let (graph, _) = spec.instantiate::<2>();
+        execute_plan_observed(plan, &graph, db, limit).map(|o| o.rows)
+    }
+}
+
+/// Deterministic synthetic tables for one corpus query: cardinalities log-scaled down to a few
+/// rows (honoring `rows=` overrides), seeded by the query size so reruns are bit-identical.
+fn database_for(spec: &QuerySpec, overrides: &[Option<usize>]) -> Database {
+    let n = spec.node_count();
+    let cap = if n <= 10 { 5 } else { 3 };
+    let cards: Vec<f64> = (0..n).map(|r| spec.cardinality(r)).collect();
+    Database::generate(
+        &scaled_table_sizes(&cards, overrides, cap),
+        0xFEED ^ n as u64,
+    )
+}
+
+/// The declaration-order left-deep tree: scan relation 0, then join in relation `k` at step
+/// `k`, applying every edge whose relations are all present once `k` arrives.
+///
+/// Returns `None` when declaration order cannot realize the query's non-inner edges — a
+/// non-inner edge is only realizable if its inner side is exactly the arriving relation (the
+/// outer side then already sits in the accumulated left input), and at most one non-inner edge
+/// may complete per step. Inner edges carry no orientation, so they are always fine.
+fn initial_plan(spec: &QuerySpec) -> Option<PlanNode> {
+    let edges: Vec<_> = spec.edges().collect();
+    let mut plan = PlanNode::scan(0, spec.cardinality(0));
+    for k in 1..spec.node_count() {
+        let completed: Vec<usize> = edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                let max = e
+                    .left()
+                    .iter()
+                    .chain(e.right())
+                    .chain(e.flex())
+                    .copied()
+                    .max()
+                    .expect("corpus edges are non-empty");
+                max == k
+            })
+            .map(|(id, _)| id)
+            .collect();
+        let mut op = JoinOp::Inner;
+        for &id in &completed {
+            let e = edges[id];
+            if e.op().is_inner() {
+                continue;
+            }
+            if !op.is_inner() || e.right() != [k] || !e.flex().is_empty() {
+                return None;
+            }
+            op = e.op();
+        }
+        plan = PlanNode::join(
+            op,
+            plan,
+            PlanNode::scan(k, spec.cardinality(k)),
+            completed,
+            0.0,
+            0.0,
+        );
+    }
+    Some(plan)
+}
+
+#[test]
+fn fallback_tier_plans_compute_the_reference_result() {
+    let queries = corpus();
+    let total = queries.len();
+    let mut executed = 0usize;
+    let mut skipped = Vec::new();
+    for q in &queries {
+        let db = database_for(&q.spec, &q.row_overrides);
+        let reference = q.plan().expect("corpus query plans");
+        let Some(expected) = execute(&q.spec, &reference.plan, &db, ROW_LIMIT) else {
+            skipped.push(q.name.clone());
+            continue;
+        };
+        executed += 1;
+
+        for (label, opts) in [
+            (
+                "idp",
+                AdaptiveOptions {
+                    ccp_budget: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "idp-2",
+                AdaptiveOptions {
+                    ccp_budget: 0,
+                    idp_block_size: 2,
+                    ..Default::default()
+                },
+            ),
+        ] {
+            let tier = AdaptiveOptimizer::new(opts)
+                .optimize_spec(&q.spec)
+                .expect("fallback tier plans");
+            let Some(rows) = execute(&q.spec, &tier.plan, &db, ROW_LIMIT * 4) else {
+                continue;
+            };
+            assert!(
+                results_equal(&expected, &rows),
+                "{}: the {} tier changed the result ({} rows vs {})",
+                q.name,
+                label,
+                expected.len(),
+                rows.len()
+            );
+        }
+    }
+    // The budget must not silently skip the corpus: most queries execute end to end.
+    assert!(
+        executed * 2 > total,
+        "only {executed}/{total} corpus queries executed (skipped: {skipped:?})"
+    );
+}
+
+#[test]
+fn optimized_plans_match_the_declaration_order_tree() {
+    let mut compared = 0usize;
+    for q in corpus() {
+        let Some(init) = initial_plan(&q.spec) else {
+            continue;
+        };
+        let db = database_for(&q.spec, &q.row_overrides);
+        let reference = q.plan().expect("corpus query plans");
+        let Some(expected) = execute(&q.spec, &reference.plan, &db, ROW_LIMIT) else {
+            continue;
+        };
+        // The unoptimized tree may cross-join its way through a star declared fact-last, so it
+        // gets generous head-room; where even that bursts, the query is skipped.
+        let Some(rows) = execute(&q.spec, &init, &db, ROW_LIMIT * 8) else {
+            continue;
+        };
+        assert!(
+            results_equal(&expected, &rows),
+            "{}: optimized plan diverges from the declaration-order tree ({} rows vs {})",
+            q.name,
+            expected.len(),
+            rows.len()
+        );
+        compared += 1;
+    }
+    assert!(
+        compared >= 10,
+        "the declaration-order comparison covered only {compared} corpus queries"
+    );
+}
+
+#[test]
+fn node_set_width_does_not_change_results() {
+    for q in corpus() {
+        // Width dispatch is size-independent code; exercising it on the small half of the
+        // corpus keeps the debug-mode budget reasonable.
+        if q.spec.node_count() > 16 {
+            continue;
+        }
+        let db = database_for(&q.spec, &q.row_overrides);
+        let plan = q.plan().expect("corpus query plans").plan;
+        let (g1, _) = q.spec.instantiate::<1>();
+        let (g2, _) = q.spec.instantiate::<2>();
+        let narrow = execute_plan_observed(&plan, &g1, &db, ROW_LIMIT);
+        let wide = execute_plan_observed(&plan, &g2, &db, ROW_LIMIT);
+        match (narrow, wide) {
+            (Some(a), Some(b)) => {
+                assert!(
+                    results_equal(&a.rows, &b.rows),
+                    "{}: widths disagree on the result",
+                    q.name
+                );
+                assert_eq!(
+                    a.true_cost(),
+                    b.true_cost(),
+                    "{}: widths disagree on true cost",
+                    q.name
+                );
+            }
+            (None, None) => {}
+            _ => panic!("{}: widths disagree on the row budget", q.name),
+        }
+    }
+}

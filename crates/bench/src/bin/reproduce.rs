@@ -12,7 +12,7 @@
 //!   experiment, for smoke runs (CI) where wall-clock matters more than measurement depth.
 //! * `--experiment <id>` restricts the run to one experiment; ids: `e1`, `fig5a`, `fig5b`, `e4`,
 //!   `fig6a`, `fig6b`, `fig7`, `fig8a`, `fig8b`, `ccp`, `table`, `adaptive`, `ingest`,
-//!   `service`, `parallel`, `pruning`, `feedback`.
+//!   `service`, `parallel`, `pruning`, `feedback`, `obsv`.
 //! * `--baseline [path]` skips the experiment tables and instead writes a machine-readable
 //!   snapshot (`BENCH_baseline.json` by default): ccp counts and wall-clock per graph family
 //!   plus the arena-vs-HashMap DP-table comparison, so future changes have a perf trajectory.
@@ -42,7 +42,7 @@ const SEED: u64 = 2008;
 /// Schema version of `BENCH_baseline.json`. Bump whenever a section is added, removed or
 /// reshaped; `write_baseline` refuses to overwrite a file carrying a different version unless
 /// forced, and readers should reject versions they do not understand.
-const SCHEMA_VERSION: u32 = 7;
+const SCHEMA_VERSION: u32 = 8;
 
 /// Measurement budget per timed point in baseline/table modes; long enough to average out
 /// noise on fast workloads, short enough that the multi-second star-20 runs once.
@@ -159,6 +159,9 @@ fn main() {
     }
     if want("feedback") {
         feedback_experiment(quick);
+    }
+    if want("obsv") {
+        obsv_experiment(quick);
     }
 }
 
@@ -841,6 +844,184 @@ fn run_feedback_rows(quick: bool) -> FeedbackRows {
     }
 }
 
+/// O1: the observability layer measured over the corpus — per-phase wall-clock (parse, lower,
+/// canonicalize, seed-bound, enumerate, IDP, greedy, serve) harvested from an ambient
+/// [`qo_obsv::RecordingSink`], plus the two acceptance checks of the instrumentation itself:
+/// planning stays bit-identical with tracing on vs. off, and an uninstalled sink (the
+/// [`qo_obsv::NoopSink`] default) keeps `Span::enter` within noise of pre-instrumentation.
+fn obsv_experiment(quick: bool) {
+    let o = run_obsv_rows(quick);
+    println!(
+        "== O1: per-phase optimizer observability over the {}-query corpus ==",
+        o.rows.len()
+    );
+    println!(
+        "{:>18} {:>5} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9}",
+        "query", "rels", "parse", "lower", "canon", "seed", "enumerate", "total"
+    );
+    println!(
+        "{:>18} {:>5} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9}",
+        "", "", "(us)", "(us)", "(us)", "(us)", "(us)", "(us)"
+    );
+    for r in &o.rows {
+        let us = |ns: u64| ns as f64 / 1e3;
+        println!(
+            "{:>18} {:>5} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>11.1} {:>9.1}",
+            r.name,
+            r.relations,
+            us(r.parse_ns),
+            us(r.lower_ns),
+            us(r.canonicalize_ns),
+            us(r.seed_bound_ns),
+            us(r.enumerate_ns + r.idp_ns + r.greedy_ns),
+            us(r.total_ns),
+        );
+    }
+    println!(
+        "inert span probe (no sink installed): {:.2} ns/call over {} calls; \
+         tracing on vs. off: bit-identical plans on every query",
+        o.noop_span_ns, o.noop_span_calls
+    );
+    println!();
+}
+
+/// One corpus query's per-phase time breakdown, in nanoseconds, as recorded by the span
+/// layer. `parse_ns`/`lower_ns` are measured per source file and split evenly across the
+/// file's queries (the parser works file-at-a-time); the planning phases are per query.
+struct ObsvRow {
+    name: String,
+    relations: usize,
+    parse_ns: u64,
+    lower_ns: u64,
+    canonicalize_ns: u64,
+    seed_bound_ns: u64,
+    enumerate_ns: u64,
+    idp_ns: u64,
+    greedy_ns: u64,
+    serve_ns: u64,
+    /// End-to-end wall clock of the serving call (a superset of the phases).
+    total_ns: u64,
+}
+
+/// The observability experiment's measured facts, shared by the printed table and the
+/// baseline snapshot. Construction asserts the acceptance claims (bit-identity under tracing,
+/// bounded inert-span overhead), so both consumers get *checked* numbers.
+struct ObsvRows {
+    rows: Vec<ObsvRow>,
+    /// Mean cost of `Span::enter` + drop with no sink installed, nanoseconds per call.
+    noop_span_ns: f64,
+    noop_span_calls: u64,
+}
+
+/// Mean cost of an inert span (no sink installed on this thread): the bound the default
+/// `NoopSink` configuration must stay under for the hot path to count as uninstrumented.
+fn noop_span_overhead_ns(calls: u64) -> f64 {
+    assert!(
+        qo_obsv::current_sink().is_none(),
+        "the probe must run without a sink"
+    );
+    let started = std::time::Instant::now();
+    for _ in 0..calls {
+        let span = std::hint::black_box(qo_obsv::Span::enter("noop_probe"));
+        drop(span);
+    }
+    started.elapsed().as_nanos() as f64 / calls as f64
+}
+
+fn run_obsv_rows(quick: bool) -> ObsvRows {
+    use qo_ingest::parse_queries;
+    use qo_obsv::RecordingSink;
+    use qo_service::Service;
+    use std::sync::Arc;
+
+    let mut rows = Vec::new();
+    for entry in qo_workloads::corpus::CORPUS {
+        // Parse + lower the whole file under a recording sink; the file-level cost is split
+        // evenly across its queries (the parser is file-at-a-time).
+        let sink = Arc::new(RecordingSink::new());
+        let queries = qo_obsv::with_sink(sink.clone(), || parse_queries(entry.source))
+            .expect("embedded corpus file parses");
+        let trace = sink.trace();
+        let share = queries.len().max(1) as u64;
+        let (parse_ns, lower_ns) = (
+            trace.phase_ns("parse") / share,
+            trace.phase_ns("lower") / share,
+        );
+
+        for q in queries {
+            // A fresh service per query keeps every serve a cold full optimization, so the
+            // breakdown always covers canonicalize → fingerprint → enumerate (isomorphic
+            // corpus twins would otherwise warm-start and skip enumeration).
+            let service = Service::default();
+            let sink = Arc::new(RecordingSink::new());
+            let (wall, served) = qo_obsv::with_sink(sink.clone(), || {
+                time_once(|| service.plan_ingest(&q).expect("corpus query plannable"))
+            });
+            let trace = sink.trace();
+
+            // Acceptance: turning the trace option on must not change the plan, only attach
+            // the recorded trace to the result.
+            let untraced = q.plan().expect("corpus query plannable");
+            let traced = q
+                .plan_with(AdaptiveOptions {
+                    trace: true,
+                    ..AdaptiveOptions::default()
+                })
+                .expect("corpus query plannable");
+            assert_eq!(
+                traced.plan, untraced.plan,
+                "{}: tracing must not change the plan",
+                q.name
+            );
+            assert_eq!(
+                traced.cost, untraced.cost,
+                "{}: tracing must not change the cost",
+                q.name
+            );
+            assert!(
+                traced.trace.is_some() && untraced.trace.is_none(),
+                "{}: the trace rides on the traced result only",
+                q.name
+            );
+            // The served plan went through canonicalization (which may tie-break equal-cost
+            // join sides differently than the raw spec), so only its coverage is checked.
+            assert_eq!(served.plan.scan_count(), q.relation_count(), "{}", q.name);
+
+            rows.push(ObsvRow {
+                name: q.name.clone(),
+                relations: q.relation_count(),
+                parse_ns,
+                lower_ns,
+                canonicalize_ns: trace.phase_ns("canonicalize"),
+                seed_bound_ns: trace.phase_ns("seed_bound"),
+                enumerate_ns: trace.phase_ns("enumerate"),
+                idp_ns: trace.phase_ns("idp"),
+                greedy_ns: trace.phase_ns("greedy"),
+                serve_ns: trace.phase_ns("serve"),
+                total_ns: wall.as_nanos() as u64,
+            });
+        }
+    }
+
+    let noop_span_calls: u64 = if quick { 200_000 } else { 2_000_000 };
+    let noop_span_ns = noop_span_overhead_ns(noop_span_calls);
+    // "Within noise of pre-instrumentation": an inert span is one thread-local read and a
+    // `None` check — single-digit nanoseconds in practice. The bound is two orders of
+    // magnitude above that so it never flakes on a loaded CI box, yet still fails loudly if
+    // the guard ever grows a timestamp or an allocation.
+    assert!(
+        noop_span_ns < 250.0,
+        "inert spans must stay within noise of pre-instrumentation \
+         (measured {noop_span_ns:.1} ns/call)"
+    );
+
+    ObsvRows {
+        rows,
+        noop_span_ns,
+        noop_span_calls,
+    }
+}
+
 /// Refuses to overwrite a baseline snapshot whose `schema_version` differs from
 /// [`SCHEMA_VERSION`] (unless forced): sections of different schema generations must never be
 /// silently merged into one file.
@@ -923,6 +1104,13 @@ fn service_experiment() {
         "cache: {} hits, {} shape hits, {} misses, {} evictions; batch == sequential: {}",
         rows.hits, rows.shape_hits, rows.misses, rows.evictions, rows.batch_matches
     );
+    println!(
+        "serving-path latency: hit {:.1} us, re-cost {:.1} us, miss {:.1} us (count-weighted \
+         averages)",
+        rows.avg_hit_ns as f64 / 1e3,
+        rows.avg_recost_ns as f64 / 1e3,
+        rows.avg_miss_ns as f64 / 1e3
+    );
     assert!(
         rows.batch_matches,
         "the concurrent batch driver must produce the sequential plans"
@@ -946,6 +1134,10 @@ struct ServiceRows {
     misses: u64,
     evictions: u64,
     batch_matches: bool,
+    /// Count-weighted average serving latencies per outcome (the `CacheStats` accessors).
+    avg_hit_ns: u64,
+    avg_recost_ns: u64,
+    avg_miss_ns: u64,
 }
 
 fn run_service_rows() -> ServiceRows {
@@ -1065,6 +1257,9 @@ fn run_service_rows() -> ServiceRows {
         misses: stats.misses,
         evictions: stats.evictions,
         batch_matches,
+        avg_hit_ns: stats.avg_hit_ns(),
+        avg_recost_ns: stats.avg_recost_ns(),
+        avg_miss_ns: stats.avg_miss_ns(),
     }
 }
 
@@ -1494,7 +1689,8 @@ fn write_baseline(path: &str) {
             "    \"queries\": {}, \"cold_ms\": {:.4}, \"warm_ms\": {:.4}, ",
             "\"drift_ms\": {:.4}, \"warm_speedup\": {:.2}, \"recosts\": {}, ",
             "\"recost_fallbacks\": {}, \"hits\": {}, \"shape_hits\": {}, \"misses\": {}, ",
-            "\"evictions\": {}, \"batch_matches_sequential\": {}"
+            "\"evictions\": {}, \"batch_matches_sequential\": {}, ",
+            "\"avg_hit_ns\": {}, \"avg_recost_ns\": {}, \"avg_miss_ns\": {}"
         ),
         s.queries,
         s.cold_ms,
@@ -1508,6 +1704,9 @@ fn write_baseline(path: &str) {
         s.misses,
         s.evictions,
         s.batch_matches,
+        s.avg_hit_ns,
+        s.avg_recost_ns,
+        s.avg_miss_ns,
     );
 
     // Feedback trajectory: the full loop — execute, observe, re-optimize — over the corpus,
@@ -1567,6 +1766,64 @@ fn write_baseline(path: &str) {
         feedback_per_query.join(",\n")
     );
 
+    // Observability trajectory: per-phase time breakdowns for every corpus query, plus the
+    // inert-span overhead the default NoopSink configuration is held to.
+    let o = run_obsv_rows(false);
+    let phase_total = |f: fn(&ObsvRow) -> u64| o.rows.iter().map(f).sum::<u64>();
+    println!(
+        "  obsv: {} queries, inert span {:.2} ns/call, enumerate total {:.3} ms",
+        o.rows.len(),
+        o.noop_span_ns,
+        phase_total(|r| r.enumerate_ns) as f64 / 1e6
+    );
+    let obsv_per_query: Vec<String> = o
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "      {{\"name\": \"{}\", \"relations\": {}, \"parse_ns\": {}, ",
+                    "\"lower_ns\": {}, \"canonicalize_ns\": {}, \"seed_bound_ns\": {}, ",
+                    "\"enumerate_ns\": {}, \"idp_ns\": {}, \"greedy_ns\": {}, ",
+                    "\"serve_ns\": {}, \"total_ns\": {}}}"
+                ),
+                r.name,
+                r.relations,
+                r.parse_ns,
+                r.lower_ns,
+                r.canonicalize_ns,
+                r.seed_bound_ns,
+                r.enumerate_ns,
+                r.idp_ns,
+                r.greedy_ns,
+                r.serve_ns,
+                r.total_ns
+            )
+        })
+        .collect();
+    let obsv_json = format!(
+        concat!(
+            "    \"queries\": {}, \"noop_span_ns\": {:.3}, \"noop_span_calls\": {}, ",
+            "\"trace_bit_identical\": true,\n",
+            "    \"phase_totals_ns\": {{\"parse\": {}, \"lower\": {}, \"canonicalize\": {}, ",
+            "\"seed_bound\": {}, \"enumerate\": {}, \"idp\": {}, \"greedy\": {}, ",
+            "\"serve\": {}}},\n",
+            "    \"per_query\": [\n{}\n    ]"
+        ),
+        o.rows.len(),
+        o.noop_span_ns,
+        o.noop_span_calls,
+        phase_total(|r| r.parse_ns),
+        phase_total(|r| r.lower_ns),
+        phase_total(|r| r.canonicalize_ns),
+        phase_total(|r| r.seed_bound_ns),
+        phase_total(|r| r.enumerate_ns),
+        phase_total(|r| r.idp_ns),
+        phase_total(|r| r.greedy_ns),
+        phase_total(|r| r.serve_ns),
+        obsv_per_query.join(",\n")
+    );
+
     let json = format!(
         "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"generated_by\": \"reproduce --baseline\",\n  \
          \"seed\": {SEED},\n  \"workloads\": [\n{}\n  ],\n  \"adaptive_tiers\": [\n{}\n  ],\n  \
@@ -1575,6 +1832,7 @@ fn write_baseline(path: &str) {
          \"corpus_sweep\": [\n{}\n    ]\n  }},\n  \
          \"pruning\": {{\n    \"workloads\": [\n{}\n    ],\n{}\n  }},\n  \
          \"feedback\": {{\n{}\n  }},\n  \
+         \"obsv\": {{\n{}\n  }},\n  \
          \"dp_table_comparison\": [\n{}\n  ]\n}}\n",
         workload_rows.join(",\n"),
         adaptive_json_rows.join(",\n"),
@@ -1585,6 +1843,7 @@ fn write_baseline(path: &str) {
         pruning_json_rows.join(",\n"),
         pruning_corpus_json,
         feedback_json,
+        obsv_json,
         table_rows.join(",\n"),
     );
     std::fs::write(path, json).expect("baseline file is writable");

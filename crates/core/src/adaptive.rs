@@ -67,8 +67,10 @@ use qo_catalog::{
     MixedCost, PruneCounters,
 };
 use qo_hypergraph::Hypergraph;
+use qo_obsv::{RecordingSink, Span, Trace};
 use qo_plan::PlanNode;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Options of the [`AdaptiveOptimizer`].
@@ -114,6 +116,14 @@ pub struct AdaptiveOptions {
     /// ([`BudgetTelemetry::pruned_pairs`] / [`BudgetTelemetry::pruned_classes`]). Defaults to
     /// `false`.
     pub pruning: bool,
+    /// Structured tracing of this optimization. When enabled, the driver installs a
+    /// [`RecordingSink`] for the duration of the run (shadowing any ambient
+    /// [`qo_obsv::ObsvSink`] on this thread) and attaches the harvested per-phase
+    /// [`Trace`] to [`OptimizeResult::trace`]. The produced plan, cost, tier and budget
+    /// telemetry are bit-identical with tracing on or off — only wall times are observed —
+    /// and plan caches deliberately ignore this knob when keying entries. Defaults to
+    /// `false`, in which case the instrumentation points reduce to a thread-local check.
+    pub trace: bool,
 }
 
 impl Default for AdaptiveOptions {
@@ -129,6 +139,7 @@ impl Default for AdaptiveOptions {
             idp_strategy: IdpStrategy::default(),
             parallelism: None,
             pruning: false,
+            trace: false,
         }
     }
 }
@@ -177,6 +188,12 @@ pub struct BudgetTelemetry {
     pub pruned_classes: usize,
     /// How often a completed full plan tightened the upper bound below the heuristic seed.
     pub bound_updates: usize,
+    /// Wall time spent seeding the branch-and-bound upper bound (GOO plus, on 8+-relation
+    /// queries, a small-block IDP) before the exact tier started. [`Duration::ZERO`] when
+    /// pruning is off or the cost model opts out — the heuristics then never ran. Pruning
+    /// speedup claims must charge this time to the pruned configuration: the seed run is
+    /// part of its end-to-end cost.
+    pub seed_bound_time: Duration,
 }
 
 impl BudgetTelemetry {
@@ -242,6 +259,10 @@ pub struct OptimizeResult {
     /// Work distribution of the multi-threaded cost pass; `None` when the exact tier ran
     /// sequentially (the default) or did not complete.
     pub parallel: Option<ParallelTelemetry>,
+    /// Per-phase span trace of this optimization; `Some` only when
+    /// [`AdaptiveOptions::trace`] was on. Purely observational — two results that differ
+    /// only here describe bit-identical plans.
+    pub trace: Option<Trace>,
 }
 
 /// The tiered driver: budgeted exact DPhyp, then IDP-k, then GOO.
@@ -296,7 +317,28 @@ impl AdaptiveOptimizer {
         }
     }
 
+    /// Entry point of the tiered walk: handles the [`AdaptiveOptions::trace`] knob (install
+    /// a recording sink, run, attach the harvested [`Trace`]) around [`Self::drive_inner`].
     fn drive<M: CostModel<W> + Sync, const W: usize>(
+        &self,
+        graph: &Hypergraph<W>,
+        catalog: &Catalog<W>,
+        cost_model: &M,
+    ) -> Result<OptimizeResult, OptimizeError> {
+        if !self.options.trace {
+            return self.drive_inner(graph, catalog, cost_model);
+        }
+        let sink = Arc::new(RecordingSink::new());
+        let result = qo_obsv::with_sink(sink.clone(), || {
+            self.drive_inner(graph, catalog, cost_model)
+        });
+        result.map(|mut r| {
+            r.trace = Some(sink.trace());
+            r
+        })
+    }
+
+    fn drive_inner<M: CostModel<W> + Sync, const W: usize>(
         &self,
         graph: &Hypergraph<W>,
         catalog: &Catalog<W>,
@@ -310,13 +352,14 @@ impl AdaptiveOptimizer {
         // Branch-and-bound upper bound: the best heuristic full-plan cost, seeded before the
         // exact tier so every enumerator starts with a finite bound. Only meaningful for
         // monotone, non-negative models — others silently run unbounded.
+        let mut seed_bound_time = Duration::ZERO;
         let bound = if self.options.pruning && cost_model.supports_pruning() {
-            Some(seed_bound(
-                graph,
-                catalog,
-                cost_model,
-                self.options.idp_strategy,
-            ))
+            let span = Span::enter("seed_bound");
+            let seed_started = Instant::now();
+            let b = seed_bound(graph, catalog, cost_model, self.options.idp_strategy);
+            seed_bound_time = seed_started.elapsed();
+            drop(span);
+            Some(b)
         } else {
             None
         };
@@ -335,9 +378,11 @@ impl AdaptiveOptimizer {
             pruned_pairs: 0,
             pruned_classes: 0,
             bound_updates: 0,
+            seed_bound_time,
         };
         if threads >= 2 {
-            match optimize_parallel_exact(
+            let span = Span::enter("enumerate");
+            let outcome = optimize_parallel_exact(
                 graph,
                 catalog,
                 cost_model,
@@ -345,7 +390,10 @@ impl AdaptiveOptimizer {
                 self.options.ccp_budget,
                 deadline,
                 bound,
-            ) {
+                qo_obsv::current_sink(),
+            );
+            drop(span);
+            match outcome {
                 ParallelExact::Completed {
                     table,
                     ccps,
@@ -385,7 +433,10 @@ impl AdaptiveOptimizer {
             if let Some(d) = deadline {
                 handler = handler.with_deadline(d);
             }
+            let span = Span::enter("enumerate");
             let _ = DpHyp::new(graph, &mut handler).run();
+            drop(span);
+            qo_obsv::event("exact_ccps", handler.ccp_count() as u64);
             telemetry.exact_ccps = handler.ccp_count();
             telemetry.exact_aborted = handler.aborted();
             telemetry.exact_time_exceeded = handler.deadline_exceeded();
@@ -402,6 +453,7 @@ impl AdaptiveOptimizer {
         if time_left {
             if let Some(k) = self.effective_idp_k() {
                 telemetry.idp_k = k;
+                let _span = Span::enter("idp");
                 match idp_with_strategy(graph, catalog, cost_model, k, self.options.idp_strategy) {
                     Ok(r) => return Ok(finish_fallback(r, PlanTier::Idp, telemetry)),
                     // A plan IDP cannot complete (pathological hyperedge connectivity) may
@@ -415,6 +467,7 @@ impl AdaptiveOptimizer {
         }
 
         // Tier 3: greedy operator ordering.
+        let _span = Span::enter("greedy");
         match goo(graph, catalog, cost_model) {
             Ok(r) => Ok(finish_fallback(r, PlanTier::Greedy, telemetry)),
             Err(BaselineError::NoCompletePlan) => {
@@ -484,6 +537,7 @@ fn finish_exact<const W: usize>(
         telemetry,
         dp_entries: table.len(),
         parallel,
+        trace: None,
     })
 }
 
@@ -497,6 +551,7 @@ fn finish_fallback(r: BaselineResult, tier: PlanTier, mut t: BudgetTelemetry) ->
         telemetry: t,
         dp_entries: r.dp_entries,
         parallel: None,
+        trace: None,
     }
 }
 

@@ -84,6 +84,7 @@ impl CanonicalQuery {
 
 /// Computes the canonical form of a spec. See the [module docs](self) for the invariants.
 pub fn canonicalize(spec: &QuerySpec) -> CanonicalQuery {
+    let _span = qo_obsv::Span::enter("canonicalize");
     let n = spec.node_count();
     let edges: Vec<&SpecEdge> = spec.edges().collect();
 

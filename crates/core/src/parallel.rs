@@ -56,8 +56,9 @@ use qo_catalog::{
     EmitSignal, JoinCombiner, NodeSetSet, PruneCounters, ShardedDpTable, SharedBudget, SHARD_COUNT,
 };
 use qo_hypergraph::{EdgeId, Hypergraph};
+use qo_obsv::{ObsvSink, Span};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Barrier, OnceLock};
+use std::sync::{Arc, Barrier, OnceLock};
 use std::time::Instant;
 
 /// Outcome of a parallel exact enumeration.
@@ -204,6 +205,11 @@ struct WorkerStats {
 
 /// Runs the two-pass parallel exact enumeration with `threads ≥ 2` workers. A `bound` — the
 /// best heuristic full-plan cost — enables branch-and-bound pruning of the cost pass.
+///
+/// `sink` is the caller's observability sink (thread-locals do not cross into the worker
+/// scope): worker 0 reports per-size-level `cost_pass_level{,_pairs,_ns}` events through it.
+/// `None` — the default — makes the instrumentation free.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn optimize_parallel_exact<M: CostModel<W> + Sync, const W: usize>(
     graph: &Hypergraph<W>,
     catalog: &Catalog<W>,
@@ -212,17 +218,20 @@ pub(crate) fn optimize_parallel_exact<M: CostModel<W> + Sync, const W: usize>(
     ccp_budget: usize,
     deadline: Option<Instant>,
     bound: Option<f64>,
+    sink: Option<Arc<dyn ObsvSink>>,
 ) -> ParallelExact<W> {
     debug_assert!(threads >= 2, "threads = 1 takes the sequential path");
     let n = graph.node_count();
     let combiner = JoinCombiner::new(graph, catalog, cost_model);
 
     // Pass 1: serial structure enumeration under the sequential budget semantics.
+    let structure_span = Span::enter("structure");
     let mut handler = BudgetedHandler::new(StructureHandler::new(&combiner, n), ccp_budget);
     if let Some(d) = deadline {
         handler = handler.with_deadline(d);
     }
     let _ = DpHyp::new(graph, &mut handler).run();
+    drop(structure_span);
     if handler.aborted() {
         return ParallelExact::Aborted {
             ccps: handler.ccp_count(),
@@ -234,6 +243,7 @@ pub(crate) fn optimize_parallel_exact<M: CostModel<W> + Sync, const W: usize>(
     let work = build_level_work(&buckets);
 
     // Pass 2: seed the leaves, then cost level by level in lockstep.
+    let cost_span = Span::enter("cost_pass");
     let table = ShardedDpTable::<W>::new();
     for relation in 0..n {
         table.insert_leaf(relation, catalog.cardinality(relation));
@@ -245,9 +255,11 @@ pub(crate) fn optimize_parallel_exact<M: CostModel<W> + Sync, const W: usize>(
             .map(|t| {
                 let (buckets, work, table, combiner, budget, barrier) =
                     (&buckets, &work, &table, &combiner, &budget, &barrier);
+                // Only worker 0 reports per-level events; the others run uninstrumented.
+                let sink = if t == 0 { sink.as_deref() } else { None };
                 scope.spawn(move || {
                     cost_pass_worker(
-                        t, threads, n, buckets, work, table, combiner, budget, barrier, bound,
+                        t, threads, n, buckets, work, table, combiner, budget, barrier, bound, sink,
                     )
                 })
             })
@@ -257,6 +269,7 @@ pub(crate) fn optimize_parallel_exact<M: CostModel<W> + Sync, const W: usize>(
             .map(|w| w.join().expect("cost-pass worker panicked"))
             .collect::<Vec<_>>()
     });
+    drop(cost_span);
     if budget.aborted() {
         return ParallelExact::Aborted {
             // The structure pass completed within budget; report the pairs actually costed.
@@ -297,6 +310,7 @@ fn cost_pass_worker<M: CostModel<W> + ?Sized, const W: usize>(
     budget: &SharedBudget,
     barrier: &Barrier,
     bound: Option<f64>,
+    sink: Option<&dyn ObsvSink>,
 ) -> WorkerStats {
     let mut stats = WorkerStats::default();
     let mut edge_buf: Vec<EdgeId> = Vec::new();
@@ -304,6 +318,7 @@ fn cost_pass_worker<M: CostModel<W> + ?Sized, const W: usize>(
     for level in 2..=node_count {
         let level_buckets = &buckets[level];
         let level_work = &work[level];
+        let level_started = sink.map(|_| Instant::now());
         // Read phase: all inputs are of a strictly smaller size and are sealed behind the
         // read guards. Workers race for chunks off the shared cursor.
         {
@@ -388,6 +403,14 @@ fn cost_pass_worker<M: CostModel<W> + ?Sized, const W: usize>(
             }
         }
         barrier.wait();
+        // Per-size-level instrumentation, reported once per level by worker 0 from behind
+        // the install barrier (so the level is fully installed when the event lands).
+        if let (Some(sink), Some(started)) = (sink, level_started) {
+            let pairs: usize = level_buckets.iter().map(|b| b.len()).sum();
+            sink.event("cost_pass_level", level as u64);
+            sink.event("cost_pass_level_pairs", pairs as u64);
+            sink.event("cost_pass_level_ns", started.elapsed().as_nanos() as u64);
+        }
     }
     stats
 }

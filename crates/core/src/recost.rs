@@ -95,6 +95,7 @@ pub fn recost_spec(
     table: &CachedTable,
     options: &AdaptiveOptions,
 ) -> Result<Option<Recosted>, OptimizeError> {
+    let _span = qo_obsv::Span::enter("recost");
     let cost_model = options.cost_model;
     with_width_dispatch(
         spec,

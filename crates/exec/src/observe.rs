@@ -24,7 +24,7 @@ use crate::database::{Database, Row};
 use crate::executor::join;
 use qo_catalog::ObservedStats;
 use qo_hypergraph::{EdgeId, Hypergraph};
-use qo_plan::{JoinOp, PlanNode};
+use qo_plan::{ExplainAnnotation, JoinOp, PlanNode};
 
 /// Selectivities inverted from observations are clamped below by this value, keeping them
 /// inside the `(0, 1]` range every catalog validation demands even when a join produced zero
@@ -129,6 +129,25 @@ impl ObservedExecution {
         } else {
             (q[n / 2 - 1] + q[n / 2]) / 2.0
         }
+    }
+
+    /// The per-join [`ExplainAnnotation`]s of this execution, in the post-order
+    /// [`PlanNode::explain_annotated`] consumes — actual cardinality and q-error per join.
+    pub fn explain_annotations(&self) -> Vec<ExplainAnnotation> {
+        self.joins
+            .iter()
+            .map(|j| ExplainAnnotation {
+                actual: j.actual,
+                q_error: j.q_error(),
+            })
+            .collect()
+    }
+
+    /// Renders `plan`'s EXPLAIN tree annotated with this execution's actual cardinalities
+    /// and q-errors. `plan` must be the plan this execution ran (`self.joins` is matched to
+    /// its join nodes in post-order).
+    pub fn explain(&self, plan: &PlanNode) -> String {
+        plan.explain_annotated(&self.explain_annotations())
     }
 
     /// Derives the statistics overlay this execution supports: the database's true base

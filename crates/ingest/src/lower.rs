@@ -42,6 +42,10 @@ pub struct QueryOptions {
     /// `option pruning = on | off` — cost-bounded branch-and-bound pruning of the exact tier.
     /// Plans are bit-identical at every setting; only cost evaluations are saved.
     pub pruning: Option<bool>,
+    /// `option trace = on | off` — per-phase span tracing of the optimization, attached to
+    /// `OptimizeResult::trace`. Plans are bit-identical at every setting; only wall times
+    /// are observed.
+    pub trace: Option<bool>,
 }
 
 impl QueryOptions {
@@ -55,6 +59,7 @@ impl QueryOptions {
             idp_strategy: self.idp_strategy.unwrap_or(base.idp_strategy),
             parallelism: self.parallelism.or(base.parallelism),
             pruning: self.pruning.unwrap_or(base.pruning),
+            trace: self.trace.unwrap_or(base.trace),
         }
     }
 }
@@ -110,7 +115,11 @@ impl IngestQuery {
 
 /// Parses and lowers a whole `.jg` source: the one-call front door of the crate.
 pub fn parse_queries(source: &str) -> Result<Vec<IngestQuery>, JgError> {
-    let file = parse(source)?;
+    let file = {
+        let _span = qo_obsv::Span::enter("parse");
+        parse(source)?
+    };
+    let _span = qo_obsv::Span::enter("lower");
     file.queries.iter().map(lower_query).collect()
 }
 
@@ -323,6 +332,7 @@ fn lower_options(q: &QueryDecl) -> Result<QueryOptions, JgError> {
             "idp_strategy" => opts.idp_strategy.is_some(),
             "parallelism" => opts.parallelism.is_some(),
             "pruning" => opts.pruning.is_some(),
+            "trace" => opts.trace.is_some(),
             _ => false,
         };
         if duplicate {
@@ -388,12 +398,17 @@ fn lower_options(q: &QueryDecl) -> Result<QueryOptions, JgError> {
                 OptionValue::Symbol(s) if s.text == "off" => opts.pruning = Some(false),
                 v => return Err(JgError::new("`pruning` expects `on` or `off`", v.span())),
             },
+            "trace" => match &o.value {
+                OptionValue::Symbol(s) if s.text == "on" => opts.trace = Some(true),
+                OptionValue::Symbol(s) if s.text == "off" => opts.trace = Some(false),
+                v => return Err(JgError::new("`trace` expects `on` or `off`", v.span())),
+            },
             other => {
                 return Err(JgError::new(
                     format!(
                         "unknown option `{other}` (expected one of: ccp_budget, \
                          idp_block_size, time_budget_ms, cost_model, idp_strategy, \
-                         parallelism, pruning)"
+                         parallelism, pruning, trace)"
                     ),
                     o.key.span,
                 ))
@@ -619,6 +634,24 @@ mod tests {
         // Unset leaves the driver default (unpruned) in place.
         let ok = &q("relation a cardinality=1").unwrap()[0];
         assert!(!ok.adaptive_options().pruning);
+    }
+
+    #[test]
+    fn trace_option_lowers_and_validates() {
+        let ok = &q("relation a cardinality=1\noption trace = on").unwrap()[0];
+        assert_eq!(ok.options.trace, Some(true));
+        assert!(ok.adaptive_options().trace);
+        let ok = &q("relation a cardinality=1\noption trace = off").unwrap()[0];
+        assert_eq!(ok.options.trace, Some(false));
+        assert!(!ok.adaptive_options().trace);
+        let err = q("relation a cardinality=1\noption trace = 1").unwrap_err();
+        assert!(err.message.contains("`on` or `off`"));
+        let src = "query t {\nrelation a cardinality=1\noption trace = on\noption trace = off\n}";
+        let err = parse_queries(src).unwrap_err();
+        assert!(err.message.contains("duplicate option `trace`"));
+        // Unset leaves the driver default (untraced) in place.
+        let ok = &q("relation a cardinality=1").unwrap()[0];
+        assert!(!ok.adaptive_options().trace);
     }
 
     #[test]

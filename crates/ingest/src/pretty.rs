@@ -86,6 +86,9 @@ pub fn to_jg(q: &IngestQuery) -> String {
     if let Some(p) = o.pruning {
         writeln!(out, "  option pruning = {}", if p { "on" } else { "off" }).unwrap();
     }
+    if let Some(t) = o.trace {
+        writeln!(out, "  option trace = {}", if t { "on" } else { "off" }).unwrap();
+    }
     out.push_str("}\n");
     out
 }
@@ -123,6 +126,7 @@ mod tests {
   option idp_strategy = connected
   option parallelism = 4
   option pruning = on
+  option trace = on
 }
 ";
         let q = &parse_queries(src).unwrap()[0];

@@ -82,6 +82,11 @@ fn random_query(seed: u64) -> IngestQuery {
             1 => Some(false),
             _ => Some(true),
         },
+        trace: match rng.random_range(0u32..3) {
+            0 => None,
+            1 => Some(false),
+            _ => Some(true),
+        },
     };
 
     let row_overrides = (0..n)

@@ -1,0 +1,29 @@
+//! Zero-dependency structured tracing and metrics for the optimizer stack.
+//!
+//! The crate has two halves, both built exclusively on `std`:
+//!
+//! - [`span`]: a hierarchical span/event API ([`Span::enter`], [`event`]) routed through a
+//!   thread-local [`ObsvSink`]. When no sink is installed (the default — the "noop" path) a
+//!   span is a `None`-carrying guard: no timestamp is taken, nothing is allocated, and the
+//!   whole call compiles down to a thread-local check. [`RecordingSink`] captures closed
+//!   spans and events into bounded ring buffers and hands them back as a [`Trace`].
+//! - [`metrics`]: typed [`Counter`]s, [`Gauge`]s and log2-bucketed [`Histogram`]s behind a
+//!   [`MetricsRegistry`]. The hot path is pure `AtomicU64` arithmetic — no floats, no locks —
+//!   and a [`MetricsSnapshot`] renders to the Prometheus text exposition format on demand.
+//!
+//! The planner phases instrumented across the workspace are, in pipeline order:
+//! `parse` → `lower` → `canonicalize` → `seed_bound` → `enumerate` → `cost_pass`
+//! (with per-size-level `cost_pass_level_*` events) → `idp` / `greedy` → `recost` →
+//! `feedback`. See ARCHITECTURE.md's "Observability" section for the full hierarchy.
+
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    HISTOGRAM_BUCKETS,
+};
+pub use span::{
+    current_sink, event, install_sink, with_sink, EventRecord, NoopSink, ObsvSink, RecordingSink,
+    SinkGuard, Span, SpanRecord, Trace,
+};

@@ -38,6 +38,6 @@ mod operator;
 mod tree;
 
 pub use operator::JoinOp;
-pub use tree::{PlanNode, PlanShape, PredicateId};
+pub use tree::{ExplainAnnotation, PlanNode, PlanShape, PredicateId};
 
 pub use qo_bitset::{NodeId, NodeSet};

@@ -8,6 +8,16 @@ use std::fmt;
 /// hypergraph the plan was built for.
 pub type PredicateId = usize;
 
+/// Execution feedback for one join node of a plan, consumed by
+/// [`PlanNode::explain_annotated`] in post-order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExplainAnnotation {
+    /// Rows the join actually produced when the plan was executed.
+    pub actual: f64,
+    /// q-error of the estimate: `max(est, actual) / min(est, actual)`, floored at 1.
+    pub q_error: f64,
+}
+
 /// A bushy join plan.
 ///
 /// Every node is annotated with the set of relations it produces, its estimated output
@@ -214,6 +224,94 @@ impl PlanNode {
         ids
     }
 
+    /// Renders the plan as an EXPLAIN tree: one operator per line, each join annotated with
+    /// its estimated output cardinality, cumulative cost and *cost contribution* (this
+    /// join's share of the cumulative cost — `cost − left cost − right cost`).
+    ///
+    /// Shorthand for [`PlanNode::explain_annotated`] with no observations; supply per-join
+    /// [`ExplainAnnotation`]s (e.g. from an executed `ObservedExecution`) to additionally
+    /// print actual cardinalities and q-errors.
+    pub fn explain(&self) -> String {
+        self.explain_annotated(&[])
+    }
+
+    /// [`PlanNode::explain`] with execution feedback: `annotations` holds one entry per
+    /// join node **in post-order** (left subtree, right subtree, then the join — the order
+    /// `qo-exec`'s `ObservedExecution::joins` uses), and each annotated join line gains its
+    /// actual cardinality and q-error. A short slice annotates the first joins in
+    /// post-order and leaves the rest estimate-only, so a partially observed execution
+    /// still explains.
+    pub fn explain_annotated(&self, annotations: &[ExplainAnnotation]) -> String {
+        // Width-free rendering, exactly like `pretty`: wide-tier plans must explain too.
+        fn relation_set(node: &PlanNode) -> String {
+            let ids: Vec<String> = node
+                .relation_ids()
+                .iter()
+                .map(|r| format!("R{r}"))
+                .collect();
+            format!("{{{}}}", ids.join(", "))
+        }
+        fn rec(
+            node: &PlanNode,
+            depth: usize,
+            annotations: &[ExplainAnnotation],
+            next_join: &mut usize,
+            out: &mut String,
+        ) {
+            let indent = "  ".repeat(depth);
+            match node {
+                PlanNode::Scan {
+                    relation,
+                    cardinality,
+                } => {
+                    out.push_str(&format!(
+                        "{indent}scan R{relation} (est {cardinality:.0})\n"
+                    ));
+                }
+                PlanNode::Join {
+                    op,
+                    left,
+                    right,
+                    predicates,
+                    cardinality,
+                    cost,
+                } => {
+                    // Render the subtrees into their own buffer first: the display stays
+                    // preorder (parent above children) while the annotation cursor advances
+                    // in post-order (both subtrees consume their join indices before this
+                    // node claims the next one).
+                    let mut children = String::new();
+                    rec(left, depth + 1, annotations, next_join, &mut children);
+                    rec(right, depth + 1, annotations, next_join, &mut children);
+                    let annotation = annotations.get(*next_join);
+                    *next_join += 1;
+                    let contribution = cost - left.cost() - right.cost();
+                    out.push_str(&format!(
+                        "{indent}{} {} preds {:?} (est {:.1}, cost {:.1}, contrib {:.1})",
+                        op.symbol(),
+                        relation_set(node),
+                        predicates,
+                        cardinality,
+                        cost,
+                        contribution,
+                    ));
+                    if let Some(a) = annotation {
+                        out.push_str(&format!(
+                            " [actual {:.0}, q-error {:.2}]",
+                            a.actual, a.q_error
+                        ));
+                    }
+                    out.push('\n');
+                    out.push_str(&children);
+                }
+            }
+        }
+        let mut out = String::new();
+        let mut next_join = 0;
+        rec(self, 0, annotations, &mut next_join, &mut out);
+        out
+    }
+
     /// Renders the plan as an indented tree, one operator per line.
     pub fn pretty(&self) -> String {
         // Width-free `{R0, R1, ..}` rendering of a join's relation set: plans from the wide
@@ -387,6 +485,34 @@ mod tests {
         assert_eq!(bushy.shape(), PlanShape::Bushy);
         // single join is linear
         assert_eq!(ijoin(scan(0), scan(1)).shape(), PlanShape::Linear);
+    }
+
+    #[test]
+    fn explain_renders_contributions_and_postorder_annotations() {
+        // ((0 ⋈ 1) ⋈ 2): post-order join indices are 0 for the inner join, 1 for the outer.
+        let p = ijoin(ijoin(scan(0), scan(1)), scan(2));
+        let plain = p.explain();
+        let lines: Vec<&str> = plain.lines().collect();
+        assert_eq!(lines.len(), 5, "one line per node:\n{plain}");
+        assert!(lines[0].starts_with("⋈ {R0, R1, R2}"), "{plain}");
+        // Outer join: cost 200, children cost 100 + 0 → contribution 100.
+        assert!(lines[0].contains("cost 200.0, contrib 100.0"), "{plain}");
+        assert!(lines[1].starts_with("  ⋈ {R0, R1}"), "{plain}");
+        assert!(lines[1].contains("contrib 100.0"), "{plain}");
+        assert!(lines[2].starts_with("    scan R0 (est 100)"), "{plain}");
+        assert!(!plain.contains("actual"), "no annotations requested");
+
+        // Annotating only the first post-order join (the inner one) leaves the root plain.
+        let annotated = p.explain_annotated(&[ExplainAnnotation {
+            actual: 50.0,
+            q_error: 2.0,
+        }]);
+        let lines: Vec<&str> = annotated.lines().collect();
+        assert!(
+            lines[1].contains("[actual 50, q-error 2.00]"),
+            "{annotated}"
+        );
+        assert!(!lines[0].contains("actual"), "{annotated}");
     }
 
     #[test]

@@ -139,6 +139,29 @@ impl CacheStats {
     pub fn miss_time(&self) -> Duration {
         Duration::from_nanos(self.miss_ns)
     }
+
+    /// Count-weighted mean latency of a full hit, in nanoseconds (`hit_ns / hits`; 0 before
+    /// the first hit). The raw totals stay available for callers aggregating across
+    /// snapshots — dividing per snapshot and averaging the quotients would weight windows,
+    /// not lookups.
+    pub fn avg_hit_ns(&self) -> u64 {
+        self.hit_ns.checked_div(self.hits).unwrap_or(0)
+    }
+
+    /// Count-weighted mean latency of an accepted re-cost, in nanoseconds
+    /// (`recost_ns / shape_hits`; 0 before the first).
+    pub fn avg_recost_ns(&self) -> u64 {
+        self.recost_ns.checked_div(self.shape_hits).unwrap_or(0)
+    }
+
+    /// Count-weighted mean latency of a full optimization, in nanoseconds. `miss_ns` pools
+    /// misses and re-cost fallbacks (both run the full optimizer), so the divisor is
+    /// `misses + recost_fallbacks`; 0 before the first.
+    pub fn avg_miss_ns(&self) -> u64 {
+        self.miss_ns
+            .checked_div(self.misses + self.recost_fallbacks)
+            .unwrap_or(0)
+    }
 }
 
 #[derive(Default)]

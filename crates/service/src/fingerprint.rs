@@ -73,9 +73,9 @@ fn stats_hash(spec: &QuerySpec) -> u64 {
 /// Digests every [`AdaptiveOptions`] field that can change which plan an optimization
 /// produces. Entries are only reusable by requests with an equal key.
 ///
-/// `parallelism` and `pruning` are intentionally left out: plans are bit-identical across
-/// thread counts and pruning settings (see the crate docs), so keying on either would only
-/// fragment the cache.
+/// `parallelism`, `pruning` and `trace` are intentionally left out: plans are bit-identical
+/// across thread counts, pruning settings and tracing settings (see the crate docs), so
+/// keying on any of them would only fragment the cache.
 pub fn options_key(options: &AdaptiveOptions) -> u64 {
     let model_rank = match options.cost_model {
         CostModelKind::Cout => 0u64,
@@ -184,6 +184,17 @@ mod tests {
         let key = options_key(&base);
         for pruning in [false, true] {
             assert_eq!(key, options_key(&AdaptiveOptions { pruning, ..base }));
+        }
+    }
+
+    #[test]
+    fn trace_never_fragments_the_options_key() {
+        // Tracing only observes wall times — the produced plan is bit-identical with the
+        // recorder on or off — so both settings must map onto the same cache entry.
+        let base = AdaptiveOptions::default();
+        let key = options_key(&base);
+        for trace in [false, true] {
+            assert_eq!(key, options_key(&AdaptiveOptions { trace, ..base }));
         }
     }
 

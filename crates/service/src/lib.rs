@@ -60,10 +60,12 @@
 
 mod cache;
 mod fingerprint;
+mod metrics;
 mod service;
 
 pub use cache::{CacheOptions, CacheStats};
 pub use fingerprint::Fingerprint;
+pub use qo_obsv::{HistogramSnapshot, MetricsSnapshot};
 pub use service::{
     effective_batch_threads, PlanSource, ServedPlan, Service, ServiceError, ServiceOptions,
 };

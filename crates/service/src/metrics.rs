@@ -1,0 +1,125 @@
+//! The service's metrics registry: one place where the stack's scattered telemetry —
+//! [`CacheStats`], `BudgetTelemetry`, `ParallelTelemetry` — unifies into named counters,
+//! gauges and latency histograms.
+//!
+//! Naming scheme: `qo_<subsystem>_<quantity>[_<unit|total>]`. Counters end in `_total`,
+//! latency histograms in `_ns` (log2-bucketed nanoseconds, integer-only on the hot path).
+//! Subsystems: `cache` (plan-cache outcomes, view-synced from [`CacheStats`] at snapshot
+//! time), `serve` (end-to-end per-path latencies, recorded live), `optimizer` (budget and
+//! pruning telemetry accumulated across cold-path optimizations) and `parallel` (cost-pass
+//! work stealing).
+
+use crate::cache::CacheStats;
+use dphyp::OptimizeResult;
+use dphyp::PlanTier;
+use qo_obsv::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Pre-registered handles into the service's [`MetricsRegistry`]. Everything is registered
+/// up front in [`ServiceMetrics::new`], so a snapshot of a fresh service already exposes
+/// the full (all-zero) metric surface and the Prometheus rendering has a stable shape.
+pub(crate) struct ServiceMetrics {
+    registry: MetricsRegistry,
+    serve_hit_ns: Arc<Histogram>,
+    serve_recost_ns: Arc<Histogram>,
+    serve_miss_ns: Arc<Histogram>,
+    optimizer_exact_ccps: Arc<Counter>,
+    optimizer_pruned_pairs: Arc<Counter>,
+    optimizer_pruned_classes: Arc<Counter>,
+    optimizer_seed_bound_ns: Arc<Histogram>,
+    optimizer_plans_exact: Arc<Counter>,
+    optimizer_plans_idp: Arc<Counter>,
+    optimizer_plans_greedy: Arc<Counter>,
+    parallel_stolen_chunks: Arc<Counter>,
+}
+
+impl ServiceMetrics {
+    pub(crate) fn new() -> ServiceMetrics {
+        let registry = MetricsRegistry::new();
+        // Cache counters exist from the start too, even though their values are view-synced
+        // from `CacheStats` only at snapshot time.
+        for name in [
+            "qo_cache_evictions_total",
+            "qo_cache_hits_total",
+            "qo_cache_misses_total",
+            "qo_cache_recost_fallbacks_total",
+            "qo_cache_shape_hits_total",
+        ] {
+            registry.counter(name);
+        }
+        registry.gauge("qo_cache_entries");
+        ServiceMetrics {
+            serve_hit_ns: registry.histogram("qo_serve_hit_ns"),
+            serve_recost_ns: registry.histogram("qo_serve_recost_ns"),
+            serve_miss_ns: registry.histogram("qo_serve_miss_ns"),
+            optimizer_exact_ccps: registry.counter("qo_optimizer_exact_ccps_total"),
+            optimizer_pruned_pairs: registry.counter("qo_optimizer_pruned_pairs_total"),
+            optimizer_pruned_classes: registry.counter("qo_optimizer_pruned_classes_total"),
+            optimizer_seed_bound_ns: registry.histogram("qo_optimizer_seed_bound_ns"),
+            optimizer_plans_exact: registry.counter("qo_optimizer_plans_exact_total"),
+            optimizer_plans_idp: registry.counter("qo_optimizer_plans_idp_total"),
+            optimizer_plans_greedy: registry.counter("qo_optimizer_plans_greedy_total"),
+            parallel_stolen_chunks: registry.counter("qo_parallel_stolen_chunks_total"),
+            registry,
+        }
+    }
+
+    /// A full-hit serve completed in `elapsed`.
+    pub(crate) fn observe_hit(&self, elapsed: Duration) {
+        self.serve_hit_ns.observe(elapsed.as_nanos() as u64);
+    }
+
+    /// An accepted-re-cost serve completed in `elapsed`.
+    pub(crate) fn observe_recost(&self, elapsed: Duration) {
+        self.serve_recost_ns.observe(elapsed.as_nanos() as u64);
+    }
+
+    /// A full-optimization serve (miss or re-cost fallback — the pooling mirrors
+    /// [`CacheStats::miss_ns`]) completed in `elapsed`.
+    pub(crate) fn observe_miss(&self, elapsed: Duration) {
+        self.serve_miss_ns.observe(elapsed.as_nanos() as u64);
+    }
+
+    /// Absorbs one cold-path optimization's `BudgetTelemetry` / `ParallelTelemetry` into
+    /// the unified registry.
+    pub(crate) fn record_optimize(&self, result: &OptimizeResult) {
+        let t = &result.telemetry;
+        self.optimizer_exact_ccps.add(t.exact_ccps as u64);
+        self.optimizer_pruned_pairs.add(t.pruned_pairs as u64);
+        self.optimizer_pruned_classes.add(t.pruned_classes as u64);
+        if t.seed_bound_time > Duration::ZERO {
+            self.optimizer_seed_bound_ns
+                .observe(t.seed_bound_time.as_nanos() as u64);
+        }
+        match result.tier {
+            PlanTier::Exact => self.optimizer_plans_exact.inc(),
+            PlanTier::Idp => self.optimizer_plans_idp.inc(),
+            PlanTier::Greedy => self.optimizer_plans_greedy.inc(),
+        }
+        if let Some(p) = &result.parallel {
+            self.parallel_stolen_chunks.add(p.stolen_chunks as u64);
+        }
+    }
+
+    /// View-syncs the cache counters from `stats` and snapshots the whole registry.
+    pub(crate) fn snapshot(&self, stats: CacheStats) -> MetricsSnapshot {
+        self.registry
+            .counter("qo_cache_evictions_total")
+            .store(stats.evictions);
+        self.registry
+            .counter("qo_cache_hits_total")
+            .store(stats.hits);
+        self.registry
+            .counter("qo_cache_misses_total")
+            .store(stats.misses);
+        self.registry
+            .counter("qo_cache_recost_fallbacks_total")
+            .store(stats.recost_fallbacks);
+        self.registry
+            .counter("qo_cache_shape_hits_total")
+            .store(stats.shape_hits);
+        self.registry.gauge("qo_cache_entries").set(stats.entries);
+        self.registry.snapshot()
+    }
+}

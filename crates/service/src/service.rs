@@ -2,11 +2,13 @@
 
 use crate::cache::{CacheOptions, CacheStats, Entry, Lookup, PlanCache};
 use crate::fingerprint::{options_key, Fingerprint};
+use crate::metrics::ServiceMetrics;
 use dphyp::{
     canonicalize, recost_spec, AdaptiveOptimizer, AdaptiveOptions, CachedTable, CanonicalQuery,
     ObservedStats, OptimizeError, PlanTier, QuerySpec,
 };
 use qo_ingest::{parse_queries, IngestQuery, JgError};
+use qo_obsv::{MetricsSnapshot, Span};
 use qo_plan::PlanNode;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -161,6 +163,7 @@ impl std::error::Error for ServiceError {}
 pub struct Service {
     options: ServiceOptions,
     cache: PlanCache,
+    metrics: ServiceMetrics,
 }
 
 impl Default for Service {
@@ -174,6 +177,7 @@ impl Service {
     pub fn new(options: ServiceOptions) -> Service {
         Service {
             cache: PlanCache::new(options.cache),
+            metrics: ServiceMetrics::new(),
             options,
         }
     }
@@ -186,6 +190,19 @@ impl Service {
     /// Cache telemetry: hits, shape hits (re-costs), misses, evictions, per-path latencies.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// A point-in-time copy of the unified metrics registry: cache outcome counters
+    /// (view-synced from [`CacheStats`]), per-path serve latency histograms, and the
+    /// optimizer/parallel telemetry accumulated across cold-path optimizations. Render it
+    /// with [`MetricsSnapshot::render_prometheus`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.cache.stats())
+    }
+
+    /// [`Service::metrics_snapshot`] rendered in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        self.metrics_snapshot().render_prometheus()
     }
 
     /// Plans a width-agnostic spec under the service's base adaptive options.
@@ -342,6 +359,7 @@ impl Service {
         observed: &ObservedStats,
         adaptive: AdaptiveOptions,
     ) -> Result<ServedPlan, OptimizeError> {
+        let _span = Span::enter("feedback");
         self.plan_spec_with(&spec.apply_observed(observed), adaptive)
     }
 
@@ -352,6 +370,7 @@ impl Service {
         canonical: &CanonicalQuery,
         adaptive: AdaptiveOptions,
     ) -> Result<ServedPlan, OptimizeError> {
+        let _span = Span::enter("serve");
         let start = Instant::now();
         let fp = Fingerprint::of(canonical);
         let opts_key = options_key(&adaptive);
@@ -371,7 +390,9 @@ impl Service {
                     source: PlanSource::CacheHit,
                     fingerprint: fp,
                 };
-                self.cache.record_hit(start.elapsed());
+                let elapsed = start.elapsed();
+                self.cache.record_hit(elapsed);
+                self.metrics.observe_hit(elapsed);
                 Ok(served)
             }
             Lookup::Shape { table, tier } => {
@@ -398,12 +419,16 @@ impl Service {
                                 tier,
                             },
                         );
-                        self.cache.record_shape_hit(start.elapsed());
+                        let elapsed = start.elapsed();
+                        self.cache.record_shape_hit(elapsed);
+                        self.metrics.observe_recost(elapsed);
                         return Ok(served);
                     }
                 }
                 let served = self.optimize_and_insert(canonical, fp, opts_key, adaptive)?;
-                self.cache.record_recost_fallback(start.elapsed());
+                let elapsed = start.elapsed();
+                self.cache.record_recost_fallback(elapsed);
+                self.metrics.observe_miss(elapsed);
                 Ok(ServedPlan {
                     source: PlanSource::RecostFallback,
                     ..served
@@ -411,7 +436,9 @@ impl Service {
             }
             Lookup::Miss => {
                 let served = self.optimize_and_insert(canonical, fp, opts_key, adaptive)?;
-                self.cache.record_miss(start.elapsed());
+                let elapsed = start.elapsed();
+                self.cache.record_miss(elapsed);
+                self.metrics.observe_miss(elapsed);
                 Ok(served)
             }
         }
@@ -426,6 +453,7 @@ impl Service {
         adaptive: AdaptiveOptions,
     ) -> Result<ServedPlan, OptimizeError> {
         let result = AdaptiveOptimizer::new(adaptive).optimize_spec(&canonical.spec)?;
+        self.metrics.record_optimize(&result);
         let table = CachedTable::from_plan(&result.plan, canonical.spec.node_count())?;
         let served = ServedPlan {
             plan: canonical.plan_to_original(&result.plan),

@@ -1,0 +1,201 @@
+//! The observability layer's acceptance claims, end to end across the stack:
+//!
+//! * **Zero-cost by default** — with no sink installed (the `NoopSink` configuration every
+//!   caller gets unless it opts in), a span guard is an inert `None` check: no timestamps,
+//!   no allocation, no event records. The overhead test pins a per-call bound two orders of
+//!   magnitude above the measured cost, so planning stays within noise of
+//!   pre-instrumentation without flaking on loaded CI machines.
+//! * **Tracing never changes the answer** — plans, costs and telemetry are bit-identical
+//!   with `trace` on vs. off, on every corpus query; the trace rides on the result as pure
+//!   extra output. The `.jg` surface (`option trace = on`) lowers into the same knob.
+//! * **One metrics surface** — `Service::metrics_snapshot()` views the plan cache's
+//!   `CacheStats` through the unified registry, and the Prometheus rendering has a stable
+//!   shape from the first serve (everything is pre-registered), pinned by a golden prefix.
+
+use dphyp::AdaptiveOptions;
+use qo_obsv::{RecordingSink, Span};
+use qo_service::{PlanSource, Service};
+use qo_workloads::corpus::{corpus, corpus_query};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// With no sink installed, a span guard must cost single-digit nanoseconds — it reads one
+/// thread-local and finds `None`. The bound is deliberately generous (hundreds of times the
+/// measured cost on commodity hardware) so the test only fails if the inert path ever grows
+/// a timestamp, an allocation, or a lock.
+#[test]
+fn inert_spans_stay_within_noise_of_pre_instrumentation() {
+    assert!(
+        qo_obsv::current_sink().is_none(),
+        "test must start with no ambient sink"
+    );
+    const CALLS: u64 = 1_000_000;
+    let started = Instant::now();
+    for _ in 0..CALLS {
+        let span = std::hint::black_box(Span::enter("overhead_probe"));
+        drop(span);
+    }
+    let per_call_ns = started.elapsed().as_nanos() as f64 / CALLS as f64;
+    assert!(
+        per_call_ns < 1_000.0,
+        "inert span guard took {per_call_ns:.1} ns/call; the NoopSink default must keep \
+         instrumented code within noise of pre-instrumentation"
+    );
+}
+
+/// `trace = on` must be pure observation: identical plan, cost, tier and telemetry on every
+/// corpus query, with the recorded trace attached only to the traced result.
+#[test]
+fn plans_are_bit_identical_with_tracing_on_and_off() {
+    for q in corpus() {
+        let off = q.plan().unwrap_or_else(|e| panic!("{}: {e}", q.name));
+        let on = q
+            .plan_with(AdaptiveOptions {
+                trace: true,
+                ..AdaptiveOptions::default()
+            })
+            .unwrap_or_else(|e| panic!("{}: {e}", q.name));
+        assert_eq!(on.plan, off.plan, "{}: plan differs under tracing", q.name);
+        assert_eq!(on.cost, off.cost, "{}: cost differs under tracing", q.name);
+        assert_eq!(on.tier, off.tier, "{}: tier differs under tracing", q.name);
+        assert_eq!(
+            on.telemetry, off.telemetry,
+            "{}: telemetry differs under tracing",
+            q.name
+        );
+        assert!(off.trace.is_none(), "{}: untraced run has no trace", q.name);
+        let trace = on
+            .trace
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: traced run must attach its recording", q.name));
+        assert!(
+            trace.phase_count("enumerate") + trace.phase_count("idp") + trace.phase_count("greedy")
+                > 0,
+            "{}: the trace must cover at least one planning phase",
+            q.name
+        );
+    }
+}
+
+/// The `.jg` surface: `option trace = on` in a query block lowers into the driver knob and
+/// produces a trace, without perturbing the plan of the identical untraced source.
+#[test]
+fn jg_trace_option_attaches_a_trace() {
+    let source = "\
+query t1 {
+  relation a cardinality=1000
+  relation b cardinality=100
+  relation c cardinality=10
+  join a -- b selectivity=0.01
+  join b -- c selectivity=0.1
+  option trace = on
+}
+";
+    let queries = qo_ingest::parse_queries(source).expect("source parses");
+    let traced = queries[0].plan().expect("plannable");
+    let trace = traced
+        .trace
+        .expect("`option trace = on` must attach a trace");
+    assert!(
+        trace.phase_count("enumerate") > 0,
+        "enumeration was spanned"
+    );
+
+    let untraced_source = source.replace("option trace = on", "option trace = off");
+    let queries = qo_ingest::parse_queries(&untraced_source).expect("source parses");
+    let untraced = queries[0].plan().expect("plannable");
+    assert!(untraced.trace.is_none());
+    assert_eq!(traced.plan, untraced.plan, "trace must not change the plan");
+    assert_eq!(traced.cost, untraced.cost);
+}
+
+/// An ambient sink (installed by the caller, not the `trace` option) observes the service's
+/// full serving pipeline: parse and lower from the ingest layer, then canonicalize and serve.
+#[test]
+fn ambient_sink_records_the_full_serving_pipeline() {
+    let sink = Arc::new(RecordingSink::new());
+    let q = corpus_query("job_01a").expect("corpus query exists");
+    let service = Service::default();
+    qo_obsv::with_sink(sink.clone(), || {
+        service.plan_ingest(&q).expect("plannable");
+    });
+    let trace = sink.trace();
+    for phase in ["canonicalize", "serve", "enumerate"] {
+        assert!(
+            trace.phase_count(phase) > 0,
+            "ambient sink must record the `{phase}` phase, got {:?}",
+            trace.spans
+        );
+    }
+    // Outside the `with_sink` scope the sink is gone: new spans are inert again.
+    assert!(qo_obsv::current_sink().is_none());
+}
+
+/// The unified registry views `CacheStats` without drift, and serve latencies land in the
+/// per-outcome histograms.
+#[test]
+fn metrics_snapshot_unifies_cache_stats_and_serve_latencies() {
+    let service = Service::default();
+    let q = corpus_query("job_01a").expect("corpus query exists");
+    let cold = service.plan_ingest(&q).expect("plannable");
+    assert_eq!(cold.source, PlanSource::Miss);
+    let warm = service.plan_ingest(&q).expect("plannable");
+    assert_eq!(warm.source, PlanSource::CacheHit);
+
+    let stats = service.cache_stats();
+    let snap = service.metrics_snapshot();
+    assert_eq!(snap.counter("qo_cache_hits_total"), Some(stats.hits));
+    assert_eq!(snap.counter("qo_cache_misses_total"), Some(stats.misses));
+    assert_eq!(snap.gauge("qo_cache_entries"), Some(stats.entries));
+    let hit = snap.histogram("qo_serve_hit_ns").expect("pre-registered");
+    let miss = snap.histogram("qo_serve_miss_ns").expect("pre-registered");
+    assert_eq!(hit.count, 1, "one warm hit was observed");
+    assert_eq!(miss.count, 1, "one cold miss was observed");
+    assert!(miss.sum > 0, "a miss takes measurable time");
+    // The optimizer counters absorbed the cold optimization's telemetry.
+    let ccps = snap
+        .counter("qo_optimizer_exact_ccps_total")
+        .expect("pre-registered");
+    assert!(ccps > 0, "the cold miss enumerated csg-cmp-pairs");
+    assert_eq!(snap.counter("qo_optimizer_plans_exact_total"), Some(1));
+}
+
+/// The Prometheus rendering's shape is stable from the first snapshot on: every metric is
+/// pre-registered at service construction, so the golden prefix holds even before any
+/// traffic, and the full rendering always contains the complete metric surface.
+#[test]
+fn prometheus_rendering_matches_the_golden_prefix() {
+    let service = Service::default();
+    let text = service.render_prometheus();
+    let golden_prefix = "\
+# TYPE qo_cache_evictions_total counter
+qo_cache_evictions_total 0
+# TYPE qo_cache_hits_total counter
+qo_cache_hits_total 0
+# TYPE qo_cache_misses_total counter
+qo_cache_misses_total 0
+# TYPE qo_cache_recost_fallbacks_total counter
+qo_cache_recost_fallbacks_total 0
+# TYPE qo_cache_shape_hits_total counter
+qo_cache_shape_hits_total 0
+";
+    assert!(
+        text.starts_with(golden_prefix),
+        "prometheus rendering drifted from the golden prefix:\n{text}"
+    );
+    for name in [
+        "qo_optimizer_exact_ccps_total",
+        "qo_optimizer_plans_exact_total",
+        "qo_parallel_stolen_chunks_total",
+        "qo_cache_entries",
+        "qo_serve_hit_ns",
+        "qo_serve_recost_ns",
+        "qo_serve_miss_ns",
+        "qo_optimizer_seed_bound_ns",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {name} ")),
+            "metric `{name}` missing from the rendering:\n{text}"
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Invariants of [`dphyp::ParallelTelemetry`], the work-stealing cost pass's public
+//! accounting: at every thread count the per-worker pair tallies must sum to the pairs the
+//! enumeration actually evaluated (`exact_ccps` minus any pruned pairs), the load-balance
+//! `efficiency` must be the documented `total / (threads × max)` ratio inside `(0, 1]`, and
+//! a sequential run (`parallelism` of `None` or `Some(1)`) must report no parallel telemetry
+//! at all. Swept over the embedded corpus so the invariants hold on real join graphs, with
+//! pruning both off and on (stolen pairs and pruned pairs interact in the same pass).
+
+use dphyp::{AdaptiveOptimizer, AdaptiveOptions, JoinOp, OptimizeResult, QuerySpec};
+use qo_workloads::corpus;
+
+const THREADS: [usize; 3] = [2, 4, 8];
+
+/// Do all of `spec`'s edges join with plain inner semantics (no non-inner operators, no
+/// lateral dependencies)? Only then is every structurally-emitted csg-cmp-pair also
+/// *feasible* — non-inner operators make some pairs uncombinable, and those never reach the
+/// cost pass, so the per-worker tallies sum below `exact_ccps` on such queries.
+fn all_inner(spec: &QuerySpec) -> bool {
+    spec.edges().all(|e| e.op() == JoinOp::Inner)
+        && (0..spec.node_count()).all(|r| spec.lateral_refs(r).is_empty())
+}
+
+/// Asserts every documented invariant of one result's parallel telemetry.
+fn assert_telemetry_consistent(name: &str, threads: usize, exact_sum: bool, r: &OptimizeResult) {
+    let Some(p) = &r.parallel else {
+        panic!("{name}: {threads}-thread exact run must carry parallel telemetry");
+    };
+    assert_eq!(p.threads, threads, "{name}: reported worker count");
+    assert_eq!(
+        p.per_thread_pairs.len(),
+        threads,
+        "{name}: one tally per worker"
+    );
+    let total: usize = p.per_thread_pairs.iter().sum();
+    let evaluated = r.telemetry.exact_ccps - r.telemetry.pruned_pairs;
+    if exact_sum {
+        assert_eq!(
+            total, evaluated,
+            "{name}: per-worker pairs must sum to the evaluated pairs \
+             (exact_ccps {} - pruned_pairs {})",
+            r.telemetry.exact_ccps, r.telemetry.pruned_pairs
+        );
+    } else {
+        // Non-inner operators: infeasible pairs are counted by the structure pass but never
+        // costed, so the tallies sum to at most the evaluated-pair count — and a connected
+        // query still costs *something*.
+        assert!(
+            0 < total && total <= evaluated,
+            "{name}: per-worker pairs {total} outside (0, {evaluated}]"
+        );
+    }
+    let max = p.per_thread_pairs.iter().copied().max().unwrap_or(0);
+    let expected = if max == 0 {
+        1.0
+    } else {
+        total as f64 / (threads as f64 * max as f64)
+    };
+    assert!(
+        p.efficiency > 0.0 && p.efficiency <= 1.0,
+        "{name}: efficiency {} outside (0, 1]",
+        p.efficiency
+    );
+    assert_eq!(
+        p.efficiency, expected,
+        "{name}: efficiency must be total / (threads x max)"
+    );
+    // Work stealing moves whole chunks between workers; it can never create or lose work,
+    // so the sum invariant above holds whether or not any chunks moved — only the *split*
+    // across workers (and therefore `efficiency`) responds to stealing.
+}
+
+#[test]
+fn sequential_runs_report_no_parallel_telemetry() {
+    for q in corpus() {
+        for parallelism in [None, Some(1)] {
+            let r = AdaptiveOptimizer::new(AdaptiveOptions {
+                parallelism,
+                ..q.adaptive_options()
+            })
+            .optimize_spec(&q.spec)
+            .unwrap_or_else(|e| panic!("{}: plannable, got {e}", q.name));
+            assert!(
+                r.parallel.is_none(),
+                "{}: sequential run must not fabricate parallel telemetry",
+                q.name
+            );
+        }
+    }
+}
+
+#[test]
+fn per_thread_pairs_sum_to_evaluated_pairs_across_the_corpus() {
+    for q in corpus() {
+        for threads in THREADS {
+            let r = AdaptiveOptimizer::new(AdaptiveOptions {
+                parallelism: Some(threads),
+                ..q.adaptive_options()
+            })
+            .optimize_spec(&q.spec)
+            .unwrap_or_else(|e| panic!("{}: plannable at {threads} threads, got {e}", q.name));
+            // Budget-constrained corpus queries may answer from IDP/greedy, where the exact
+            // tier aborted and no parallel telemetry exists; the invariants only bind when
+            // the parallel exact tier completed.
+            if r.tier != dphyp::PlanTier::Exact {
+                continue;
+            }
+            assert_telemetry_consistent(&q.name, threads, all_inner(&q.spec), &r);
+        }
+    }
+}
+
+#[test]
+fn telemetry_invariants_hold_with_pruning_on() {
+    for q in corpus() {
+        for threads in THREADS {
+            let r = AdaptiveOptimizer::new(AdaptiveOptions {
+                parallelism: Some(threads),
+                pruning: true,
+                ..q.adaptive_options()
+            })
+            .optimize_spec(&q.spec)
+            .unwrap_or_else(|e| panic!("{}: plannable at {threads} threads, got {e}", q.name));
+            if r.tier != dphyp::PlanTier::Exact {
+                continue;
+            }
+            assert_telemetry_consistent(&q.name, threads, all_inner(&q.spec), &r);
+        }
+    }
+}

@@ -42,7 +42,7 @@ const SEED: u64 = 2008;
 /// Schema version of `BENCH_baseline.json`. Bump whenever a section is added, removed or
 /// reshaped; `write_baseline` refuses to overwrite a file carrying a different version unless
 /// forced, and readers should reject versions they do not understand.
-const SCHEMA_VERSION: u32 = 8;
+const SCHEMA_VERSION: u32 = 9;
 
 /// Measurement budget per timed point in baseline/table modes; long enough to average out
 /// noise on fast workloads, short enough that the multi-second star-20 runs once.
@@ -882,6 +882,45 @@ fn obsv_experiment(quick: bool) {
          tracing on vs. off: bit-identical plans on every query",
         o.noop_span_ns, o.noop_span_calls
     );
+    println!(
+        "sampler fast path (unsampled serve): {:.2} ns/serve over {} calls; \
+         ambient 1-in-1024 sampling: bit-identical plans, {} of {} serves sampled, \
+         {} exemplar span tree(s) harvested",
+        o.sampler_fastpath_ns,
+        o.sampler_fastpath_calls,
+        o.sampled,
+        o.serves,
+        o.exemplars.len()
+    );
+    for ex in &o.exemplars {
+        println!(
+            "  exemplar trace {} (serve #{}, {}): {} span(s), serve covered {}x, \
+             {:.1} us latency",
+            ex.trace_id,
+            ex.seq,
+            ex.trigger,
+            ex.spans,
+            ex.serve_spans,
+            ex.latency_ns as f64 / 1e3
+        );
+    }
+    println!();
+
+    let r = run_regret_rows(quick);
+    println!(
+        "== O2: regret over {} feedback cycles ({} corpus queries, pinning veto live) ==",
+        r.cycles, r.queries
+    );
+    println!("{:>7} {:>18}", "cycle", "aggregate regret");
+    for (c, regret) in r.per_cycle.iter().enumerate() {
+        println!("{:>7} {:>18.1}", c + 1, regret);
+    }
+    println!(
+        "{} ledger pin(s) vetoed a measured-worse or unexplored candidate; \
+         {} serve(s) answered from the pinned order",
+        r.pins, r.pinned_serves
+    );
+    assert_regret(&r);
     println!();
 }
 
@@ -904,13 +943,39 @@ struct ObsvRow {
 }
 
 /// The observability experiment's measured facts, shared by the printed table and the
-/// baseline snapshot. Construction asserts the acceptance claims (bit-identity under tracing,
-/// bounded inert-span overhead), so both consumers get *checked* numbers.
+/// baseline snapshot. Construction asserts the acceptance claims (bit-identity under tracing
+/// and under ambient sampling, bounded inert-span and unsampled-serve overhead), so both
+/// consumers get *checked* numbers.
 struct ObsvRows {
     rows: Vec<ObsvRow>,
     /// Mean cost of `Span::enter` + drop with no sink installed, nanoseconds per call.
     noop_span_ns: f64,
     noop_span_calls: u64,
+    /// Mean cost of one unsampled `begin_serve`/`finish_serve` round trip on the always-on
+    /// sampler: the per-serve price of leaving sampling enabled in production.
+    sampler_fastpath_ns: f64,
+    sampler_fastpath_calls: u64,
+    /// Serves admitted by the ambient rate-1024 sampler during the bit-identity sweep.
+    serves: u64,
+    /// How many of them were traced (rate-selected plus slow-armed).
+    sampled: u64,
+    /// The harvested exemplar span trees, summarized.
+    exemplars: Vec<ExemplarSummary>,
+}
+
+/// One harvested sampled exemplar, summarized for the report and the baseline snapshot (the
+/// full span tree stays in process; the snapshot records its identity and shape).
+struct ExemplarSummary {
+    trace_id: u64,
+    /// The serve's sequence number within its service.
+    seq: u64,
+    /// Why the serve was traced: `rate` or `slow-armed`.
+    trigger: &'static str,
+    latency_ns: u64,
+    /// Spans in the harvested trace.
+    spans: usize,
+    /// How many of them cover the `serve` phase (always at least one).
+    serve_spans: usize,
 }
 
 /// Mean cost of an inert span (no sink installed on this thread): the bound the default
@@ -1015,11 +1080,215 @@ fn run_obsv_rows(quick: bool) -> ObsvRows {
          (measured {noop_span_ns:.1} ns/call)"
     );
 
+    // The always-on sampler's unsampled path is held to the same bound: a serve that is not
+    // selected costs one relaxed increment, one modulo, and one relaxed flag load.
+    let sampler_fastpath_calls: u64 = if quick { 200_000 } else { 2_000_000 };
+    let sampler_fastpath_ns = sampler_fastpath_overhead_ns(sampler_fastpath_calls);
+    assert!(
+        sampler_fastpath_ns < 250.0,
+        "the unsampled serve path must stay within noise of an unsampled service \
+         (measured {sampler_fastpath_ns:.1} ns/serve)"
+    );
+
+    // Acceptance: the production default — ambient 1-in-1024 sampling with slow-serve
+    // arming live — is pure observation. Serve the whole corpus through it and through a
+    // sampler that never fires; every plan, cost, tier and fingerprint must match, and the
+    // sampled service must actually harvest exemplar span trees covering the serve phase.
+    let sampled_service = Service::default();
+    let control = Service::new(qo_service::ServiceOptions {
+        sampling: qo_service::SamplerOptions {
+            sample_rate: 0,
+            // Rate 0 still slow-arms by design; the control must never trace.
+            warmup: u64::MAX,
+            ..qo_service::SamplerOptions::default()
+        },
+        ..qo_service::ServiceOptions::default()
+    });
+    for q in &qo_workloads::corpus::corpus() {
+        let on = sampled_service
+            .plan_spec_with(&q.spec, q.adaptive_options())
+            .expect("corpus query plannable");
+        let off = control
+            .plan_spec_with(&q.spec, q.adaptive_options())
+            .expect("corpus query plannable");
+        assert_eq!(
+            on.plan, off.plan,
+            "{}: plan differs under ambient sampling",
+            q.name
+        );
+        assert_eq!(
+            on.cost, off.cost,
+            "{}: cost differs under ambient sampling",
+            q.name
+        );
+        assert_eq!(on.tier, off.tier, "{}", q.name);
+        assert_eq!(on.fingerprint, off.fingerprint, "{}", q.name);
+        assert!(
+            off.trace_id.is_none(),
+            "{}: the control never traces",
+            q.name
+        );
+    }
+    let stats = sampled_service.sampler().stats();
+    assert!(
+        stats.sampled >= 1,
+        "the rate-1024 sampler must catch at least serve #0 ({stats:?})"
+    );
+    let mut exemplars: Vec<ExemplarSummary> = sampled_service
+        .sampler()
+        .exemplars()
+        .into_iter()
+        .chain(sampled_service.sampler().slow_exemplars())
+        .map(|ex| ExemplarSummary {
+            trace_id: ex.trace_id,
+            seq: ex.seq,
+            trigger: match ex.trigger {
+                qo_obsv::SampleTrigger::Rate => "rate",
+                qo_obsv::SampleTrigger::SlowArmed => "slow-armed",
+            },
+            latency_ns: ex.latency_ns,
+            spans: ex.trace.spans.len(),
+            serve_spans: ex.trace.phase_count("serve"),
+        })
+        .collect();
+    exemplars.sort_by_key(|e| e.trace_id);
+    for ex in &exemplars {
+        assert!(
+            ex.serve_spans > 0,
+            "exemplar {} must cover the serve span",
+            ex.trace_id
+        );
+    }
+
     ObsvRows {
         rows,
         noop_span_ns,
         noop_span_calls,
+        sampler_fastpath_ns,
+        sampler_fastpath_calls,
+        serves: stats.serves,
+        sampled: stats.sampled,
+        exemplars,
     }
+}
+
+/// Mean cost of one unsampled `begin_serve`/`finish_serve` round trip: rate 0 disables rate
+/// sampling and the unreachable warmup keeps slow-serve arming off, so every iteration takes
+/// the fast path the sampler promises to every serve it does not select.
+fn sampler_fastpath_overhead_ns(calls: u64) -> f64 {
+    use qo_obsv::{SamplerOptions, SamplingSink};
+    let sampler = SamplingSink::new(SamplerOptions {
+        sample_rate: 0,
+        warmup: u64::MAX,
+        ..SamplerOptions::default()
+    });
+    let started = std::time::Instant::now();
+    for i in 0..calls {
+        let ticket = std::hint::black_box(sampler.begin_serve(0));
+        std::hint::black_box(sampler.finish_serve(ticket, 64 + (i & 7)));
+    }
+    started.elapsed().as_nanos() as f64 / calls as f64
+}
+
+/// The regret-over-cycles trajectory: repeated execute → observe → re-plan cycles per corpus
+/// query, aggregated per cycle. With the ledger's pinning veto live the aggregate series is
+/// non-increasing from cycle 2 and lands on zero (see `qo_service`'s regret module docs).
+struct RegretRows {
+    cycles: usize,
+    /// Queries that survived every cycle within the row budget.
+    queries: usize,
+    /// Aggregate regret per cycle across the surviving queries.
+    per_cycle: Vec<f64>,
+    /// Ledger pins recorded across every per-query service.
+    pins: u64,
+    /// Serves answered from a pinned order (`PlanSource::Pinned`).
+    pinned_serves: u64,
+}
+
+fn run_regret_rows(quick: bool) -> RegretRows {
+    use qo_exec::{scaled_table_sizes, Database};
+    use qo_service::{PlanSource, Service};
+
+    let cycles: usize = if quick { 3 } else { 4 };
+    let row_limit: usize = if quick { 50_000 } else { 100_000 };
+    let mut histories: Vec<Vec<f64>> = Vec::new();
+    let mut pins = 0u64;
+    let mut pinned_serves = 0u64;
+
+    for q in &qo_workloads::corpus::corpus() {
+        let n = q.spec.node_count();
+        // Each query gets its own service: the synthetic corpus reuses canonical shapes
+        // across queries with unrelated datasets, and one shared ledger would conflate
+        // their true costs (same rationale as the always-on integration tests).
+        let service = Service::default();
+        let cold = service
+            .plan_spec_with(&q.spec, q.adaptive_options())
+            .expect("corpus query plannable");
+        // Deterministic synthetic data per query, seeded and scaled exactly like the
+        // feedback experiment but sized down further: every query executes `cycles` times.
+        let seed = cold.fingerprint.shape ^ cold.fingerprint.stats;
+        let cards: Vec<f64> = (0..n).map(|r| q.spec.cardinality(r)).collect();
+        let db = Database::generate(&scaled_table_sizes(&cards, &q.row_overrides, 6), seed);
+
+        let mut served = cold;
+        let mut regrets = vec![0.0; cycles];
+        let mut executed = 0;
+        for slot in regrets.iter_mut() {
+            let Some(obs) = execute_observed(&q.spec, &served.plan, &db, row_limit) else {
+                break; // Row budget burst — this query sits the analysis out.
+            };
+            *slot = service.observe_execution(&served, &obs.feedback());
+            executed += 1;
+            served = service
+                .plan_observed_with(&q.spec, &obs.observed_stats(&db), q.adaptive_options())
+                .expect("observed corpus query plannable");
+            if served.source == PlanSource::Pinned {
+                pinned_serves += 1;
+            }
+        }
+        if executed == cycles {
+            histories.push(regrets);
+            pins += service.regret_ledger().pins();
+        }
+    }
+
+    let per_cycle: Vec<f64> = (0..cycles)
+        .map(|c| histories.iter().map(|h| h[c]).sum())
+        .collect();
+    RegretRows {
+        cycles,
+        queries: histories.len(),
+        per_cycle,
+        pins,
+        pinned_serves,
+    }
+}
+
+/// The regret experiment's acceptance claims, shared by the printed table and the baseline
+/// snapshot: enough of the corpus survives every cycle, first observations carry no regret,
+/// and with the pinning veto live the aggregate series is non-increasing from cycle 2 and
+/// converges to zero.
+fn assert_regret(r: &RegretRows) {
+    assert!(
+        r.queries >= 15,
+        "most of the corpus must survive {} full cycles, got {}",
+        r.cycles,
+        r.queries
+    );
+    assert_eq!(r.per_cycle[0], 0.0, "first observations carry no regret");
+    for c in 2..r.cycles {
+        assert!(
+            r.per_cycle[c] <= r.per_cycle[c - 1] * (1.0 + 1e-9) + 1e-6,
+            "regret increased at cycle {}: {:?}",
+            c + 1,
+            r.per_cycle
+        );
+    }
+    assert!(
+        r.per_cycle[r.cycles - 1] <= 1e-6,
+        "regret must converge once proven-best orders are pinned: {:?}",
+        r.per_cycle
+    );
 }
 
 /// Refuses to overwrite a baseline snapshot whose `schema_version` differs from
@@ -1801,10 +2070,27 @@ fn write_baseline(path: &str) {
             )
         })
         .collect();
+    let exemplar_rows: Vec<String> = o
+        .exemplars
+        .iter()
+        .map(|ex| {
+            format!(
+                concat!(
+                    "      {{\"trace_id\": {}, \"seq\": {}, \"trigger\": \"{}\", ",
+                    "\"latency_ns\": {}, \"spans\": {}, \"serve_spans\": {}}}"
+                ),
+                ex.trace_id, ex.seq, ex.trigger, ex.latency_ns, ex.spans, ex.serve_spans
+            )
+        })
+        .collect();
     let obsv_json = format!(
         concat!(
             "    \"queries\": {}, \"noop_span_ns\": {:.3}, \"noop_span_calls\": {}, ",
             "\"trace_bit_identical\": true,\n",
+            "    \"sampler_fastpath_ns\": {:.3}, \"sampler_fastpath_calls\": {}, ",
+            "\"sample_rate\": 1024, \"sampling_bit_identical\": true, ",
+            "\"sampled_serves\": {}, \"total_serves\": {},\n",
+            "    \"exemplars\": [\n{}\n    ],\n",
             "    \"phase_totals_ns\": {{\"parse\": {}, \"lower\": {}, \"canonicalize\": {}, ",
             "\"seed_bound\": {}, \"enumerate\": {}, \"idp\": {}, \"greedy\": {}, ",
             "\"serve\": {}}},\n",
@@ -1813,6 +2099,11 @@ fn write_baseline(path: &str) {
         o.rows.len(),
         o.noop_span_ns,
         o.noop_span_calls,
+        o.sampler_fastpath_ns,
+        o.sampler_fastpath_calls,
+        o.sampled,
+        o.serves,
+        exemplar_rows.join(",\n"),
         phase_total(|r| r.parse_ns),
         phase_total(|r| r.lower_ns),
         phase_total(|r| r.canonicalize_ns),
@@ -1824,6 +2115,31 @@ fn write_baseline(path: &str) {
         obsv_per_query.join(",\n")
     );
 
+    // Regret trajectory: repeated feedback cycles with the pinning veto live; the snapshot
+    // records the checked non-increasing aggregate series.
+    let r = run_regret_rows(false);
+    println!(
+        "  regret: {} queries x {} cycles, per-cycle {:?}; {} pins, {} pinned serves",
+        r.queries, r.cycles, r.per_cycle, r.pins, r.pinned_serves
+    );
+    assert_regret(&r);
+    let regret_json = format!(
+        concat!(
+            "    \"cycles\": {}, \"queries\": {}, \"pins\": {}, \"pinned_serves\": {}, ",
+            "\"non_increasing\": true,\n",
+            "    \"per_cycle\": [{}]"
+        ),
+        r.cycles,
+        r.queries,
+        r.pins,
+        r.pinned_serves,
+        r.per_cycle
+            .iter()
+            .map(|v| format!("{v:.4}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
     let json = format!(
         "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"generated_by\": \"reproduce --baseline\",\n  \
          \"seed\": {SEED},\n  \"workloads\": [\n{}\n  ],\n  \"adaptive_tiers\": [\n{}\n  ],\n  \
@@ -1833,6 +2149,7 @@ fn write_baseline(path: &str) {
          \"pruning\": {{\n    \"workloads\": [\n{}\n    ],\n{}\n  }},\n  \
          \"feedback\": {{\n{}\n  }},\n  \
          \"obsv\": {{\n{}\n  }},\n  \
+         \"regret\": {{\n{}\n  }},\n  \
          \"dp_table_comparison\": [\n{}\n  ]\n}}\n",
         workload_rows.join(",\n"),
         adaptive_json_rows.join(",\n"),
@@ -1844,6 +2161,7 @@ fn write_baseline(path: &str) {
         pruning_corpus_json,
         feedback_json,
         obsv_json,
+        regret_json,
         table_rows.join(",\n"),
     );
     std::fs::write(path, json).expect("baseline file is writable");

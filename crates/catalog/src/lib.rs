@@ -39,7 +39,7 @@ pub mod table;
 pub use cardinality::CardinalityEstimator;
 pub use catalog::{Catalog, CatalogBuilder, EdgeAnnotation, StatsEpoch};
 pub use cost::{CostModel, CoutCost, MixedCost, SubPlanStats};
-pub use observed::ObservedStats;
+pub use observed::{ExecutionFeedback, ObservedStats};
 pub use parallel::{shard_of, NodeSetSet, ShardReader, ShardedDpTable, SharedBudget, SHARD_COUNT};
 pub use planner::{
     recost_table, BudgetedHandler, CcpHandler, CostBasedHandler, CountingHandler, EmitSignal,

@@ -18,6 +18,23 @@ use qo_hypergraph::EdgeId;
 /// in `(0, 1]`).
 const MIN_SELECTIVITY: f64 = 1e-12;
 
+/// The distilled scalar signal of one instrumented plan execution, as a serving layer
+/// consumes it: the plan's *true* cost (`C_out` evaluated over actual intermediate
+/// cardinalities) and the estimation error that produced it. Where [`ObservedStats`] feeds
+/// the *planner* (re-optimize under reality), `ExecutionFeedback` feeds the *operator*:
+/// `qo-exec`'s `ObservedExecution::feedback()` builds one, and `qo-service` records it into
+/// its flight recorder and regret ledger.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExecutionFeedback {
+    /// Sum of actual intermediate cardinalities over all join nodes — the executed plan's
+    /// cost under reality instead of estimates.
+    pub true_cost: f64,
+    /// Largest per-join q-error of the execution (1.0 for a plan with no joins).
+    pub max_q_error: f64,
+    /// Median per-join q-error of the execution.
+    pub median_q_error: f64,
+}
+
 /// Sparse statistics observed from executing a plan: per-relation true cardinalities and
 /// per-edge observed selectivities. Unobserved slots stay `None` and fall through to the base
 /// catalog when the overlay is [applied](ObservedStats::apply).

@@ -124,6 +124,13 @@ pub struct AdaptiveOptions {
     /// and plan caches deliberately ignore this knob when keying entries. Defaults to
     /// `false`, in which case the instrumentation points reduce to a thread-local check.
     pub trace: bool,
+    /// Per-query override of the serving layer's always-on trace sampling rate: trace one
+    /// in this many serves of this query (`Some(0)` disables sampling for it entirely).
+    /// Surfaced in `.jg` as `option sample_rate = N`. The driver itself ignores the knob —
+    /// sampling is a property of *serving*, not of one optimization — and like `trace` it
+    /// never affects the produced plan, so plan caches exclude it from their options key.
+    /// `None` (the default) defers to the service's configured rate.
+    pub sample_rate: Option<u64>,
 }
 
 impl Default for AdaptiveOptions {
@@ -140,6 +147,7 @@ impl Default for AdaptiveOptions {
             parallelism: None,
             pruning: false,
             trace: false,
+            sample_rate: None,
         }
     }
 }

@@ -73,6 +73,6 @@ pub use qo_baselines::IdpStrategy;
 
 pub use qo_algebra::{ConflictEncoding, OpTree, Predicate};
 pub use qo_bitset::{NodeId, NodeSet, NodeSet128, NodeSet64};
-pub use qo_catalog::{Catalog, CostModel, CoutCost, MixedCost, ObservedStats};
+pub use qo_catalog::{Catalog, CostModel, CoutCost, ExecutionFeedback, MixedCost, ObservedStats};
 pub use qo_hypergraph::{Hyperedge, Hypergraph};
 pub use qo_plan::{JoinOp, PlanNode};

@@ -56,4 +56,4 @@ pub use observe::{
 };
 
 pub use qo_bitset::{NodeId, NodeSet};
-pub use qo_catalog::ObservedStats;
+pub use qo_catalog::{ExecutionFeedback, ObservedStats};

@@ -22,7 +22,7 @@
 
 use crate::database::{Database, Row};
 use crate::executor::join;
-use qo_catalog::ObservedStats;
+use qo_catalog::{ExecutionFeedback, ObservedStats};
 use qo_hypergraph::{EdgeId, Hypergraph};
 use qo_plan::{ExplainAnnotation, JoinOp, PlanNode};
 
@@ -128,6 +128,18 @@ impl ObservedExecution {
             q[n / 2]
         } else {
             (q[n / 2 - 1] + q[n / 2]) / 2.0
+        }
+    }
+
+    /// Distills this execution into the [`ExecutionFeedback`] a serving layer consumes:
+    /// true cost plus the q-error spread. This is the payload of
+    /// `qo_service::Service::observe_execution` — the hook that feeds the flight recorder
+    /// and the regret ledger.
+    pub fn feedback(&self) -> ExecutionFeedback {
+        ExecutionFeedback {
+            true_cost: self.true_cost(),
+            max_q_error: self.max_q_error(),
+            median_q_error: self.median_q_error(),
         }
     }
 

@@ -46,6 +46,10 @@ pub struct QueryOptions {
     /// `OptimizeResult::trace`. Plans are bit-identical at every setting; only wall times
     /// are observed.
     pub trace: Option<bool>,
+    /// `option sample_rate = <int ≥ 0>` — per-query override of the serving layer's
+    /// always-on trace sampling rate (trace 1 in N serves; `0` disables sampling for this
+    /// query). Purely observational: plans are bit-identical at every setting.
+    pub sample_rate: Option<u64>,
 }
 
 impl QueryOptions {
@@ -60,6 +64,7 @@ impl QueryOptions {
             parallelism: self.parallelism.or(base.parallelism),
             pruning: self.pruning.unwrap_or(base.pruning),
             trace: self.trace.unwrap_or(base.trace),
+            sample_rate: self.sample_rate.or(base.sample_rate),
         }
     }
 }
@@ -333,6 +338,7 @@ fn lower_options(q: &QueryDecl) -> Result<QueryOptions, JgError> {
             "parallelism" => opts.parallelism.is_some(),
             "pruning" => opts.pruning.is_some(),
             "trace" => opts.trace.is_some(),
+            "sample_rate" => opts.sample_rate.is_some(),
             _ => false,
         };
         if duplicate {
@@ -403,12 +409,16 @@ fn lower_options(q: &QueryDecl) -> Result<QueryOptions, JgError> {
                 OptionValue::Symbol(s) if s.text == "off" => opts.trace = Some(false),
                 v => return Err(JgError::new("`trace` expects `on` or `off`", v.span())),
             },
+            "sample_rate" => {
+                // 0 is meaningful (sampling off for this query), so the minimum is 0.
+                opts.sample_rate = Some(option_usize(&o.value, 0, "sample_rate")? as u64);
+            }
             other => {
                 return Err(JgError::new(
                     format!(
                         "unknown option `{other}` (expected one of: ccp_budget, \
                          idp_block_size, time_budget_ms, cost_model, idp_strategy, \
-                         parallelism, pruning, trace)"
+                         parallelism, pruning, trace, sample_rate)"
                     ),
                     o.key.span,
                 ))
@@ -652,6 +662,27 @@ mod tests {
         // Unset leaves the driver default (untraced) in place.
         let ok = &q("relation a cardinality=1").unwrap()[0];
         assert!(!ok.adaptive_options().trace);
+    }
+
+    #[test]
+    fn sample_rate_option_lowers_and_validates() {
+        let ok = &q("relation a cardinality=1\noption sample_rate = 512").unwrap()[0];
+        assert_eq!(ok.options.sample_rate, Some(512));
+        assert_eq!(ok.adaptive_options().sample_rate, Some(512));
+        // 0 is valid and meaningful: sampling off for this query.
+        let ok = &q("relation a cardinality=1\noption sample_rate = 0").unwrap()[0];
+        assert_eq!(ok.options.sample_rate, Some(0));
+        let err = q("relation a cardinality=1\noption sample_rate = 1.5").unwrap_err();
+        assert!(err.message.contains("`sample_rate` expects an integer ≥ 0"));
+        let err = q("relation a cardinality=1\noption sample_rate = fast").unwrap_err();
+        assert!(err.message.contains("`sample_rate` expects an integer ≥ 0"));
+        let src = "query t {\nrelation a cardinality=1\noption sample_rate = 1\n\
+                   option sample_rate = 2\n}";
+        let err = parse_queries(src).unwrap_err();
+        assert!(err.message.contains("duplicate option `sample_rate`"));
+        // Unset defers to the serving layer's configured rate.
+        let ok = &q("relation a cardinality=1").unwrap()[0];
+        assert_eq!(ok.adaptive_options().sample_rate, None);
     }
 
     #[test]

@@ -89,6 +89,9 @@ pub fn to_jg(q: &IngestQuery) -> String {
     if let Some(t) = o.trace {
         writeln!(out, "  option trace = {}", if t { "on" } else { "off" }).unwrap();
     }
+    if let Some(r) = o.sample_rate {
+        writeln!(out, "  option sample_rate = {r}").unwrap();
+    }
     out.push_str("}\n");
     out
 }
@@ -127,6 +130,7 @@ mod tests {
   option parallelism = 4
   option pruning = on
   option trace = on
+  option sample_rate = 512
 }
 ";
         let q = &parse_queries(src).unwrap()[0];

@@ -87,6 +87,8 @@ fn random_query(seed: u64) -> IngestQuery {
             1 => Some(false),
             _ => Some(true),
         },
+        // Includes 0, the "sampling off for this query" setting.
+        sample_rate: (rng.random_range(0u32..2) == 0).then(|| rng.random_range(0u64..100_000)),
     };
 
     let row_overrides = (0..n)

@@ -9,7 +9,14 @@
 //!   spans and events into bounded ring buffers and hands them back as a [`Trace`].
 //! - [`metrics`]: typed [`Counter`]s, [`Gauge`]s and log2-bucketed [`Histogram`]s behind a
 //!   [`MetricsRegistry`]. The hot path is pure `AtomicU64` arithmetic — no floats, no locks —
-//!   and a [`MetricsSnapshot`] renders to the Prometheus text exposition format on demand.
+//!   and a [`MetricsSnapshot`] renders to the Prometheus text exposition format on demand
+//!   (with one `# HELP`/`# TYPE` header per metric family, labeled series included).
+//!
+//! On top of the span half sits [`sample`]: the always-on tier. A [`SamplingSink`] admits
+//! every serve through a two-atomic fast path and installs a per-serve [`RecordingSink`]
+//! only for the decided 1-in-N (plus serves following a detected slow one), teeing into any
+//! ambient sink. Harvested [`SampledTrace`] exemplars are retained in a deterministic
+//! bounded reservoir.
 //!
 //! The planner phases instrumented across the workspace are, in pipeline order:
 //! `parse` → `lower` → `canonicalize` → `seed_bound` → `enumerate` → `cost_pass`
@@ -17,11 +24,16 @@
 //! `feedback`. See ARCHITECTURE.md's "Observability" section for the full hierarchy.
 
 pub mod metrics;
+pub mod sample;
 pub mod span;
 
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    metric_family, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     HISTOGRAM_BUCKETS,
+};
+pub use sample::{
+    ActiveSample, SampleOutcome, SampleTrigger, SampledTrace, SamplerOptions, SamplerStats,
+    SamplingSink, ServeTicket, TeeSink,
 };
 pub use span::{
     current_sink, event, install_sink, with_sink, EventRecord, NoopSink, ObsvSink, RecordingSink,

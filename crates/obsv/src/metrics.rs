@@ -6,9 +6,13 @@
 //! fixed 65-slot footprint and a branch-free `leading_zeros` on observe.
 //!
 //! [`MetricsRegistry`] hands out shared handles by name (get-or-register under a `Mutex`,
-//! which is off the hot path: callers register once and cache the `Arc`). A
-//! [`MetricsSnapshot`] is an ordinary sorted value dump that renders to the Prometheus
-//! text exposition format with [`MetricsSnapshot::render_prometheus`].
+//! which is off the hot path: callers register once and cache the `Arc`). Names may carry a
+//! Prometheus label set inline — `qo_regret_last{shape="0abc"}` — in which case everything
+//! up to the `{` is the metric *family*; the renderer emits one `# HELP`/`# TYPE` header
+//! per family, shared by all its labeled series. [`MetricsRegistry::describe`] attaches the
+//! help text per family. A [`MetricsSnapshot`] is an ordinary sorted value dump that
+//! renders to the Prometheus text exposition format with
+//! [`MetricsSnapshot::render_prometheus`].
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -156,12 +160,24 @@ impl HistogramSnapshot {
 }
 
 /// A named registry of metrics. Handles are `Arc`s: register once, cache the handle,
-/// mutate lock-free ever after.
+/// mutate lock-free ever after. Names are owned strings, so dynamically labeled series
+/// (`family{label="…"}`) register as freely as static ones.
 #[derive(Default)]
 pub struct MetricsRegistry {
-    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
-    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
-    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    help: Mutex<BTreeMap<String, String>>,
+}
+
+fn get_or_register<T: Default>(map: &Mutex<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    let mut map = map.lock().expect("metrics registry poisoned");
+    if let Some(existing) = map.get(name) {
+        return Arc::clone(existing);
+    }
+    let fresh: Arc<T> = Arc::default();
+    map.insert(name.to_owned(), Arc::clone(&fresh));
+    fresh
 }
 
 impl MetricsRegistry {
@@ -171,21 +187,29 @@ impl MetricsRegistry {
     }
 
     /// The counter named `name`, registering it at zero on first use.
-    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
-        let mut map = self.counters.lock().expect("metrics registry poisoned");
-        Arc::clone(map.entry(name).or_default())
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_register(&self.counters, name)
     }
 
     /// The gauge named `name`, registering it at zero on first use.
-    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().expect("metrics registry poisoned");
-        Arc::clone(map.entry(name).or_default())
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_register(&self.gauges, name)
     }
 
     /// The histogram named `name`, registering it empty on first use.
-    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().expect("metrics registry poisoned");
-        Arc::clone(map.entry(name).or_default())
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_register(&self.histograms, name)
+    }
+
+    /// Attaches `# HELP` text to the metric *family* `family` (a plain metric name, or the
+    /// part before `{` for labeled series). Rendered once per family by
+    /// [`MetricsSnapshot::render_prometheus`]; families without a description render with
+    /// `# TYPE` only.
+    pub fn describe(&self, family: &str, help: &str) {
+        self.help
+            .lock()
+            .expect("metrics registry poisoned")
+            .insert(family.to_owned(), help.to_owned());
     }
 
     /// A point-in-time copy of every registered metric, names sorted.
@@ -195,14 +219,14 @@ impl MetricsRegistry {
             .lock()
             .expect("metrics registry poisoned")
             .iter()
-            .map(|(name, c)| ((*name).to_owned(), c.get()))
+            .map(|(name, c)| (name.clone(), c.get()))
             .collect();
         let gauges = self
             .gauges
             .lock()
             .expect("metrics registry poisoned")
             .iter()
-            .map(|(name, g)| ((*name).to_owned(), g.get()))
+            .map(|(name, g)| (name.clone(), g.get()))
             .collect();
         let histograms = self
             .histograms
@@ -211,10 +235,12 @@ impl MetricsRegistry {
             .iter()
             .map(|(name, h)| h.snapshot(name))
             .collect();
+        let help = self.help.lock().expect("metrics registry poisoned").clone();
         MetricsSnapshot {
             counters,
             gauges,
             histograms,
+            help,
         }
     }
 }
@@ -228,6 +254,14 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, u64)>,
     /// Every histogram.
     pub histograms: Vec<HistogramSnapshot>,
+    /// `# HELP` text per metric family ([`MetricsRegistry::describe`]).
+    pub help: BTreeMap<String, String>,
+}
+
+/// The metric family of `name`: the name itself for plain metrics, the part before the
+/// label set for `family{label="…"}` series.
+pub fn metric_family(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
 }
 
 impl MetricsSnapshot {
@@ -250,19 +284,34 @@ impl MetricsSnapshot {
     }
 
     /// Renders the snapshot in the Prometheus text exposition format: counters, then
-    /// gauges, then histograms, each alphabetical. Histogram buckets are cumulative with
+    /// gauges, then histograms, each alphabetical. Each metric *family* gets one `# HELP`
+    /// line (when described) and one `# TYPE` line, shared by all its labeled series — the
+    /// shape real Prometheus scrapers require. Histogram buckets are cumulative with
     /// inclusive `le` upper bounds `2^i - 1`, truncated after the last occupied bucket.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut last_family = String::new();
+        let header = |out: &mut String, name: &str, kind: &str, last_family: &mut String| {
+            let family = metric_family(name);
+            if family != last_family {
+                if let Some(help) = self.help.get(family) {
+                    out.push_str(&format!("# HELP {family} {help}\n"));
+                }
+                out.push_str(&format!("# TYPE {family} {kind}\n"));
+                *last_family = family.to_owned();
+            }
+        };
         for (name, value) in &self.counters {
-            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+            header(&mut out, name, "counter", &mut last_family);
+            out.push_str(&format!("{name} {value}\n"));
         }
         for (name, value) in &self.gauges {
-            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+            header(&mut out, name, "gauge", &mut last_family);
+            out.push_str(&format!("{name} {value}\n"));
         }
         for h in &self.histograms {
             let name = &h.name;
-            out.push_str(&format!("# TYPE {name} histogram\n"));
+            header(&mut out, name, "histogram", &mut last_family);
             let last = h
                 .buckets
                 .iter()
@@ -339,12 +388,14 @@ mod tests {
     fn prometheus_rendering_is_deterministic_and_cumulative() {
         let reg = MetricsRegistry::new();
         reg.counter("hits_total").add(4);
+        reg.describe("hits_total", "Cache hits.");
         reg.gauge("entries").set(2);
         let h = reg.histogram("lat_ns");
         h.observe(1);
         h.observe(6);
         let text = reg.snapshot().render_prometheus();
-        let expected = "# TYPE hits_total counter\n\
+        let expected = "# HELP hits_total Cache hits.\n\
+                        # TYPE hits_total counter\n\
                         hits_total 4\n\
                         # TYPE entries gauge\n\
                         entries 2\n\
@@ -357,6 +408,56 @@ mod tests {
                         lat_ns_sum 7\n\
                         lat_ns_count 2\n";
         assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn labeled_series_share_one_family_header() {
+        let reg = MetricsRegistry::new();
+        reg.describe("regret", "Per-shape regret.");
+        reg.gauge("regret{shape=\"a\"}").set(5);
+        reg.gauge("regret{shape=\"b\"}").set(7);
+        reg.gauge("zz_other").set(1);
+        let text = reg.snapshot().render_prometheus();
+        let expected = "# HELP regret Per-shape regret.\n\
+                        # TYPE regret gauge\n\
+                        regret{shape=\"a\"} 5\n\
+                        regret{shape=\"b\"} 7\n\
+                        # TYPE zz_other gauge\n\
+                        zz_other 1\n";
+        assert_eq!(text, expected);
+        assert_eq!(metric_family("regret{shape=\"a\"}"), "regret");
+        assert_eq!(metric_family("plain"), "plain");
+    }
+
+    /// The 65-bucket layout's edges: the value 0 has its own bucket, 1 starts the powers,
+    /// `u64::MAX` lands in the last bucket, and every boundary `2^i − 1` / `2^i` pair
+    /// straddles adjacent buckets with upper bounds `2^i − 1`.
+    #[test]
+    fn histogram_bucket_edges_cover_the_full_u64_range() {
+        let h = Histogram::new();
+        h.observe(0);
+        h.observe(1);
+        h.observe(u64::MAX);
+        let snap = h.snapshot("edges");
+        assert_eq!(snap.buckets.len(), HISTOGRAM_BUCKETS);
+        assert_eq!(snap.buckets[0], 1, "0 is alone in bucket 0");
+        assert_eq!(snap.buckets[1], 1, "1 is alone in bucket 1");
+        assert_eq!(snap.buckets[64], 1, "u64::MAX lands in the last bucket");
+        assert_eq!(HistogramSnapshot::upper_bound(0), 0);
+        assert_eq!(HistogramSnapshot::upper_bound(1), 1);
+        assert_eq!(HistogramSnapshot::upper_bound(64), u64::MAX);
+        for i in 1..64usize {
+            // The boundary pair 2^i − 1 / 2^i falls into buckets i and i + 1.
+            let below = (1u64 << i) - 1;
+            assert_eq!(bucket_index(below), i, "2^{i} - 1 closes bucket {i}");
+            assert_eq!(
+                bucket_index(below + 1),
+                i + 1,
+                "2^{i} opens bucket {}",
+                i + 1
+            );
+            assert_eq!(HistogramSnapshot::upper_bound(i), below);
+        }
     }
 
     #[test]

@@ -364,6 +364,39 @@ mod tests {
         assert_eq!(sink.trace(), Trace::default());
     }
 
+    /// Eviction is strictly FIFO: after overflow the ring holds exactly the newest
+    /// `capacity` records, still in arrival order, and the drop counters account for every
+    /// evicted record — no reordering, no double counting.
+    #[test]
+    fn ring_eviction_is_fifo_and_preserves_arrival_order() {
+        let sink = RecordingSink::with_capacity(3);
+        for i in 0..8u64 {
+            sink.event("tick", i);
+            sink.span_close("step", 0, i);
+        }
+        let trace = sink.trace();
+        assert_eq!(
+            trace.events.iter().map(|e| e.value).collect::<Vec<_>>(),
+            vec![5, 6, 7],
+            "events: newest three retained, oldest-first order preserved"
+        );
+        assert_eq!(
+            trace.spans.iter().map(|s| s.nanos).collect::<Vec<_>>(),
+            vec![5, 6, 7],
+            "spans: newest three retained, oldest-first order preserved"
+        );
+        assert_eq!(trace.dropped_events, 5);
+        assert_eq!(trace.dropped_spans, 5);
+        // One more record evicts exactly the oldest retained one.
+        sink.span_close("step", 0, 8);
+        let trace = sink.trace();
+        assert_eq!(
+            trace.spans.iter().map(|s| s.nanos).collect::<Vec<_>>(),
+            vec![6, 7, 8]
+        );
+        assert_eq!(trace.dropped_spans, 6);
+    }
+
     #[test]
     fn noop_sink_records_nothing_but_spans_still_activate() {
         with_sink(Arc::new(NoopSink), || {

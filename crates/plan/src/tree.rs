@@ -135,6 +135,42 @@ impl PlanNode {
         }
     }
 
+    /// A 64-bit structural digest of the join order: tree shape, operators, relation ids and
+    /// predicate sets — deliberately ignoring the cardinality and cost annotations. Two plans
+    /// with equal digests prescribe the identical execution, so re-costing a plan under new
+    /// statistics preserves its digest; the serving layer's regret ledger uses it as plan
+    /// identity when linking measured true costs back to served join orders.
+    pub fn order_digest(&self) -> u64 {
+        // FNV-1a folding over a pre-order walk, with distinct tags per node kind so that
+        // tree shape (not just the leaf sequence) feeds the digest.
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn fold(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(PRIME)
+        }
+        fn walk(node: &PlanNode, mut h: u64) -> u64 {
+            match node {
+                PlanNode::Scan { relation, .. } => fold(fold(h, 1), *relation as u64),
+                PlanNode::Join {
+                    op,
+                    left,
+                    right,
+                    predicates,
+                    ..
+                } => {
+                    h = fold(fold(h, 2), *op as u64);
+                    h = walk(left, h);
+                    h = walk(right, h);
+                    h = fold(h, predicates.len() as u64);
+                    for &p in predicates {
+                        h = fold(h, p as u64);
+                    }
+                    h
+                }
+            }
+        }
+        walk(self, 0xcbf2_9ce4_8422_2325)
+    }
+
     /// Visits every node of the plan, parents before children.
     pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a PlanNode)) {
         f(self);
@@ -446,6 +482,50 @@ mod tests {
         let card = l.cardinality() * r.cardinality() * 0.01;
         let cost = card + l.cost() + r.cost();
         PlanNode::join(JoinOp::Inner, l, r, vec![], card, cost)
+    }
+
+    #[test]
+    fn order_digest_tracks_structure_and_ignores_annotations() {
+        let plan = ijoin(ijoin(scan(0), scan(1)), scan(2));
+        // Re-annotating with different cardinalities/costs preserves the digest…
+        let reannotated = PlanNode::join(
+            JoinOp::Inner,
+            PlanNode::join(
+                JoinOp::Inner,
+                PlanNode::scan(0, 7.0),
+                PlanNode::scan(1, 8.0),
+                vec![],
+                9.0,
+                9.0,
+            ),
+            PlanNode::scan(2, 10.0),
+            vec![],
+            11.0,
+            20.0,
+        );
+        assert_eq!(plan.order_digest(), reannotated.order_digest());
+        // …while any structural change — order, tree shape, operator, predicates — breaks it.
+        let reordered = ijoin(ijoin(scan(1), scan(0)), scan(2));
+        let reshaped = ijoin(scan(0), ijoin(scan(1), scan(2)));
+        let other_op = PlanNode::join(
+            JoinOp::LeftSemi,
+            ijoin(scan(0), scan(1)),
+            scan(2),
+            vec![],
+            1.0,
+            1.0,
+        );
+        let with_pred = PlanNode::join(
+            JoinOp::Inner,
+            ijoin(scan(0), scan(1)),
+            scan(2),
+            vec![3],
+            1.0,
+            1.0,
+        );
+        for variant in [&reordered, &reshaped, &other_op, &with_pred] {
+            assert_ne!(plan.order_digest(), variant.order_digest());
+        }
     }
 
     #[test]

@@ -73,9 +73,9 @@ fn stats_hash(spec: &QuerySpec) -> u64 {
 /// Digests every [`AdaptiveOptions`] field that can change which plan an optimization
 /// produces. Entries are only reusable by requests with an equal key.
 ///
-/// `parallelism`, `pruning` and `trace` are intentionally left out: plans are bit-identical
-/// across thread counts, pruning settings and tracing settings (see the crate docs), so
-/// keying on any of them would only fragment the cache.
+/// `parallelism`, `pruning`, `trace` and `sample_rate` are intentionally left out: plans
+/// are bit-identical across thread counts, pruning settings, tracing settings and sampling
+/// rates (see the crate docs), so keying on any of them would only fragment the cache.
 pub fn options_key(options: &AdaptiveOptions) -> u64 {
     let model_rank = match options.cost_model {
         CostModelKind::Cout => 0u64,
@@ -195,6 +195,24 @@ mod tests {
         let key = options_key(&base);
         for trace in [false, true] {
             assert_eq!(key, options_key(&AdaptiveOptions { trace, ..base }));
+        }
+    }
+
+    #[test]
+    fn sample_rate_never_fragments_the_options_key() {
+        // The always-on sampler only decides which serves get a recording sink — plans,
+        // costs and tiers are bit-identical at every rate — so, like `trace`, the knob must
+        // map every setting onto the same cache entry.
+        let base = AdaptiveOptions::default();
+        let key = options_key(&base);
+        for sample_rate in [None, Some(0), Some(1), Some(1024)] {
+            assert_eq!(
+                key,
+                options_key(&AdaptiveOptions {
+                    sample_rate,
+                    ..base
+                })
+            );
         }
     }
 

@@ -60,12 +60,20 @@
 
 mod cache;
 mod fingerprint;
+mod flight;
 mod metrics;
+mod regret;
 mod service;
 
 pub use cache::{CacheOptions, CacheStats};
+pub use dphyp::ExecutionFeedback;
 pub use fingerprint::Fingerprint;
-pub use qo_obsv::{HistogramSnapshot, MetricsSnapshot};
+pub use flight::{FlightRecorder, ServeRecord};
+pub use qo_obsv::{
+    HistogramSnapshot, MetricsSnapshot, SampleTrigger, SampledTrace, SamplerOptions, SamplerStats,
+    SamplingSink,
+};
+pub use regret::{RegretLedger, ShapeRegret};
 pub use service::{
     effective_batch_threads, PlanSource, ServedPlan, Service, ServiceError, ServiceOptions,
 };

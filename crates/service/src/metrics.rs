@@ -1,24 +1,29 @@
 //! The service's metrics registry: one place where the stack's scattered telemetry —
-//! [`CacheStats`], `BudgetTelemetry`, `ParallelTelemetry` — unifies into named counters,
-//! gauges and latency histograms.
+//! [`CacheStats`], `BudgetTelemetry`, `ParallelTelemetry`, sampler counters, the regret
+//! ledger — unifies into named counters, gauges and latency histograms.
 //!
 //! Naming scheme: `qo_<subsystem>_<quantity>[_<unit|total>]`. Counters end in `_total`,
 //! latency histograms in `_ns` (log2-bucketed nanoseconds, integer-only on the hot path).
 //! Subsystems: `cache` (plan-cache outcomes, view-synced from [`CacheStats`] at snapshot
-//! time), `serve` (end-to-end per-path latencies, recorded live), `optimizer` (budget and
-//! pruning telemetry accumulated across cold-path optimizations) and `parallel` (cost-pass
-//! work stealing).
+//! time), `serve` (end-to-end per-path latencies recorded live, plus sampler admission
+//! counters), `optimizer` (budget and pruning telemetry accumulated across cold-path
+//! optimizations), `parallel` (cost-pass work stealing), `trace` (sampled-recording ring
+//! eviction), and `regret` (per-shape true-cost regret, view-synced from the
+//! [`RegretLedger`] — including one labeled series per observed shape,
+//! `qo_regret_last{shape="…"}` / `qo_regret_cumulative{shape="…"}`).
 
 use crate::cache::CacheStats;
+use crate::regret::RegretLedger;
 use dphyp::OptimizeResult;
 use dphyp::PlanTier;
-use qo_obsv::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
+use qo_obsv::{Counter, Histogram, MetricsRegistry, MetricsSnapshot, SamplerStats};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Pre-registered handles into the service's [`MetricsRegistry`]. Everything is registered
-/// up front in [`ServiceMetrics::new`], so a snapshot of a fresh service already exposes
-/// the full (all-zero) metric surface and the Prometheus rendering has a stable shape.
+/// Pre-registered handles into the service's [`MetricsRegistry`]. Everything static is
+/// registered up front in [`ServiceMetrics::new`], so a snapshot of a fresh service already
+/// exposes the full (all-zero) metric surface and the Prometheus rendering has a stable
+/// shape; only the per-shape regret series appear dynamically, as shapes are observed.
 pub(crate) struct ServiceMetrics {
     registry: MetricsRegistry,
     serve_hit_ns: Arc<Histogram>,
@@ -32,6 +37,8 @@ pub(crate) struct ServiceMetrics {
     optimizer_plans_idp: Arc<Counter>,
     optimizer_plans_greedy: Arc<Counter>,
     parallel_stolen_chunks: Arc<Counter>,
+    trace_dropped_spans: Arc<Counter>,
+    trace_dropped_events: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -45,10 +52,19 @@ impl ServiceMetrics {
             "qo_cache_misses_total",
             "qo_cache_recost_fallbacks_total",
             "qo_cache_shape_hits_total",
+            "qo_regret_cycles_total",
+            "qo_regret_pins_total",
+            "qo_serve_sampled_total",
+            "qo_serve_slow_total",
         ] {
             registry.counter(name);
         }
-        registry.gauge("qo_cache_entries");
+        for name in ["qo_cache_entries", "qo_regret_shapes", "qo_regret_total"] {
+            registry.gauge(name);
+        }
+        for (family, help) in HELP {
+            registry.describe(family, help);
+        }
         ServiceMetrics {
             serve_hit_ns: registry.histogram("qo_serve_hit_ns"),
             serve_recost_ns: registry.histogram("qo_serve_recost_ns"),
@@ -61,6 +77,8 @@ impl ServiceMetrics {
             optimizer_plans_idp: registry.counter("qo_optimizer_plans_idp_total"),
             optimizer_plans_greedy: registry.counter("qo_optimizer_plans_greedy_total"),
             parallel_stolen_chunks: registry.counter("qo_parallel_stolen_chunks_total"),
+            trace_dropped_spans: registry.counter("qo_trace_dropped_spans_total"),
+            trace_dropped_events: registry.counter("qo_trace_dropped_events_total"),
             registry,
         }
     }
@@ -79,6 +97,18 @@ impl ServiceMetrics {
     /// [`CacheStats::miss_ns`]) completed in `elapsed`.
     pub(crate) fn observe_miss(&self, elapsed: Duration) {
         self.serve_miss_ns.observe(elapsed.as_nanos() as u64);
+    }
+
+    /// A bounded trace recording evicted `spans` spans and `events` events — silent ring
+    /// eviction made visible. Fed by both the sampler's per-serve recordings and
+    /// per-optimization `trace = on` recordings.
+    pub(crate) fn record_trace_drops(&self, spans: u64, events: u64) {
+        if spans > 0 {
+            self.trace_dropped_spans.add(spans);
+        }
+        if events > 0 {
+            self.trace_dropped_events.add(events);
+        }
     }
 
     /// Absorbs one cold-path optimization's `BudgetTelemetry` / `ParallelTelemetry` into
@@ -100,10 +130,21 @@ impl ServiceMetrics {
         if let Some(p) = &result.parallel {
             self.parallel_stolen_chunks.add(p.stolen_chunks as u64);
         }
+        if let Some(trace) = &result.trace {
+            self.record_trace_drops(trace.dropped_spans, trace.dropped_events);
+        }
     }
 
-    /// View-syncs the cache counters from `stats` and snapshots the whole registry.
-    pub(crate) fn snapshot(&self, stats: CacheStats) -> MetricsSnapshot {
+    /// View-syncs the cache counters from `stats`, the sampler admission counters from
+    /// `sampler`, and the regret gauges (aggregate and one labeled series per observed
+    /// shape) from `regret`, then snapshots the whole registry. Regret values are `C_out`
+    /// cardinality sums; they are rendered rounded to integer gauges.
+    pub(crate) fn snapshot(
+        &self,
+        stats: CacheStats,
+        sampler: SamplerStats,
+        regret: &RegretLedger,
+    ) -> MetricsSnapshot {
         self.registry
             .counter("qo_cache_evictions_total")
             .store(stats.evictions);
@@ -120,6 +161,149 @@ impl ServiceMetrics {
             .counter("qo_cache_shape_hits_total")
             .store(stats.shape_hits);
         self.registry.gauge("qo_cache_entries").set(stats.entries);
+        self.registry
+            .counter("qo_serve_sampled_total")
+            .store(sampler.sampled);
+        self.registry
+            .counter("qo_serve_slow_total")
+            .store(sampler.slow_serves);
+        let shapes = regret.shapes();
+        self.registry
+            .gauge("qo_regret_shapes")
+            .set(shapes.len() as u64);
+        self.registry
+            .counter("qo_regret_pins_total")
+            .store(regret.pins());
+        self.registry
+            .counter("qo_regret_cycles_total")
+            .store(shapes.iter().map(|s| s.cycles).sum());
+        self.registry.gauge("qo_regret_total").set(
+            shapes
+                .iter()
+                .map(|s| s.cumulative_regret)
+                .sum::<f64>()
+                .round() as u64,
+        );
+        for s in &shapes {
+            self.registry
+                .gauge(&format!("qo_regret_last{{shape=\"{:016x}\"}}", s.shape))
+                .set(s.last_regret.round() as u64);
+            self.registry
+                .gauge(&format!(
+                    "qo_regret_cumulative{{shape=\"{:016x}\"}}",
+                    s.shape
+                ))
+                .set(s.cumulative_regret.round() as u64);
+        }
         self.registry.snapshot()
     }
 }
+
+/// `# HELP` text per metric family (see `MetricsRegistry::describe`).
+const HELP: &[(&str, &str)] = &[
+    (
+        "qo_cache_entries",
+        "Plans currently held by the sharded LRU plan cache.",
+    ),
+    (
+        "qo_cache_evictions_total",
+        "Cache entries evicted by LRU capacity pressure.",
+    ),
+    (
+        "qo_cache_hits_total",
+        "Serves answered verbatim from the plan cache (shape and stats matched).",
+    ),
+    (
+        "qo_cache_misses_total",
+        "Serves that optimized from scratch (first sight of the query shape).",
+    ),
+    (
+        "qo_cache_recost_fallbacks_total",
+        "Stats-drift serves whose re-costed cached order failed the staleness probe.",
+    ),
+    (
+        "qo_cache_shape_hits_total",
+        "Stats-drift serves answered by re-costing the cached join order.",
+    ),
+    (
+        "qo_optimizer_exact_ccps_total",
+        "Csg-cmp-pairs processed by the exact DPhyp tier across cold optimizations.",
+    ),
+    (
+        "qo_optimizer_plans_exact_total",
+        "Cold optimizations answered by the exact tier.",
+    ),
+    (
+        "qo_optimizer_plans_greedy_total",
+        "Cold optimizations that fell back to greedy ordering.",
+    ),
+    (
+        "qo_optimizer_plans_idp_total",
+        "Cold optimizations that fell back to iterative dynamic programming.",
+    ),
+    (
+        "qo_optimizer_pruned_classes_total",
+        "Plan classes discarded by cost-bounded branch-and-bound pruning.",
+    ),
+    (
+        "qo_optimizer_pruned_pairs_total",
+        "Csg-cmp-pairs whose costing was skipped by branch-and-bound pruning.",
+    ),
+    (
+        "qo_optimizer_seed_bound_ns",
+        "Wall time spent seeding the branch-and-bound upper bound.",
+    ),
+    (
+        "qo_parallel_stolen_chunks_total",
+        "Work chunks stolen across workers by the parallel cost pass.",
+    ),
+    (
+        "qo_regret_cumulative",
+        "Per-shape cumulative true-cost regret over all observed serve cycles.",
+    ),
+    (
+        "qo_regret_cycles_total",
+        "Observed execution reports absorbed by the regret ledger.",
+    ),
+    (
+        "qo_regret_last",
+        "Per-shape true-cost regret of the most recent observed cycle.",
+    ),
+    (
+        "qo_regret_pins_total",
+        "Serves answered by pinning the proven-best order over the model's candidate.",
+    ),
+    (
+        "qo_regret_shapes",
+        "Distinct query shapes tracked by the regret ledger.",
+    ),
+    (
+        "qo_regret_total",
+        "Cumulative true-cost regret summed over all shapes.",
+    ),
+    ("qo_serve_hit_ns", "End-to-end latency of cache-hit serves."),
+    (
+        "qo_serve_miss_ns",
+        "End-to-end latency of full-optimization serves (miss or re-cost fallback).",
+    ),
+    (
+        "qo_serve_recost_ns",
+        "End-to-end latency of accepted re-cost serves.",
+    ),
+    (
+        "qo_serve_sampled_total",
+        "Serves traced by the always-on sampler (rate-selected or slow-armed).",
+    ),
+    (
+        "qo_serve_slow_total",
+        "Serves slower than the sampler's adaptive latency threshold.",
+    ),
+    (
+        "qo_trace_dropped_events_total",
+        "Events evicted from bounded trace recording rings.",
+    ),
+    (
+        "qo_trace_dropped_spans_total",
+        "Spans evicted from bounded trace recording rings.",
+    ),
+];

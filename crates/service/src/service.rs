@@ -2,13 +2,15 @@
 
 use crate::cache::{CacheOptions, CacheStats, Entry, Lookup, PlanCache};
 use crate::fingerprint::{options_key, Fingerprint};
+use crate::flight::{FlightRecorder, ServeRecord};
 use crate::metrics::ServiceMetrics;
+use crate::regret::{PinnedPlan, RegretLedger};
 use dphyp::{
     canonicalize, recost_spec, AdaptiveOptimizer, AdaptiveOptions, CachedTable, CanonicalQuery,
-    ObservedStats, OptimizeError, PlanTier, QuerySpec,
+    ExecutionFeedback, ObservedStats, OptimizeError, PlanTier, QuerySpec,
 };
 use qo_ingest::{parse_queries, IngestQuery, JgError};
-use qo_obsv::{MetricsSnapshot, Span};
+use qo_obsv::{MetricsSnapshot, SamplerOptions, SamplingSink, Span};
 use qo_plan::PlanNode;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,6 +38,14 @@ pub struct ServiceOptions {
     /// capped so that `batch threads × per-query threads` stays within the machine's available
     /// parallelism (see [`effective_batch_threads`]).
     pub batch_threads: usize,
+    /// The always-on trace sampler's configuration: rate (default 1-in-1024, overridable
+    /// per query via [`AdaptiveOptions::sample_rate`]), exemplar reservoir, slow-serve
+    /// threshold. Sampling is pure observation — plans, costs and tiers are bit-identical
+    /// with any setting — and the unsampled fast path costs two relaxed atomics per serve.
+    pub sampling: SamplerOptions,
+    /// Capacity of the serve flight recorder's ring ([`Service::flight_recorder`]): how
+    /// many recent serves stay reconstructible post-mortem.
+    pub flight_capacity: usize,
 }
 
 /// The worker count [`Service::plan_batch`] uses: the configured count (`0` = `available`),
@@ -78,6 +88,8 @@ impl Default for ServiceOptions {
             adaptive: AdaptiveOptions::default(),
             recost_tolerance: 0.0,
             batch_threads: 0,
+            sampling: SamplerOptions::default(),
+            flight_capacity: 256,
         }
     }
 }
@@ -95,6 +107,12 @@ pub enum PlanSource {
     /// Same shape with drifted statistics, but the re-costed order failed the staleness probe
     /// (or could not be re-costed): answered by a full re-optimization.
     RecostFallback,
+    /// The regret ledger vetoed the model's candidate: execution feedback had measured it
+    /// worse than the best-known order for this shape (or the shape's exploration budget
+    /// was spent), so the proven-best order was re-costed under the current statistics and
+    /// served instead. Only shapes reported through [`Service::observe_execution`] can take
+    /// this path.
+    Pinned,
 }
 
 impl fmt::Display for PlanSource {
@@ -104,6 +122,7 @@ impl fmt::Display for PlanSource {
             PlanSource::CacheHit => "hit",
             PlanSource::Recost => "recost",
             PlanSource::RecostFallback => "recost_fallback",
+            PlanSource::Pinned => "pinned",
         })
     }
 }
@@ -125,6 +144,18 @@ pub struct ServedPlan {
     pub source: PlanSource,
     /// The query's fingerprint (shape / stats).
     pub fingerprint: Fingerprint,
+    /// This serve's sequence number — its identity in the flight recorder, and the handle
+    /// [`Service::observe_execution`] links execution feedback back through.
+    pub serve_seq: u64,
+    /// Id of the sampled trace covering this serve, when the always-on sampler selected it
+    /// (look it up in [`Service::sampler`]'s exemplars).
+    pub trace_id: Option<u64>,
+    /// Structural digest of `plan` ([`qo_plan::PlanNode::order_digest`]) — the identity the
+    /// regret ledger links execution feedback back to.
+    pub order_digest: u64,
+    /// Digest of the query's canonical-to-original id mapping; guards the regret ledger
+    /// against handing a stored order to a query that labels its relations differently.
+    pub(crate) layout: u64,
 }
 
 /// Errors of the `.jg` text entry point.
@@ -164,6 +195,9 @@ pub struct Service {
     options: ServiceOptions,
     cache: PlanCache,
     metrics: ServiceMetrics,
+    sampler: SamplingSink,
+    flight: FlightRecorder,
+    regret: RegretLedger,
 }
 
 impl Default for Service {
@@ -178,6 +212,9 @@ impl Service {
         Service {
             cache: PlanCache::new(options.cache),
             metrics: ServiceMetrics::new(),
+            sampler: SamplingSink::new(options.sampling),
+            flight: FlightRecorder::new(options.flight_capacity),
+            regret: RegretLedger::new(),
             options,
         }
     }
@@ -192,12 +229,52 @@ impl Service {
         self.cache.stats()
     }
 
+    /// The always-on trace sampler: exemplar span trees of the 1-in-N sampled serves (plus
+    /// serves following a detected slow one) and the sampler's admission counters.
+    pub fn sampler(&self) -> &SamplingSink {
+        &self.sampler
+    }
+
+    /// The serve flight recorder: a bounded ring of structured per-serve records for
+    /// post-mortem queries ([`FlightRecorder::records`]) and text dumps
+    /// ([`FlightRecorder::dump`]).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The regret ledger: per-shape cumulative excess of served true cost over the
+    /// best-known true cost, accumulated across [`Service::observe_execution`] reports.
+    pub fn regret_ledger(&self) -> &RegretLedger {
+        &self.regret
+    }
+
+    /// Reports one instrumented execution of a served plan back to the service: the flight
+    /// recorder's entry for that serve gains the true cost and q-error, and the regret
+    /// ledger charges the shape with this cycle's regret (which is returned — 0.0 for a
+    /// first observation or a new best-known cost). The measured order also joins the
+    /// ledger's plan registry, arming the pinning veto for future serves of this shape
+    /// (see [`PlanSource::Pinned`]). Pair with [`Service::plan_observed`] to close the
+    /// feedback loop *and* account for it.
+    pub fn observe_execution(&self, served: &ServedPlan, feedback: &ExecutionFeedback) -> f64 {
+        self.flight.annotate(served.serve_seq, feedback);
+        self.regret.observe(
+            served.fingerprint.shape,
+            served.layout,
+            served.order_digest,
+            served.tier,
+            &served.plan,
+            feedback.true_cost,
+        )
+    }
+
     /// A point-in-time copy of the unified metrics registry: cache outcome counters
-    /// (view-synced from [`CacheStats`]), per-path serve latency histograms, and the
-    /// optimizer/parallel telemetry accumulated across cold-path optimizations. Render it
-    /// with [`MetricsSnapshot::render_prometheus`].
+    /// (view-synced from [`CacheStats`]), per-path serve latency histograms, the
+    /// optimizer/parallel telemetry accumulated across cold-path optimizations, trace-ring
+    /// eviction counters, sampler admission counters, and the regret ledger's per-shape
+    /// gauges. Render it with [`MetricsSnapshot::render_prometheus`].
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(self.cache.stats())
+        self.metrics
+            .snapshot(self.cache.stats(), self.sampler.stats(), &self.regret)
     }
 
     /// [`Service::metrics_snapshot`] rendered in the Prometheus text exposition format.
@@ -363,9 +440,72 @@ impl Service {
         self.plan_spec_with(&spec.apply_observed(observed), adaptive)
     }
 
-    /// Serves one already-canonicalized query: fingerprint, cache lookup, then hit / re-cost /
-    /// full optimization.
+    /// Serves one already-canonicalized query through the always-on observability shell:
+    /// the sampler admits the serve (installing a per-serve recording sink for the decided
+    /// 1-in-N, teeing into any ambient sink), [`serve_inner`](Self::serve_inner) does the
+    /// actual work, and the completed serve lands in the flight recorder. The unsampled
+    /// path adds two relaxed atomics and one ring push — sampling never changes the answer.
     fn serve(
+        &self,
+        canonical: &CanonicalQuery,
+        adaptive: AdaptiveOptions,
+    ) -> Result<ServedPlan, OptimizeError> {
+        let start = Instant::now();
+        let rate = adaptive
+            .sample_rate
+            .unwrap_or(self.options.sampling.sample_rate);
+        let ticket = self.sampler.begin_serve(rate);
+        let seq = ticket.seq;
+        let result = match &ticket.sample {
+            Some(sample) => {
+                // The guard drops before the harvest below, so the root `serve` span has
+                // closed into the recording.
+                let _guard = sample.install();
+                self.serve_inner(canonical, adaptive)
+            }
+            None => self.serve_inner(canonical, adaptive),
+        };
+        let latency_ns = start.elapsed().as_nanos() as u64;
+        let outcome = self.sampler.finish_serve(ticket, latency_ns);
+        if let Some(o) = &outcome {
+            self.metrics
+                .record_trace_drops(o.dropped_spans, o.dropped_events);
+        }
+        result.map(|mut served| {
+            served.serve_seq = seq;
+            served.trace_id = outcome.map(|o| o.trace_id);
+            served.order_digest = served.plan.order_digest();
+            served.layout = layout_digest(canonical);
+            // Regret shell: if execution feedback has measured this candidate worse than the
+            // best-known order for the shape (or spent the exploration budget), serve the
+            // proven best instead. Shapes never reported through `observe_execution` have no
+            // ledger state and skip this entirely.
+            if let Some(pin) =
+                self.regret
+                    .pin(served.fingerprint.shape, served.layout, served.order_digest)
+            {
+                if let Some(pinned) = self.serve_pinned(canonical, &adaptive, &served, pin) {
+                    served = pinned;
+                }
+            }
+            self.flight.record(ServeRecord {
+                seq,
+                fingerprint: served.fingerprint,
+                tier: served.tier,
+                source: served.source,
+                latency_ns,
+                cost: served.cost,
+                true_cost: None,
+                max_q_error: None,
+                trace_id: served.trace_id,
+            });
+            served
+        })
+    }
+
+    /// The serving pipeline proper: fingerprint, cache lookup, then hit / re-cost / full
+    /// optimization.
+    fn serve_inner(
         &self,
         canonical: &CanonicalQuery,
         adaptive: AdaptiveOptions,
@@ -389,6 +529,10 @@ impl Service {
                     tier,
                     source: PlanSource::CacheHit,
                     fingerprint: fp,
+                    serve_seq: 0,
+                    trace_id: None,
+                    order_digest: 0,
+                    layout: 0,
                 };
                 let elapsed = start.elapsed();
                 self.cache.record_hit(elapsed);
@@ -405,6 +549,10 @@ impl Service {
                             tier,
                             source: PlanSource::Recost,
                             fingerprint: fp,
+                            serve_seq: 0,
+                            trace_id: None,
+                            order_digest: 0,
+                            layout: 0,
                         };
                         self.cache.insert(
                             fp.shape,
@@ -462,6 +610,10 @@ impl Service {
             tier: result.tier,
             source: PlanSource::Miss,
             fingerprint: fp,
+            serve_seq: 0,
+            trace_id: None,
+            order_digest: 0,
+            layout: 0,
         };
         self.cache.insert(
             fp.shape,
@@ -478,4 +630,58 @@ impl Service {
         );
         Ok(served)
     }
+
+    /// Dresses the regret ledger's proven-best order as this serve's answer: the stored
+    /// plan (original ids, layout-matched by [`RegretLedger::pin`]) is translated into
+    /// canonical ids, re-costed bottom-up under the current statistics for honest cost and
+    /// cardinality figures, and translated back. `None` keeps the model's candidate — the
+    /// stored order failing to re-cost means it no longer covers the spec, and the veto is
+    /// quietly waived rather than failing the serve.
+    fn serve_pinned(
+        &self,
+        canonical: &CanonicalQuery,
+        adaptive: &AdaptiveOptions,
+        served: &ServedPlan,
+        pin: PinnedPlan,
+    ) -> Option<ServedPlan> {
+        let n = canonical.spec.node_count();
+        let mut node_inv = vec![0usize; n];
+        for (c, &o) in canonical.to_original.iter().enumerate() {
+            node_inv[o] = c;
+        }
+        let mut edge_inv = vec![0usize; canonical.edge_to_original.len()];
+        for (c, &o) in canonical.edge_to_original.iter().enumerate() {
+            edge_inv[o] = c;
+        }
+        let cplan = pin.plan.map_ids(&|r| node_inv[r], &|e| edge_inv[e]);
+        let table = CachedTable::from_plan(&cplan, n).ok()?;
+        let r = recost_spec(&canonical.spec, &table, adaptive).ok()??;
+        Some(ServedPlan {
+            plan: canonical.plan_to_original(&r.plan),
+            cost: r.cost,
+            cardinality: r.cardinality,
+            tier: pin.tier,
+            source: PlanSource::Pinned,
+            fingerprint: served.fingerprint,
+            serve_seq: served.serve_seq,
+            trace_id: served.trace_id,
+            order_digest: pin.digest,
+            layout: served.layout,
+        })
+    }
+}
+
+/// Digest of a canonical query's id mappings: the regret ledger's guard that a stored
+/// order's original ids name the same relations in the query being served.
+fn layout_digest(canonical: &CanonicalQuery) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &r in &canonical.to_original {
+        h = (h ^ r as u64).wrapping_mul(PRIME);
+    }
+    h = (h ^ u64::MAX).wrapping_mul(PRIME);
+    for &e in &canonical.edge_to_original {
+        h = (h ^ e as u64).wrapping_mul(PRIME);
+    }
+    h
 }

@@ -1,6 +1,8 @@
 //! EXPLAIN with execution feedback: plan a corpus query, execute it over synthetic data with
 //! cardinality instrumentation, and print the q-error-annotated EXPLAIN tree — estimated vs.
-//! actual cardinality per join, plus each node's cost contribution.
+//! actual cardinality per join, plus each node's cost contribution. The loop closes through
+//! the always-on tier: the measured true cost lands in the regret ledger, and the flight
+//! recorder replays every serve post-mortem.
 //!
 //! ```sh
 //! cargo run --release --example explain_feedback
@@ -40,7 +42,10 @@ fn main() {
         obs.median_q_error()
     );
 
-    // Close the loop: re-plan under the observed statistics and show what changed.
+    // Close the loop: report the measured truth to the regret ledger (which also annotates
+    // the serve's flight record), then re-plan under the observed statistics.
+    let regret = service.observe_execution(&served, &obs.feedback());
+    println!("regret charged for the original serve: {regret:.1}");
     let observed = obs.observed_stats(&db);
     let fed = service
         .plan_observed(&q.spec, &observed)
@@ -54,4 +59,9 @@ fn main() {
             format!("new join order (modeled cost {:.3e})", fed.cost)
         }
     );
+
+    // The always-on flight recorder kept one structured record per serve — including the
+    // true cost the feedback wrote back — with no opt-in before the fact.
+    println!();
+    println!("{}", service.flight_recorder().dump());
 }

@@ -162,20 +162,26 @@ fn metrics_snapshot_unifies_cache_stats_and_serve_latencies() {
 
 /// The Prometheus rendering's shape is stable from the first snapshot on: every metric is
 /// pre-registered at service construction, so the golden prefix holds even before any
-/// traffic, and the full rendering always contains the complete metric surface.
+/// traffic, and the full rendering always contains the complete metric surface. Every
+/// family carries a `# HELP` line so the output parses under real Prometheus scrapers.
 #[test]
 fn prometheus_rendering_matches_the_golden_prefix() {
     let service = Service::default();
     let text = service.render_prometheus();
     let golden_prefix = "\
+# HELP qo_cache_evictions_total Cache entries evicted by LRU capacity pressure.
 # TYPE qo_cache_evictions_total counter
 qo_cache_evictions_total 0
+# HELP qo_cache_hits_total Serves answered verbatim from the plan cache (shape and stats matched).
 # TYPE qo_cache_hits_total counter
 qo_cache_hits_total 0
+# HELP qo_cache_misses_total Serves that optimized from scratch (first sight of the query shape).
 # TYPE qo_cache_misses_total counter
 qo_cache_misses_total 0
+# HELP qo_cache_recost_fallbacks_total Stats-drift serves whose re-costed cached order failed the staleness probe.
 # TYPE qo_cache_recost_fallbacks_total counter
 qo_cache_recost_fallbacks_total 0
+# HELP qo_cache_shape_hits_total Stats-drift serves answered by re-costing the cached join order.
 # TYPE qo_cache_shape_hits_total counter
 qo_cache_shape_hits_total 0
 ";
@@ -187,7 +193,15 @@ qo_cache_shape_hits_total 0
         "qo_optimizer_exact_ccps_total",
         "qo_optimizer_plans_exact_total",
         "qo_parallel_stolen_chunks_total",
+        "qo_regret_cycles_total",
+        "qo_regret_pins_total",
+        "qo_serve_sampled_total",
+        "qo_serve_slow_total",
+        "qo_trace_dropped_spans_total",
+        "qo_trace_dropped_events_total",
         "qo_cache_entries",
+        "qo_regret_shapes",
+        "qo_regret_total",
         "qo_serve_hit_ns",
         "qo_serve_recost_ns",
         "qo_serve_miss_ns",
@@ -196,6 +210,10 @@ qo_cache_shape_hits_total 0
         assert!(
             text.contains(&format!("# TYPE {name} ")),
             "metric `{name}` missing from the rendering:\n{text}"
+        );
+        assert!(
+            text.contains(&format!("# HELP {name} ")),
+            "metric `{name}` has no help text:\n{text}"
         );
     }
 }
